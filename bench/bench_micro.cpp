@@ -1,0 +1,173 @@
+// Microbenchmarks (google-benchmark) for the substrates: CDCL solving, BDD
+// operations, bit-parallel simulation, Tseitin encoding, and the
+// success-driven engine on its best-case structure.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "allsat/success_driven.hpp"
+#include "base/rng.hpp"
+#include "bdd/bdd.hpp"
+#include "circuit/simulator.hpp"
+#include "circuit/tseitin.hpp"
+#include "gen/generators.hpp"
+#include "gen/random_circuit.hpp"
+#include "preimage/bmc.hpp"
+#include "preimage/preimage.hpp"
+#include "sat/solver.hpp"
+
+namespace presat {
+namespace {
+
+Cnf random3Sat(Rng& rng, int vars, int clauses) {
+  Cnf cnf(vars);
+  for (int i = 0; i < clauses; ++i) {
+    Clause c;
+    while (c.size() < 3) {
+      Lit l = mkLit(static_cast<Var>(rng.below(static_cast<uint64_t>(vars))), rng.flip());
+      bool dup = false;
+      for (Lit e : c) dup = dup || e.var() == l.var();
+      if (!dup) c.push_back(l);
+    }
+    cnf.addClause(c);
+  }
+  return cnf;
+}
+
+void BM_SolverRandom3Sat(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  const int clauses = static_cast<int>(vars * 4.2);
+  uint64_t seed = 1;
+  uint64_t conflicts = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    Cnf cnf = random3Sat(rng, vars, clauses);
+    Solver solver;
+    solver.addCnf(cnf);
+    benchmark::DoNotOptimize(solver.solve());
+    conflicts += solver.stats().conflicts;
+  }
+  state.counters["conflicts/iter"] =
+      benchmark::Counter(static_cast<double>(conflicts) / state.iterations());
+}
+BENCHMARK(BM_SolverRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_SolverPropagationChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Solver solver;
+  for (int i = 0; i < n; ++i) solver.newVar();
+  for (int i = 0; i + 1 < n; ++i) solver.addClause({~mkLit(i), mkLit(i + 1)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve({mkLit(0)}));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SolverPropagationChain)->Arg(1000)->Arg(10000);
+
+void BM_BddTransitionBuild(benchmark::State& state) {
+  Netlist counter = makeCounter(static_cast<int>(state.range(0)));
+  TransitionSystem system(counter);
+  for (auto _ : state) {
+    PreimageResult r = computePreimage(system, StateSet::fromMinterm(system.numStateBits(), 1),
+                                       PreimageMethod::kBdd);
+    benchmark::DoNotOptimize(r.bddNodes);
+  }
+}
+BENCHMARK(BM_BddTransitionBuild)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_BddParity(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BddManager mgr(vars);
+    BddRef f = BddManager::kFalse;
+    for (Var v = 0; v < vars; ++v) f = mgr.bddXor(f, mgr.variable(v));
+    benchmark::DoNotOptimize(mgr.satCount(f));
+  }
+}
+BENCHMARK(BM_BddParity)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Simulator64Patterns(benchmark::State& state) {
+  RandomCircuitParams params;
+  params.numInputs = 8;
+  params.numDffs = 16;
+  params.numGates = static_cast<int>(state.range(0));
+  params.seed = 5;
+  Netlist nl = makeRandomSequential(params);
+  Simulator sim(nl);
+  Rng rng(7);
+  for (NodeId id = 0; id < nl.numNodes(); ++id) {
+    if (!isCombinational(nl.type(id))) sim.setSource(id, rng.next());
+  }
+  for (auto _ : state) {
+    sim.run();
+    benchmark::DoNotOptimize(sim.value(static_cast<NodeId>(nl.numNodes() - 1)));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);  // patterns per run
+}
+BENCHMARK(BM_Simulator64Patterns)->Arg(500)->Arg(5000);
+
+void BM_TseitinEncode(benchmark::State& state) {
+  RandomCircuitParams params;
+  params.numInputs = 8;
+  params.numDffs = 16;
+  params.numGates = static_cast<int>(state.range(0));
+  params.seed = 9;
+  Netlist nl = makeRandomSequential(params);
+  for (auto _ : state) {
+    CircuitEncoding enc = encodeCircuit(nl);
+    benchmark::DoNotOptimize(enc.cnf.numClauses());
+  }
+}
+BENCHMARK(BM_TseitinEncode)->Arg(1000)->Arg(10000);
+
+void BM_SuccessDrivenParityTree(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  Netlist nl;
+  std::vector<NodeId> layer, dffs;
+  for (int i = 0; i < bits; ++i) layer.push_back(nl.addDff("s" + std::to_string(i)));
+  dffs = layer;
+  int gid = 0;
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(nl.mkXor(layer[i], layer[i + 1], "x" + std::to_string(gid++)));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  for (NodeId d : dffs) nl.connectDffData(d, layer[0]);
+  nl.markOutput(layer[0], "parity");
+
+  CircuitAllSatProblem p;
+  p.netlist = &nl;
+  p.objectives = {{layer[0], false}};
+  p.projectionSources = dffs;
+  AllSatOptions opts;
+  opts.maxCubes = 1;  // representation built fully; enumeration skipped
+  for (auto _ : state) {
+    SuccessDrivenResult r = successDrivenAllSat(p, opts);
+    benchmark::DoNotOptimize(r.summary.stats.graphNodes);
+  }
+}
+BENCHMARK(BM_SuccessDrivenParityTree)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_BmcSimpleVsIncremental(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  Netlist nl = makeCounter(8);
+  TransitionSystem system(nl);
+  StateSet init = StateSet::fromMinterm(8, 3);
+  StateSet target = StateSet::fromMinterm(8, 14);  // 11 steps away
+  for (auto _ : state) {
+    BmcResult r = incremental ? boundedReachIncremental(system, init, target, 12)
+                              : boundedReach(system, init, target, 12);
+    benchmark::DoNotOptimize(r.depth);
+  }
+  state.SetLabel(incremental ? "incremental" : "simple");
+}
+BENCHMARK(BM_BmcSimpleVsIncremental)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace presat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Shared infrastructure for the table/figure reproduction benches: the
+// benchmark suite (the ISCAS89 substitute described in DESIGN.md) and small
+// formatting helpers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "gen/generators.hpp"
+#include "gen/iscas.hpp"
+#include "gen/random_circuit.hpp"
+#include "preimage/preimage.hpp"
+
+namespace presat::benchutil {
+
+struct BenchCase {
+  std::string name;
+  Netlist netlist;
+  StateSet target;
+};
+
+// Target cube fixing the lowest `fixed` state bits to alternating values —
+// a deterministic, reproducible target with a tunable solution count.
+inline StateSet alternatingCube(int stateBits, int fixed) {
+  LitVec cube;
+  for (int i = 0; i < fixed && i < stateBits; ++i) {
+    cube.push_back(mkLit(static_cast<Var>(i), i % 2 == 1));
+  }
+  return StateSet::fromCube(stateBits, cube);
+}
+
+inline Netlist randomBench(int inputs, int dffs, int gates, uint64_t seed) {
+  RandomCircuitParams params;
+  params.numInputs = inputs;
+  params.numDffs = dffs;
+  params.numGates = gates;
+  params.seed = seed;
+  return makeRandomSequential(params);
+}
+
+// Target cube guaranteed non-empty: simulate one transition from a
+// deterministic pseudo-random (state, input) pair and fix the lowest
+// `fixed` bits of the resulting next state. Random next-state functions are
+// often constant-biased, so arbitrary cubes would frequently be unreachable.
+inline StateSet reachableCube(const Netlist& netlist, int fixed, uint64_t seed) {
+  TransitionSystem system(netlist);
+  Rng rng(seed);
+  std::vector<bool> state(static_cast<size_t>(system.numStateBits()));
+  std::vector<bool> inputs(static_cast<size_t>(system.numInputs()));
+  for (auto&& b : state) b = rng.flip();
+  for (auto&& b : inputs) b = rng.flip();
+  std::vector<bool> next = system.step(state, inputs);
+  LitVec cube;
+  for (int i = 0; i < fixed && i < system.numStateBits(); ++i) {
+    cube.push_back(mkLit(static_cast<Var>(i), !next[static_cast<size_t>(i)]));
+  }
+  return StateSet::fromCube(system.numStateBits(), cube);
+}
+
+// The standard suite used by Table 1 / Table 2: named circuits spanning the
+// gate mixes of the ISCAS89 benchmarks at small-to-medium scale.
+inline std::vector<BenchCase> standardSuite() {
+  std::vector<BenchCase> suite;
+  auto add = [&suite](std::string name, Netlist nl, int fixedBits) {
+    int n = static_cast<int>(nl.dffs().size());
+    StateSet target = alternatingCube(n, fixedBits);
+    suite.push_back({std::move(name), std::move(nl), std::move(target)});
+  };
+  add("s27", makeS27(), 2);
+  add("cnt10", makeCounter(10), 4);
+  add("cnt14", makeCounter(14), 4);
+  add("gray10", makeGrayCounter(10), 4);
+  add("lfsr12", makeLfsr(12), 4);
+  add("arb4", makeRoundRobinArbiter(4), 2);
+  add("traffic", makeTrafficLight(), 2);
+  {
+    Netlist nl = randomBench(4, 8, 80, 11);
+    StateSet target = reachableCube(nl, 3, 101);
+    suite.push_back({"rand8x80", std::move(nl), std::move(target)});
+  }
+  {
+    Netlist nl = randomBench(5, 12, 150, 23);
+    StateSet target = reachableCube(nl, 4, 102);
+    suite.push_back({"rand12x150", std::move(nl), std::move(target)});
+  }
+  {
+    Netlist nl = randomBench(6, 16, 240, 37);
+    StateSet target = reachableCube(nl, 5, 103);
+    suite.push_back({"rand16x240", std::move(nl), std::move(target)});
+  }
+  return suite;
+}
+
+inline std::string fmtMs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace presat::benchutil

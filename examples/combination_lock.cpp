@@ -1,0 +1,84 @@
+// Cracking a combination lock with preimage computation.
+//
+//   $ example_combination_lock
+//
+// The lock FSM advances only when the input symbol matches the next secret
+// digit and resets on any mistake. Backward reachability from the "open"
+// state — powered by the success-driven all-solutions solver — walks the
+// secret back to the locked state, and the extracted counterexample trace IS
+// the opening sequence. Bounded model checking (forward unrolling) confirms
+// it and the two independent engines must agree on the minimal length.
+#include <cstdio>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "preimage/bmc.hpp"
+#include "preimage/safety.hpp"
+
+using namespace presat;
+
+namespace {
+
+int symbolValue(const std::vector<bool>& inputBits) {
+  int v = 0;
+  for (size_t b = 0; b < inputBits.size(); ++b) {
+    if (inputBits[b]) v |= 1 << b;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> secret{5, 1, 7, 2, 6};
+  const int bitsPerSymbol = 3;
+  Netlist lock = makeCombinationLock(secret, bitsPerSymbol);
+  TransitionSystem system(lock);
+  const int n = system.numStateBits();
+  std::printf("combination lock: %zu-digit code over %d-bit symbols — %d state bits, %zu gates\n",
+              secret.size(), bitsPerSymbol, n, lock.numGates());
+
+  // Locked = progress 0; open = progress len (the absorbing accept state).
+  StateSet locked = StateSet::fromMinterm(n, 0);
+  StateSet open = StateSet::fromMinterm(n, static_cast<uint64_t>(secret.size()));
+
+  // "The lock never opens" is the safety property; its counterexample is the
+  // combination.
+  SafetyOptions options;
+  options.method = PreimageMethod::kSuccessDriven;
+  SafetyResult verdict = checkSafety(system, locked, open, options);
+  std::printf("\nsafety check ('lock never opens'): %s at depth %d (%.3f ms)\n",
+              safetyStatusName(verdict.status), verdict.depth, verdict.seconds * 1e3);
+  if (verdict.status != SafetyStatus::kUnsafe) {
+    std::printf("unexpected verdict — the lock must be openable!\n");
+    return 1;
+  }
+  std::printf("recovered combination (from the backward trace): ");
+  for (const std::vector<bool>& inputs : verdict.traceInputs) {
+    std::printf("%d ", symbolValue(inputs));
+  }
+  std::printf("\nactual secret                                  : ");
+  for (int d : secret) std::printf("%d ", d);
+  std::printf("\n");
+
+  // Independent confirmation by forward BMC.
+  BmcResult bmc = boundedReach(system, locked, open, static_cast<int>(secret.size()) + 2);
+  std::printf("\nBMC: open reachable at depth %d with inputs: ", bmc.depth);
+  for (const std::vector<bool>& inputs : bmc.traceInputs) {
+    std::printf("%d ", symbolValue(inputs));
+  }
+  std::printf("(%llu SAT calls, %.3f ms)\n", static_cast<unsigned long long>(bmc.satCalls),
+              bmc.seconds * 1e3);
+
+  bool lengthsAgree =
+      bmc.reachable && bmc.depth == verdict.depth && bmc.depth == static_cast<int>(secret.size());
+  bool sequencesMatch = true;
+  for (size_t i = 0; i < verdict.traceInputs.size(); ++i) {
+    sequencesMatch = sequencesMatch && symbolValue(verdict.traceInputs[i]) == secret[i];
+  }
+  std::printf("\nbackward and forward engines agree on the minimal length: %s\n",
+              lengthsAgree ? "yes" : "NO (bug!)");
+  std::printf("backward trace reproduces the secret exactly: %s\n",
+              sequencesMatch ? "yes" : "NO (bug!)");
+  return lengthsAgree && sequencesMatch ? 0 : 1;
+}

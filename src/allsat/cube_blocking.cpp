@@ -1,0 +1,80 @@
+#include "allsat/cube_blocking.hpp"
+
+#include "base/log.hpp"
+#include "base/timer.hpp"
+#include "sat/solver.hpp"
+
+namespace presat {
+
+AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projection,
+                                const ModelLifter& lifter, const AllSatOptions& options) {
+  Timer timer;
+  AllSatResult result;
+
+  // Original variable -> projected index, for translating cubes.
+  std::vector<int> projectedIndex(static_cast<size_t>(cnf.numVars()), -1);
+  for (size_t i = 0; i < projection.size(); ++i) {
+    projectedIndex[static_cast<size_t>(projection[i])] = static_cast<int>(i);
+  }
+
+  Solver solver;
+  bool consistent = solver.addCnf(cnf);
+  bool maybeOverlapping = false;
+
+  while (consistent) {
+    lbool status = solver.solve();
+    ++result.stats.satCalls;
+    PRESAT_CHECK(!status.isUndef()) << "unbudgeted solve returned UNDEF";
+    if (status.isFalse()) break;
+
+    LitVec cube;
+    if (options.liftModels && lifter) {
+      cube = lifter(solver.model());
+      for (Lit l : cube) {
+        PRESAT_CHECK(projectedIndex[static_cast<size_t>(l.var())] >= 0)
+            << "lifter returned a literal outside the projection scope";
+        PRESAT_CHECK(solver.modelValue(l)) << "lifter returned a literal contradicting the model";
+      }
+      if (cube.size() < projection.size()) maybeOverlapping = true;
+    } else {
+      cube.reserve(projection.size());
+      for (Var v : projection) cube.push_back(mkLit(v, !solver.modelValue(v)));
+    }
+
+    LitVec blocking;
+    LitVec projectedCube;
+    blocking.reserve(cube.size());
+    projectedCube.reserve(cube.size());
+    for (Lit l : cube) {
+      blocking.push_back(~l);
+      projectedCube.push_back(
+          mkLit(static_cast<Var>(projectedIndex[static_cast<size_t>(l.var())]), l.sign()));
+    }
+    result.cubes.push_back(std::move(projectedCube));
+    result.stats.blockingClauses += 1;
+    result.stats.blockingLiterals += blocking.size();
+
+    if (options.maxCubes != 0 && result.cubes.size() >= options.maxCubes) {
+      result.complete = false;
+      break;
+    }
+    consistent = solver.addClause(blocking);
+  }
+
+  // Lifted cubes from successive iterations can overlap earlier cubes, so the
+  // exact union count goes through a BDD; the disjoint case short-circuits.
+  if (maybeOverlapping) {
+    result.mintermCount =
+        countCubeUnionMinterms(result.cubes, static_cast<int>(projection.size()));
+  } else {
+    result.mintermCount =
+        countDisjointCubeMinterms(result.cubes, static_cast<int>(projection.size()));
+  }
+  result.stats.conflicts = solver.stats().conflicts;
+  result.stats.decisions = solver.stats().decisions;
+  result.stats.propagations = solver.stats().propagations;
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace presat

@@ -1,0 +1,28 @@
+// Cube-level blocking-clause all-SAT: the stronger classical baseline.
+//
+// After each model, a lifting callback grows the model into a solution cube
+// over the projection scope; the whole cube is blocked at once. With a good
+// lifter this cuts the number of solver calls from #minterms to roughly
+// #cubes, but the clause database still grows with every solution and each
+// solution is still re-derived by a full CDCL search.
+#pragma once
+
+#include <functional>
+
+#include "allsat/projection.hpp"
+#include "cnf/cnf.hpp"
+
+namespace presat {
+
+// Maps a full model of the CNF to a solution cube over the ORIGINAL formula
+// variables. Contract: every literal's variable is in the projection scope,
+// the literal agrees with the model, and every projected assignment covered
+// by the returned cube is extendable to a model (that is what makes blocking
+// the whole cube sound). An empty callback means "no lifting" (full projected
+// minterm).
+using ModelLifter = std::function<LitVec(const std::vector<lbool>& model)>;
+
+AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projection,
+                                const ModelLifter& lifter, const AllSatOptions& options = {});
+
+}  // namespace presat

@@ -1,0 +1,124 @@
+#include "allsat/lifting.hpp"
+
+#include "base/log.hpp"
+
+namespace presat {
+
+LitVec shrinkModelToImplicant(const Cnf& cnf, const std::vector<lbool>& model) {
+  // Frequency of each variable as a potential witness: variables that satisfy
+  // many clauses make better keepers, leaving more variables free.
+  std::vector<uint32_t> frequency(static_cast<size_t>(cnf.numVars()), 0);
+  for (const Clause& c : cnf.clauses()) {
+    for (Lit l : c) {
+      lbool v = model[static_cast<size_t>(l.var())];
+      PRESAT_CHECK(!v.isUndef()) << "shrinkModelToImplicant needs a full model";
+      if (v.isTrue() != l.sign()) ++frequency[static_cast<size_t>(l.var())];
+    }
+  }
+  std::vector<bool> kept(static_cast<size_t>(cnf.numVars()), false);
+  for (const Clause& c : cnf.clauses()) {
+    Lit witness = kUndefLit;
+    bool haveKeptWitness = false;
+    for (Lit l : c) {
+      lbool v = model[static_cast<size_t>(l.var())];
+      if (v.isTrue() == l.sign()) continue;  // literal false under model
+      if (kept[static_cast<size_t>(l.var())]) {
+        haveKeptWitness = true;
+        break;
+      }
+      if (witness == kUndefLit ||
+          frequency[static_cast<size_t>(l.var())] > frequency[static_cast<size_t>(witness.var())]) {
+        witness = l;
+      }
+    }
+    if (haveKeptWitness) continue;
+    PRESAT_CHECK(witness != kUndefLit) << "model does not satisfy the formula";
+    kept[static_cast<size_t>(witness.var())] = true;
+  }
+  LitVec cube;
+  for (Var v = 0; v < cnf.numVars(); ++v) {
+    if (kept[static_cast<size_t>(v)]) {
+      cube.push_back(mkLit(v, model[static_cast<size_t>(v)].isFalse()));
+    }
+  }
+  return cube;
+}
+
+JustificationLifter::JustificationLifter(const Netlist& netlist, NodeCube objectives)
+    : netlist_(netlist), objectives_(std::move(objectives)) {
+  for (const NodeAssign& obj : objectives_) {
+    PRESAT_CHECK(obj.first < netlist_.numNodes());
+  }
+}
+
+NodeCube JustificationLifter::liftedSources(const std::vector<bool>& nodeValues) const {
+  std::vector<bool> marked(netlist_.numNodes(), false);
+  NodeCube sources;
+
+  auto mark = [&](auto&& self, NodeId id) -> void {
+    if (marked[id]) return;
+    marked[id] = true;
+    const GateNode& g = netlist_.node(id);
+    bool out = nodeValues[id];
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kDff:
+        sources.emplace_back(id, out);
+        return;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        return;
+      case GateType::kBuf:
+      case GateType::kNot:
+        self(self, g.fanins[0]);
+        return;
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        // Controlling input value: 0 for AND/NAND, 1 for OR/NOR. When a
+        // controlling input is present the output is ctrlIn xor inverted
+        // (AND -> 0, NAND -> 1, OR -> 1, NOR -> 0).
+        bool ctrlIn = (g.type == GateType::kOr || g.type == GateType::kNor);
+        bool inverted = (g.type == GateType::kNand || g.type == GateType::kNor);
+        bool controlledOut = ctrlIn != inverted;
+        if (out == controlledOut) {
+          // One controlling fanin suffices; prefer one already marked.
+          NodeId pick = kNoNode;
+          for (NodeId f : g.fanins) {
+            if (nodeValues[f] == ctrlIn) {
+              if (marked[f]) {
+                pick = f;
+                break;
+              }
+              if (pick == kNoNode) pick = f;
+            }
+          }
+          PRESAT_CHECK(pick != kNoNode) << "inconsistent node values in lifting";
+          self(self, pick);
+        } else {
+          for (NodeId f : g.fanins) self(self, f);
+        }
+        return;
+      }
+      case GateType::kXor:
+      case GateType::kXnor:
+        for (NodeId f : g.fanins) self(self, f);
+        return;
+      case GateType::kMux: {
+        self(self, g.fanins[0]);  // select always matters
+        self(self, nodeValues[g.fanins[0]] ? g.fanins[2] : g.fanins[1]);
+        return;
+      }
+    }
+  };
+
+  for (const NodeAssign& obj : objectives_) {
+    PRESAT_CHECK(nodeValues[obj.first] == obj.second)
+        << "objective not met by the model being lifted";
+    mark(mark, obj.first);
+  }
+  return sources;
+}
+
+}  // namespace presat

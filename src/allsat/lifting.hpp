@@ -1,0 +1,49 @@
+// Model lifting: growing one satisfying assignment into a solution cube.
+//
+// Two sound strategies are provided:
+//  * shrinkModelToImplicant — CNF-level greedy witness selection. Valid when
+//    the projection scope is the full variable set (every clause keeps a
+//    witness literal, so any completion of the kept literals satisfies the
+//    formula).
+//  * JustificationLifter — circuit-level critical tracing. Starting from the
+//    required output values, it keeps only the source assignments needed to
+//    justify them (one controlling fanin suffices for a controlled gate).
+//    The kept source cube forces the objectives under ANY completion, so its
+//    projection onto the state variables is a valid preimage cube.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "base/types.hpp"
+#include "circuit/netlist.hpp"
+#include "cnf/cnf.hpp"
+
+namespace presat {
+
+// Assignment of a circuit node to a boolean value.
+using NodeAssign = std::pair<NodeId, bool>;
+using NodeCube = std::vector<NodeAssign>;
+
+// Greedy prime-implicant extraction from a full model: returns a sub-cube of
+// the model (literals over the CNF variables) such that every completion
+// satisfies the formula. `model` must satisfy `cnf`.
+LitVec shrinkModelToImplicant(const Cnf& cnf, const std::vector<lbool>& model);
+
+class JustificationLifter {
+ public:
+  // `objectives` are required (node, value) pairs, typically the target
+  // next-state bits of a preimage query.
+  JustificationLifter(const Netlist& netlist, NodeCube objectives);
+
+  // `nodeValues` is a full consistent evaluation of the netlist (e.g. from
+  // Simulator) under which every objective holds. Returns the source
+  // assignments (inputs and DFF outputs) needed to justify all objectives.
+  NodeCube liftedSources(const std::vector<bool>& nodeValues) const;
+
+ private:
+  const Netlist& netlist_;
+  NodeCube objectives_;
+};
+
+}  // namespace presat

@@ -1,0 +1,52 @@
+#include "allsat/minterm_blocking.hpp"
+
+#include "base/log.hpp"
+#include "base/timer.hpp"
+#include "sat/solver.hpp"
+
+namespace presat {
+
+AllSatResult mintermBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projection,
+                                   const AllSatOptions& options) {
+  Timer timer;
+  AllSatResult result;
+  Solver solver;
+  bool consistent = solver.addCnf(cnf);
+
+  while (consistent) {
+    lbool status = solver.solve();
+    ++result.stats.satCalls;
+    PRESAT_CHECK(!status.isUndef()) << "unbudgeted solve returned UNDEF";
+    if (status.isFalse()) break;
+
+    LitVec blocking;
+    LitVec projectedCube;
+    blocking.reserve(projection.size());
+    projectedCube.reserve(projection.size());
+    for (size_t i = 0; i < projection.size(); ++i) {
+      bool value = solver.modelValue(projection[i]);
+      // Block this projected minterm: the clause requires at least one
+      // projection variable to differ.
+      blocking.push_back(mkLit(projection[i], value));
+      projectedCube.push_back(mkLit(static_cast<Var>(i), !value));
+    }
+    result.cubes.push_back(std::move(projectedCube));
+    result.stats.blockingClauses += 1;
+    result.stats.blockingLiterals += blocking.size();
+
+    if (options.maxCubes != 0 && result.cubes.size() >= options.maxCubes) {
+      result.complete = false;
+      break;
+    }
+    consistent = solver.addClause(blocking);
+  }
+
+  result.mintermCount = countDisjointCubeMinterms(result.cubes, static_cast<int>(projection.size()));
+  result.stats.conflicts = solver.stats().conflicts;
+  result.stats.decisions = solver.stats().decisions;
+  result.stats.propagations = solver.stats().propagations;
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace presat

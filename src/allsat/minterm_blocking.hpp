@@ -1,0 +1,20 @@
+// Classic all-solutions SAT baseline: repeated CDCL solving with one
+// minterm-level blocking clause per solution.
+//
+// This is the approach the paper improves on. Cost profile: one top-level
+// solver call and one added clause per projected minterm — both the runtime
+// and the clause database scale with the (potentially exponential) number of
+// solutions.
+#pragma once
+
+#include "allsat/projection.hpp"
+#include "cnf/cnf.hpp"
+
+namespace presat {
+
+// Enumerates all assignments to `projection` extendable to a model of `cnf`.
+// Resulting cubes are full projected minterms (pairwise disjoint).
+AllSatResult mintermBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projection,
+                                   const AllSatOptions& options = {});
+
+}  // namespace presat

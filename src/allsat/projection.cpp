@@ -1,0 +1,58 @@
+#include "allsat/projection.hpp"
+
+#include "base/log.hpp"
+#include "bdd/bdd.hpp"
+
+namespace presat {
+
+BigUint countDisjointCubeMinterms(const std::vector<LitVec>& cubes, int numProjectionVars) {
+  BigUint total(0);
+  for (const LitVec& cube : cubes) {
+    PRESAT_CHECK(cube.size() <= static_cast<size_t>(numProjectionVars));
+    total += BigUint::powerOfTwo(
+        static_cast<uint32_t>(numProjectionVars - static_cast<int>(cube.size())));
+  }
+  return total;
+}
+
+bool cubesPairwiseDisjoint(const std::vector<LitVec>& cubes) {
+  for (size_t i = 0; i < cubes.size(); ++i) {
+    for (size_t j = i + 1; j < cubes.size(); ++j) {
+      // Disjoint iff some variable appears with opposite polarity.
+      bool clash = false;
+      for (Lit a : cubes[i]) {
+        for (Lit b : cubes[j]) {
+          if (a.var() == b.var() && a.sign() != b.sign()) {
+            clash = true;
+            break;
+          }
+        }
+        if (clash) break;
+      }
+      if (!clash) return false;
+    }
+  }
+  return true;
+}
+
+uint32_t cubesToBdd(BddManager& mgr, const std::vector<LitVec>& cubes) {
+  BddRef acc = BddManager::kFalse;
+  for (const LitVec& cube : cubes) acc = mgr.bddOr(acc, mgr.cube(cube));
+  return acc;
+}
+
+BigUint countCubeUnionMinterms(const std::vector<LitVec>& cubes, int numProjectionVars) {
+  BddManager mgr(numProjectionVars);
+  BddRef u = cubesToBdd(mgr, cubes);
+  return mgr.satCount(u);
+}
+
+bool cubeCoversMinterm(const LitVec& cube, uint64_t minterm) {
+  for (Lit l : cube) {
+    bool bit = (minterm >> l.var()) & 1;
+    if (bit == l.sign()) return false;  // literal requires the opposite value
+  }
+  return true;
+}
+
+}  // namespace presat

@@ -1,0 +1,87 @@
+// Shared vocabulary of the all-solutions engines.
+//
+// Every engine answers the same question: given a satisfiable formula (as CNF
+// or as a circuit with output objectives) and a *projection scope*, enumerate
+// the projection of the solution set. Results are normalized to the
+// *projected index space*: literal variable i in a result cube refers to
+// projection[i], not to the underlying CNF variable or circuit node. This
+// makes results from different engines directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/biguint.hpp"
+#include "base/types.hpp"
+#include "cnf/cnf.hpp"
+
+namespace presat {
+
+class BddManager;
+
+struct AllSatStats {
+  uint64_t satCalls = 0;          // top-level solver invocations
+  uint64_t conflicts = 0;         // CDCL conflicts (blocking engines)
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t blockingClauses = 0;   // clauses added to block found solutions
+  uint64_t blockingLiterals = 0;  // total literals across blocking clauses
+  uint64_t memoHits = 0;          // success-driven learning cache hits
+  uint64_t memoEntries = 0;
+  uint64_t graphNodes = 0;        // solution graph size
+  uint64_t graphEdges = 0;
+  double seconds = 0.0;
+};
+
+struct AllSatResult {
+  // True iff enumeration ran to completion (false when a solution/time cap
+  // stopped it early — counts are then lower bounds).
+  bool complete = true;
+  // Cubes in the projected index space whose UNION is the projected solution
+  // set. Minterm-level engines produce pairwise-disjoint cubes; lifted-cube
+  // and success-driven engines may produce overlapping cubes (the union is
+  // still exact), which is why mintermCount is computed via BDD there.
+  std::vector<LitVec> cubes;
+  // Exact number of projected minterms in the union of `cubes`.
+  BigUint mintermCount;
+  AllSatStats stats;
+};
+
+// Which unjustified gate the success-driven engine branches on next.
+// Deterministic either way (required for learning soundness); topologically
+// lowest (closest to the sources) is the default.
+enum class BranchOrder {
+  kLowestGateFirst,
+  kHighestGateFirst,
+};
+
+struct AllSatOptions {
+  uint64_t maxCubes = 0;  // 0 = unlimited
+  // Blocking engines: lift models to cubes before blocking.
+  bool liftModels = true;
+  // Success-driven engine: enable the learning cache (ablation knob).
+  bool successLearning = true;
+  // Success-driven engine: frontier-gate selection policy.
+  BranchOrder branchOrder = BranchOrder::kLowestGateFirst;
+};
+
+// Sum of 2^(numProjectionVars - |cube|) over all cubes. Exact for disjoint
+// cube sets (which every engine in this library produces).
+BigUint countDisjointCubeMinterms(const std::vector<LitVec>& cubes, int numProjectionVars);
+
+// True if no two cubes share a projected minterm (O(n^2) — test helper).
+bool cubesPairwiseDisjoint(const std::vector<LitVec>& cubes);
+
+// OR of all cubes as a BDD over variables 0..numProjectionVars-1 of `mgr`.
+// The canonical way to compare two engines' answers for semantic equality.
+uint32_t cubesToBdd(BddManager& mgr, const std::vector<LitVec>& cubes);
+
+// Exact minterm count of the UNION of (possibly overlapping) cubes, computed
+// through a scratch BDD.
+BigUint countCubeUnionMinterms(const std::vector<LitVec>& cubes, int numProjectionVars);
+
+// True if `cube` (projected index space) covers `minterm` (bit i = value of
+// projection var i).
+bool cubeCoversMinterm(const LitVec& cube, uint64_t minterm);
+
+}  // namespace presat

@@ -1,0 +1,152 @@
+#include "allsat/solution_graph.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "base/log.hpp"
+#include "bdd/bdd.hpp"
+
+namespace presat {
+
+size_t SolutionGraph::numLiveEdges() const {
+  size_t n = root_.child != kFail ? 1 : 0;
+  for (const Node& node : nodes_) {
+    for (const Branch& b : node.branch) {
+      if (b.child != kFail) ++n;
+    }
+  }
+  return n;
+}
+
+size_t SolutionGraph::numStoredLiterals() const {
+  size_t n = root_.child != kFail ? root_.newLits.size() : 0;
+  for (const Node& node : nodes_) {
+    for (const Branch& b : node.branch) {
+      if (b.child != kFail) n += b.newLits.size();
+    }
+  }
+  return n;
+}
+
+BigUint SolutionGraph::countPaths() const {
+  if (root_.child == kFail) return BigUint(0);
+  std::vector<BigUint> memo(nodes_.size());
+  std::vector<bool> done(nodes_.size(), false);
+  auto rec = [&](auto&& self, int index) -> BigUint {
+    if (index == kSuccess) return BigUint(1);
+    if (index == kFail) return BigUint(0);
+    size_t i = static_cast<size_t>(index);
+    if (done[i]) return memo[i];
+    BigUint total = self(self, nodes_[i].branch[0].child) + self(self, nodes_[i].branch[1].child);
+    memo[i] = total;
+    done[i] = true;
+    return total;
+  };
+  return rec(rec, root_.child);
+}
+
+Dyadic SolutionGraph::pathMeasure() const {
+  if (root_.child == kFail) return Dyadic::zero();
+  std::vector<Dyadic> memo(nodes_.size());
+  std::vector<bool> done(nodes_.size(), false);
+  auto rec = [&](auto&& self, int index) -> Dyadic {
+    if (index == kSuccess) return Dyadic::one();
+    if (index == kFail) return Dyadic::zero();
+    size_t i = static_cast<size_t>(index);
+    if (done[i]) return memo[i];
+    Dyadic total;
+    for (const Branch& b : nodes_[i].branch) {
+      Dyadic part = self(self, b.child);
+      part.divPow2(static_cast<uint32_t>(b.newLits.size()));
+      total += part;
+    }
+    memo[i] = total;
+    done[i] = true;
+    return total;
+  };
+  Dyadic m = rec(rec, root_.child);
+  m.divPow2(static_cast<uint32_t>(root_.newLits.size()));
+  return m;
+}
+
+std::vector<LitVec> SolutionGraph::enumerateCubes(uint64_t limit) const {
+  std::vector<LitVec> cubes;
+  if (root_.child == kFail) return cubes;
+  LitVec path = root_.newLits;
+  auto rec = [&](auto&& self, int index) -> bool {  // false = limit reached
+    if (index == kFail) return true;
+    if (index == kSuccess) {
+      cubes.push_back(path);
+      return limit == 0 || cubes.size() < limit;
+    }
+    const Node& n = nodes_[static_cast<size_t>(index)];
+    for (const Branch& b : n.branch) {
+      size_t before = path.size();
+      path.insert(path.end(), b.newLits.begin(), b.newLits.end());
+      bool keepGoing = self(self, b.child);
+      path.resize(before);
+      if (!keepGoing) return false;
+    }
+    return true;
+  };
+  rec(rec, root_.child);
+  return cubes;
+}
+
+uint32_t SolutionGraph::toBdd(BddManager& mgr) const {
+  std::unordered_map<int, BddRef> memo;
+  auto rec = [&](auto&& self, int index) -> BddRef {
+    if (index == kSuccess) return BddManager::kTrue;
+    if (index == kFail) return BddManager::kFalse;
+    auto it = memo.find(index);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[static_cast<size_t>(index)];
+    BddRef acc = BddManager::kFalse;
+    for (const Branch& b : n.branch) {
+      BddRef child = self(self, b.child);
+      if (child == BddManager::kFalse) continue;
+      acc = mgr.bddOr(acc, mgr.bddAnd(mgr.cube(b.newLits), child));
+    }
+    memo.emplace(index, acc);
+    return acc;
+  };
+  BddRef body = rec(rec, root_.child);
+  return mgr.bddAnd(mgr.cube(root_.newLits), body);
+}
+
+std::string SolutionGraph::toDot() const {
+  std::ostringstream out;
+  out << "digraph solutions {\n";
+  out << "  success [label=\"SUCCESS\", shape=box];\n";
+  auto target = [&](int child) -> std::string {
+    if (child == kSuccess) return "success";
+    PRESAT_DCHECK(child >= 0);
+    return "n" + std::to_string(child);
+  };
+  auto litsLabel = [](const LitVec& lits) {
+    std::string s;
+    for (Lit l : lits) {
+      if (!s.empty()) s += " ";
+      s += (l.sign() ? "~p" : "p") + std::to_string(l.var());
+    }
+    return s;
+  };
+  if (root_.child != kFail) {
+    out << "  root [shape=point];\n";
+    out << "  root -> " << target(root_.child) << " [label=\"" << litsLabel(root_.newLits)
+        << "\"];\n";
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    out << "  n" << i << " [label=\"d" << nodes_[i].decisionId << "\"];\n";
+    for (int b = 0; b < 2; ++b) {
+      const Branch& br = nodes_[i].branch[b];
+      if (br.child == kFail) continue;
+      out << "  n" << i << " -> " << target(br.child) << " [label=\"" << litsLabel(br.newLits)
+          << "\"" << (b == 0 ? ", style=dashed" : "") << "];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace presat

@@ -1,0 +1,420 @@
+#include "allsat/success_driven.hpp"
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "base/log.hpp"
+#include "base/timer.hpp"
+#include "bdd/bdd.hpp"
+#include "circuit/ternary.hpp"
+
+namespace presat {
+
+namespace {
+
+// One backward-justification search with success-driven learning.
+class Engine {
+ public:
+  Engine(const CircuitAllSatProblem& problem, const AllSatOptions& options)
+      : nl_(*problem.netlist),
+        options_(options),
+        fanouts_(nl_.fanouts()),
+        value_(nl_.numNodes(), l_Undef),
+        inFrontier_(nl_.numNodes(), 0),
+        projIndex_(nl_.numNodes(), -1) {
+    std::vector<NodeId> order = nl_.topologicalOrder();
+    topoPos_.resize(nl_.numNodes());
+    for (size_t i = 0; i < order.size(); ++i) topoPos_[order[i]] = static_cast<uint32_t>(i);
+    for (size_t i = 0; i < problem.projectionSources.size(); ++i) {
+      NodeId src = problem.projectionSources[i];
+      PRESAT_CHECK(!isCombinational(nl_.type(src)))
+          << "projection entries must be source nodes";
+      projIndex_[src] = static_cast<int>(i);
+    }
+    // Constants carry their value from the start and never need
+    // justification.
+    for (NodeId id = 0; id < nl_.numNodes(); ++id) {
+      if (nl_.type(id) == GateType::kConst0) value_[id] = l_False;
+      if (nl_.type(id) == GateType::kConst1) value_[id] = l_True;
+    }
+    objectives_ = problem.objectives;
+    for (const NodeAssign& obj : objectives_) {
+      PRESAT_CHECK(obj.first < nl_.numNodes()) << "objective node out of range";
+    }
+  }
+
+  SuccessDrivenResult run() {
+    Timer timer;
+    SuccessDrivenResult result;
+    LitVec rootLits;
+    curNewProj_ = &rootLits;
+    bool consistent = true;
+    for (const NodeAssign& obj : objectives_) {
+      if (!assign(obj.first, obj.second)) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent) consistent = propagateFixpoint();
+    int root = SolutionGraph::kFail;
+    if (consistent) root = solveState();
+    graph_.setRoot(root, std::move(rootLits));
+
+    result.graph = std::move(graph_);
+    result.summary.stats = stats_;
+    result.summary.stats.memoEntries = memo_.size();
+    result.summary.stats.graphNodes = result.graph.numNodes();
+    result.summary.stats.graphEdges = result.graph.numLiveEdges();
+    result.summary.cubes = result.graph.enumerateCubes(options_.maxCubes);
+    result.summary.complete =
+        options_.maxCubes == 0 || result.graph.countPaths() <= BigUint(options_.maxCubes);
+    {
+      BddManager mgr(static_cast<int>(numProjection()));
+      BddRef u = result.graph.toBdd(mgr);
+      result.summary.mintermCount = mgr.satCount(u);
+    }
+    result.summary.stats.seconds = timer.seconds();
+    return result;
+  }
+
+ private:
+  enum class EventKind : uint8_t { kAssign, kFrontierRemove };
+  struct Event {
+    EventKind kind;
+    NodeId node;
+  };
+
+  size_t numProjection() const {
+    size_t n = 0;
+    for (int idx : projIndex_) {
+      if (idx >= 0) ++n;
+    }
+    return n;
+  }
+
+  // --- assignment & propagation ------------------------------------------------
+
+  bool assign(NodeId n, bool v) {
+    lbool cur = value_[n];
+    if (!cur.isUndef()) return cur.isTrue() == v;
+    value_[n] = lbool(v);
+    trail_.push_back({EventKind::kAssign, n});
+    if (projIndex_[n] >= 0) {
+      curNewProj_->push_back(mkLit(static_cast<Var>(projIndex_[n]), !v));
+    }
+    if (isCombinational(nl_.type(n))) {
+      inFrontier_[n] = 1;
+      frontier_.insert({topoPos_[n], n});
+      pending_.push_back(n);
+    }
+    for (NodeId fo : fanouts_[n]) {
+      if (!value_[fo].isUndef() && inFrontier_[fo]) pending_.push_back(fo);
+    }
+    return true;
+  }
+
+  void removeFromFrontier(NodeId g) {
+    inFrontier_[g] = 0;
+    frontier_.erase({topoPos_[g], g});
+    trail_.push_back({EventKind::kFrontierRemove, g});
+  }
+
+  // Examines one frontier gate: justifies it, forces fanins, detects a
+  // conflict, or leaves it for branching. Returns false on conflict.
+  bool examine(NodeId g) {
+    if (!inFrontier_[g]) return true;
+    const GateNode& gate = nl_.node(g);
+    bool v = value_[g].isTrue();
+
+    ins_.clear();
+    for (NodeId f : gate.fanins) ins_.push_back(value_[f]);
+    lbool forward = evalGateTernary(gate.type, ins_);
+    if (!forward.isUndef()) {
+      if (forward.isTrue() != v) return false;  // conflict
+      removeFromFrontier(g);
+      return true;
+    }
+
+    // Forward value unknown: collect forced fanin assignments.
+    switch (gate.type) {
+      case GateType::kBuf:
+        return forceAndRecheck(g, gate.fanins[0], v);
+      case GateType::kNot:
+        return forceAndRecheck(g, gate.fanins[0], !v);
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        bool ctrlIn = (gate.type == GateType::kOr || gate.type == GateType::kNor);
+        bool inverted = (gate.type == GateType::kNand || gate.type == GateType::kNor);
+        bool controlledOut = ctrlIn != inverted;
+        if (v != controlledOut) {
+          // Non-controlled output: every fanin must take the non-controlling
+          // value.
+          for (NodeId f : gate.fanins) {
+            if (value_[f].isUndef() && !assign(f, !ctrlIn)) return false;
+          }
+          pending_.push_back(g);
+          return true;
+        }
+        // Controlled output: one controlling fanin must exist. Forward eval
+        // was undef, so no fanin is controlling yet; if exactly one fanin is
+        // unassigned it is forced, otherwise this gate branches.
+        int unassigned = 0;
+        NodeId last = kNoNode;
+        for (NodeId f : gate.fanins) {
+          if (value_[f].isUndef()) {
+            ++unassigned;
+            last = f;
+          }
+        }
+        PRESAT_DCHECK(unassigned > 0);
+        if (unassigned == 1) return forceAndRecheck(g, last, ctrlIn);
+        return true;  // needs a branch decision
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        int unassigned = 0;
+        NodeId last = kNoNode;
+        bool parity = (gate.type == GateType::kXnor) ? !v : v;
+        for (NodeId f : gate.fanins) {
+          if (value_[f].isUndef()) {
+            ++unassigned;
+            last = f;
+          } else if (value_[f].isTrue()) {
+            parity = !parity;
+          }
+        }
+        PRESAT_DCHECK(unassigned > 0);
+        if (unassigned == 1) return forceAndRecheck(g, last, parity);
+        return true;  // needs a branch decision
+      }
+      case GateType::kMux: {
+        NodeId sel = gate.fanins[0];
+        NodeId d0 = gate.fanins[1];
+        NodeId d1 = gate.fanins[2];
+        if (!value_[sel].isUndef()) {
+          NodeId chosen = value_[sel].isTrue() ? d1 : d0;
+          PRESAT_DCHECK(value_[chosen].isUndef());  // else forward eval decided
+          return forceAndRecheck(g, chosen, v);
+        }
+        bool d0Known = !value_[d0].isUndef();
+        bool d1Known = !value_[d1].isUndef();
+        if (d0Known && d1Known) {
+          // Exactly one data input matches (both/neither is decided by the
+          // forward evaluation above), so the select is forced.
+          bool d1Match = value_[d1].isTrue() == v;
+          PRESAT_DCHECK((value_[d0].isTrue() == v) != d1Match);
+          return forceAndRecheck(g, sel, d1Match);
+        }
+        return true;  // select undecided with open data: branch on select
+      }
+      default:
+        PRESAT_CHECK(false) << "examine() on non-combinational node";
+        return false;
+    }
+  }
+
+  bool forceAndRecheck(NodeId g, NodeId fanin, bool v) {
+    if (!assign(fanin, v)) return false;
+    pending_.push_back(g);
+    return true;
+  }
+
+  bool propagateFixpoint() {
+    while (!pending_.empty()) {
+      NodeId g = pending_.back();
+      pending_.pop_back();
+      if (value_[g].isUndef()) continue;
+      if (!examine(g)) {
+        pending_.clear();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void undoTo(size_t mark) {
+    while (trail_.size() > mark) {
+      Event e = trail_.back();
+      trail_.pop_back();
+      if (e.kind == EventKind::kAssign) {
+        if (inFrontier_[e.node]) {
+          inFrontier_[e.node] = 0;
+          frontier_.erase({topoPos_[e.node], e.node});
+        }
+        value_[e.node] = l_Undef;
+      } else {
+        inFrontier_[e.node] = 1;
+        frontier_.insert({topoPos_[e.node], e.node});
+      }
+    }
+  }
+
+  // --- decisions ------------------------------------------------------------------
+
+  // Picks the branch node and first value for the lowest frontier gate.
+  void pickBranch(NodeId& branchNode, bool& firstValue) const {
+    PRESAT_DCHECK(!frontier_.empty());
+    NodeId g = options_.branchOrder == BranchOrder::kLowestGateFirst
+                   ? frontier_.begin()->second
+                   : frontier_.rbegin()->second;
+    const GateNode& gate = nl_.node(g);
+    bool v = value_[g].isTrue();
+    switch (gate.type) {
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        bool ctrlIn = (gate.type == GateType::kOr || gate.type == GateType::kNor);
+        for (NodeId f : gate.fanins) {
+          if (value_[f].isUndef()) {
+            branchNode = f;
+            firstValue = ctrlIn;
+            return;
+          }
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        for (NodeId f : gate.fanins) {
+          if (value_[f].isUndef()) {
+            branchNode = f;
+            firstValue = false;
+            return;
+          }
+        }
+        break;
+      }
+      case GateType::kMux:
+        branchNode = gate.fanins[0];
+        firstValue = false;
+        PRESAT_DCHECK(value_[branchNode].isUndef());
+        return;
+      default:
+        break;
+    }
+    PRESAT_CHECK(false) << "frontier gate " << gateTypeName(gate.type) << " value " << v
+                        << " has no branch candidate (propagation bug)";
+  }
+
+  // --- success-driven learning -----------------------------------------------------
+
+  // Canonical key of the remaining subproblem: the justification frontier and
+  // the assignment restricted to its transitive fanin cone. Backward-only
+  // assignment makes this exact (see header comment).
+  std::string signature() {
+    scratchCone_.clear();
+    scratchMark_.assign(nl_.numNodes(), false);
+    for (const auto& [pos, g] : frontier_) {
+      (void)pos;
+      scratchStack_.push_back(g);
+    }
+    while (!scratchStack_.empty()) {
+      NodeId n = scratchStack_.back();
+      scratchStack_.pop_back();
+      if (scratchMark_[n]) continue;
+      scratchMark_[n] = true;
+      scratchCone_.push_back(n);
+      if (isCombinational(nl_.type(n))) {
+        for (NodeId f : nl_.fanins(n)) scratchStack_.push_back(f);
+      }
+    }
+    std::sort(scratchCone_.begin(), scratchCone_.end());
+    std::string key;
+    key.reserve(scratchCone_.size() * 5);
+    for (NodeId n : scratchCone_) {
+      lbool v = value_[n];
+      if (v.isUndef()) continue;
+      uint32_t word = (n << 2) | (v.isTrue() ? 1u : 0u) | (inFrontier_[n] ? 2u : 0u);
+      key.append(reinterpret_cast<const char*>(&word), sizeof(word));
+    }
+    return key;
+  }
+
+  // --- search -------------------------------------------------------------------------
+
+  int solveState() {
+    if (frontier_.empty()) return SolutionGraph::kSuccess;
+    std::string key;
+    if (options_.successLearning) {
+      key = signature();
+      auto it = memo_.find(key);
+      if (it != memo_.end()) {
+        ++stats_.memoHits;
+        return it->second;
+      }
+    }
+
+    NodeId branchNode = kNoNode;
+    bool firstValue = false;
+    pickBranch(branchNode, firstValue);
+    ++stats_.decisions;
+
+    SolutionGraph::Node node;
+    node.decisionId = branchNode;
+    for (int b = 0; b < 2; ++b) {
+      bool val = (b == 0) ? firstValue : !firstValue;
+      size_t mark = trail_.size();
+      LitVec newProj;
+      curNewProj_ = &newProj;
+      bool consistent = assign(branchNode, val) && propagateFixpoint();
+      int child = SolutionGraph::kFail;
+      if (consistent) {
+        child = solveState();
+      } else {
+        ++stats_.conflicts;
+      }
+      undoTo(mark);
+      node.branch[b].child = child;
+      node.branch[b].newLits = std::move(newProj);
+    }
+
+    int index;
+    if (node.branch[0].child == SolutionGraph::kFail &&
+        node.branch[1].child == SolutionGraph::kFail) {
+      index = SolutionGraph::kFail;
+    } else {
+      index = graph_.addNode(node);
+    }
+    if (options_.successLearning) memo_.emplace(std::move(key), index);
+    return index;
+  }
+
+  const Netlist& nl_;
+  AllSatOptions options_;
+  std::vector<std::vector<NodeId>> fanouts_;
+  std::vector<uint32_t> topoPos_;
+  std::vector<lbool> value_;
+  std::vector<char> inFrontier_;
+  std::vector<int> projIndex_;
+  NodeCube objectives_;
+
+  std::set<std::pair<uint32_t, NodeId>> frontier_;  // ordered by topo position
+  std::vector<NodeId> pending_;
+  std::vector<Event> trail_;
+  LitVec* curNewProj_ = nullptr;
+  std::vector<lbool> ins_;
+
+  std::unordered_map<std::string, int> memo_;
+  SolutionGraph graph_;
+  AllSatStats stats_;
+
+  // signature() scratch
+  std::vector<NodeId> scratchCone_;
+  std::vector<NodeId> scratchStack_;
+  std::vector<bool> scratchMark_;
+};
+
+}  // namespace
+
+SuccessDrivenResult successDrivenAllSat(const CircuitAllSatProblem& problem,
+                                        const AllSatOptions& options) {
+  PRESAT_CHECK(problem.netlist != nullptr);
+  Engine engine(problem, options);
+  return engine.run();
+}
+
+}  // namespace presat

@@ -1,0 +1,52 @@
+// Success-driven all-solutions SAT over circuit structure — the paper's
+// primary contribution.
+//
+// The engine enumerates every assignment of the projection sources (e.g.
+// present-state variables) under which the objectives (required node values,
+// e.g. a target next-state cube) are satisfiable, WITHOUT blocking clauses:
+//
+//  * Search is backward justification over the netlist: a gate with a
+//    required value either forces its fanins (AND=1 forces all fanins to 1),
+//    or opens a binary decision on one fanin. Only nodes inside the
+//    transitive fanin cones of unjustified gates are ever assigned.
+//  * A leaf where the justification frontier is empty is a SUCCESS: the
+//    sources assigned so far form a solution cube; every completion of the
+//    unassigned sources works. This yields cube-level solutions for free.
+//  * Success-driven learning: each subproblem is identified by its
+//    justification frontier plus the current assignment restricted to the
+//    frontier's fanin cone — which, because assignment is backward-only,
+//    determines the entire subsearch. Solved subproblems are memoized and
+//    their solution sub-DAGs shared, so equivalent subproblems are never
+//    re-solved and the result is a compact SolutionGraph instead of an
+//    exponential cube list.
+#pragma once
+
+#include <vector>
+
+#include "allsat/lifting.hpp"
+#include "allsat/projection.hpp"
+#include "allsat/solution_graph.hpp"
+#include "circuit/netlist.hpp"
+
+namespace presat {
+
+struct CircuitAllSatProblem {
+  const Netlist* netlist = nullptr;
+  // Required (node, value) pairs that every solution must satisfy.
+  NodeCube objectives;
+  // Source nodes (inputs / DFF outputs) defining the projection scope;
+  // projected index i corresponds to projectionSources[i].
+  std::vector<NodeId> projectionSources;
+};
+
+struct SuccessDrivenResult {
+  // cubes are the root-to-SUCCESS path cubes of `graph` (enumeration is
+  // capped by AllSatOptions::maxCubes; the graph itself is always complete).
+  AllSatResult summary;
+  SolutionGraph graph;
+};
+
+SuccessDrivenResult successDrivenAllSat(const CircuitAllSatProblem& problem,
+                                        const AllSatOptions& options = {});
+
+}  // namespace presat

@@ -1,0 +1,184 @@
+#include "base/biguint.hpp"
+
+#include <algorithm>
+
+#include "base/log.hpp"
+
+namespace presat {
+
+namespace {
+
+// 64x64 -> 128 multiply helper using the compiler's native 128-bit type.
+inline void mul64(uint64_t a, uint64_t b, uint64_t& lo, uint64_t& hi) {
+  unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+  lo = static_cast<uint64_t>(p);
+  hi = static_cast<uint64_t>(p >> 64);
+}
+
+}  // namespace
+
+BigUint::BigUint(uint64_t value) {
+  if (value != 0) limbs_.push_back(value);
+}
+
+BigUint BigUint::powerOfTwo(uint32_t exponent) {
+  BigUint r;
+  r.limbs_.assign(exponent / 64 + 1, 0);
+  r.limbs_.back() = 1ull << (exponent % 64);
+  return r;
+}
+
+BigUint BigUint::fromDecimal(const std::string& digits) {
+  BigUint r;
+  PRESAT_CHECK(!digits.empty()) << "empty decimal string";
+  for (char c : digits) {
+    PRESAT_CHECK(c >= '0' && c <= '9') << "bad decimal digit '" << c << "'";
+    r.mulSmall(10);
+    r += BigUint(static_cast<uint64_t>(c - '0'));
+  }
+  return r;
+}
+
+uint32_t BigUint::bitLength() const {
+  if (limbs_.empty()) return 0;
+  uint64_t top = limbs_.back();
+  uint32_t bits = static_cast<uint32_t>(64 - __builtin_clzll(top));
+  return static_cast<uint32_t>((limbs_.size() - 1) * 64) + bits;
+}
+
+void BigUint::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint& BigUint::operator+=(const BigUint& other) {
+  if (limbs_.size() < other.limbs_.size()) limbs_.resize(other.limbs_.size(), 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t add = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    uint64_t sum = limbs_[i] + add;
+    uint64_t carried = sum + carry;
+    carry = (sum < add) || (carried < sum) ? 1 : 0;
+    limbs_[i] = carried;
+    if (add == 0 && carry == 0 && i >= other.limbs_.size()) break;
+  }
+  if (carry) limbs_.push_back(carry);
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& other) {
+  PRESAT_CHECK(other <= *this) << "BigUint subtraction underflow";
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t sub = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    uint64_t cur = limbs_[i];
+    uint64_t res = cur - sub - borrow;
+    borrow = (cur < sub || (cur == sub && borrow)) ? 1 : 0;
+    limbs_[i] = res;
+    if (sub == 0 && borrow == 0 && i >= other.limbs_.size()) break;
+  }
+  PRESAT_CHECK(borrow == 0);
+  normalize();
+  return *this;
+}
+
+BigUint& BigUint::operator<<=(uint32_t bits) {
+  if (isZero() || bits == 0) return *this;
+  uint32_t limbShift = bits / 64;
+  uint32_t bitShift = bits % 64;
+  size_t oldSize = limbs_.size();
+  limbs_.resize(oldSize + limbShift + 1, 0);
+  for (size_t i = oldSize; i-- > 0;) {
+    uint64_t v = limbs_[i];
+    limbs_[i] = 0;
+    if (bitShift == 0) {
+      limbs_[i + limbShift] |= v;
+    } else {
+      limbs_[i + limbShift] |= v << bitShift;
+      limbs_[i + limbShift + 1] |= v >> (64 - bitShift);
+    }
+  }
+  normalize();
+  return *this;
+}
+
+BigUint& BigUint::operator>>=(uint32_t bits) {
+  if (isZero() || bits == 0) return *this;
+  uint32_t limbShift = bits / 64;
+  uint32_t bitShift = bits % 64;
+  if (limbShift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  limbs_.erase(limbs_.begin(), limbs_.begin() + limbShift);
+  if (bitShift != 0) {
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+      uint64_t hi = (i + 1 < limbs_.size()) ? limbs_[i + 1] : 0;
+      limbs_[i] = (limbs_[i] >> bitShift) | (hi << (64 - bitShift));
+    }
+  }
+  normalize();
+  return *this;
+}
+
+BigUint& BigUint::mulSmall(uint64_t factor) {
+  if (factor == 0 || isZero()) {
+    limbs_.clear();
+    return *this;
+  }
+  uint64_t carry = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t lo, hi;
+    mul64(limbs_[i], factor, lo, hi);
+    uint64_t sum = lo + carry;
+    if (sum < lo) ++hi;
+    limbs_[i] = sum;
+    carry = hi;
+  }
+  if (carry) limbs_.push_back(carry);
+  return *this;
+}
+
+int BigUint::compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size())
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+uint64_t BigUint::toU64() const {
+  PRESAT_CHECK(fitsU64()) << "BigUint does not fit in uint64";
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+double BigUint::toDouble() const {
+  double r = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) r = r * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
+  return r;
+}
+
+std::string BigUint::toDecimal() const {
+  if (isZero()) return "0";
+  std::vector<uint64_t> work = limbs_;
+  std::string digits;
+  while (!work.empty()) {
+    // Divide `work` by 10^9 in place; remainder becomes the next digit group.
+    uint64_t rem = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      unsigned __int128 cur = (static_cast<unsigned __int128>(rem) << 64) | work[i];
+      work[i] = static_cast<uint64_t>(cur / 1000000000u);
+      rem = static_cast<uint64_t>(cur % 1000000000u);
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+}  // namespace presat

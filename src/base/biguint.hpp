@@ -1,0 +1,65 @@
+// Arbitrary-precision unsigned integer.
+//
+// Solution counts in all-solutions SAT and BDD satisfy-counts are 2^n-scale
+// quantities that overflow uint64 on circuits with more than 64 projection
+// variables, so exact counting needs a bignum. Only the operations those
+// algorithms use are provided: addition, subtraction (with underflow check),
+// shifts (multiplication/division by powers of two), small multiplication,
+// comparison, and decimal conversion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace presat {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  BigUint(uint64_t value);  // NOLINT(google-explicit-constructor) — numeric literal ergonomics
+
+  // 2^exponent.
+  static BigUint powerOfTwo(uint32_t exponent);
+  static BigUint fromDecimal(const std::string& digits);
+
+  bool isZero() const { return limbs_.empty(); }
+  // Number of significant bits; 0 for zero.
+  uint32_t bitLength() const;
+
+  BigUint& operator+=(const BigUint& other);
+  BigUint& operator-=(const BigUint& other);  // checks other <= *this
+  BigUint& operator<<=(uint32_t bits);
+  BigUint& operator>>=(uint32_t bits);
+  BigUint& mulSmall(uint64_t factor);
+
+  friend BigUint operator+(BigUint a, const BigUint& b) { return a += b; }
+  friend BigUint operator-(BigUint a, const BigUint& b) { return a -= b; }
+  friend BigUint operator<<(BigUint a, uint32_t bits) { return a <<= bits; }
+  friend BigUint operator>>(BigUint a, uint32_t bits) { return a >>= bits; }
+
+  // -1 / 0 / +1 ordering of *this vs other.
+  int compare(const BigUint& other) const;
+  bool operator==(const BigUint& o) const { return compare(o) == 0; }
+  bool operator!=(const BigUint& o) const { return compare(o) != 0; }
+  bool operator<(const BigUint& o) const { return compare(o) < 0; }
+  bool operator<=(const BigUint& o) const { return compare(o) <= 0; }
+  bool operator>(const BigUint& o) const { return compare(o) > 0; }
+  bool operator>=(const BigUint& o) const { return compare(o) >= 0; }
+
+  // Value as uint64; checks that it fits.
+  uint64_t toU64() const;
+  bool fitsU64() const { return limbs_.size() <= 1; }
+  double toDouble() const;
+
+  std::string toDecimal() const;
+
+ private:
+  void normalize();
+
+  // Little-endian 64-bit limbs; empty vector represents zero, and the most
+  // significant limb is always non-zero (canonical form).
+  std::vector<uint64_t> limbs_;
+};
+
+}  // namespace presat

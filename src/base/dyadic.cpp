@@ -1,0 +1,60 @@
+#include "base/dyadic.hpp"
+
+#include <cmath>
+
+#include "base/log.hpp"
+
+namespace presat {
+
+void Dyadic::normalize() {
+  if (num_.isZero()) {
+    exp_ = 0;
+    return;
+  }
+  // Keep the numerator odd (or the exponent zero) so equality is structural.
+  while (exp_ > 0) {
+    BigUint halved = num_;
+    halved >>= 1;
+    BigUint doubled = halved;
+    doubled <<= 1;
+    if (doubled != num_) break;  // numerator is odd
+    num_ = halved;
+    --exp_;
+  }
+}
+
+Dyadic& Dyadic::operator+=(const Dyadic& other) {
+  if (other.isZero()) return *this;
+  if (isZero()) {
+    *this = other;
+    return *this;
+  }
+  uint32_t commonExp = std::max(exp_, other.exp_);
+  BigUint a = num_;
+  a <<= (commonExp - exp_);
+  BigUint b = other.num_;
+  b <<= (commonExp - other.exp_);
+  num_ = a + b;
+  exp_ = commonExp;
+  normalize();
+  return *this;
+}
+
+BigUint Dyadic::scaleByPow2(uint32_t power) const {
+  if (num_.isZero()) return BigUint(0);
+  PRESAT_CHECK(power >= exp_) << "inexact dyadic scaling: exponent " << exp_
+                              << " exceeds power " << power;
+  BigUint r = num_;
+  r <<= (power - exp_);
+  return r;
+}
+
+double Dyadic::toDouble() const {
+  return num_.toDouble() * std::ldexp(1.0, -static_cast<int>(exp_));
+}
+
+std::string Dyadic::toString() const {
+  return num_.toDecimal() + "/2^" + std::to_string(exp_);
+}
+
+}  // namespace presat

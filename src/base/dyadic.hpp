@@ -1,0 +1,59 @@
+// Exact dyadic rational q = numerator / 2^exponent.
+//
+// Solution-graph counting works with *densities*: the fraction of the
+// projection space covered by a sub-DAG. Densities of disjoint branches add,
+// and assigning one more projection variable halves the density. All values
+// are therefore dyadic rationals, which this class represents exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/biguint.hpp"
+
+namespace presat {
+
+class Dyadic {
+ public:
+  Dyadic() = default;  // zero
+  explicit Dyadic(BigUint numerator, uint32_t exponent = 0)
+      : num_(std::move(numerator)), exp_(exponent) {
+    normalize();
+  }
+
+  static Dyadic zero() { return Dyadic(); }
+  static Dyadic one() { return Dyadic(BigUint(1)); }
+  // 1 / 2^k.
+  static Dyadic half(uint32_t k) { return Dyadic(BigUint(1), k); }
+
+  bool isZero() const { return num_.isZero(); }
+
+  Dyadic& operator+=(const Dyadic& other);
+  friend Dyadic operator+(Dyadic a, const Dyadic& b) { return a += b; }
+
+  // Divide by 2^k (density after assigning k more projection variables).
+  Dyadic& divPow2(uint32_t k) {
+    if (!num_.isZero()) exp_ += k;
+    return *this;
+  }
+
+  bool operator==(const Dyadic& o) const { return exp_ == o.exp_ && num_ == o.num_; }
+  bool operator!=(const Dyadic& o) const { return !(*this == o); }
+
+  // this * 2^power, checked exact (used as density * |projection space|).
+  BigUint scaleByPow2(uint32_t power) const;
+
+  double toDouble() const;
+  std::string toString() const;
+
+  const BigUint& numerator() const { return num_; }
+  uint32_t exponent() const { return exp_; }
+
+ private:
+  void normalize();
+
+  BigUint num_;
+  uint32_t exp_ = 0;
+};
+
+}  // namespace presat

@@ -1,0 +1,34 @@
+#include "base/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/types.hpp"
+
+namespace presat {
+
+void checkFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[presat] CHECK failed at %s:%d: %s", file, line, expr);
+  if (!message.empty()) std::fprintf(stderr, " — %s", message.c_str());
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::string toString(Lit l) {
+  if (l == kUndefLit) return "<undef>";
+  return (l.sign() ? "~x" : "x") + std::to_string(l.var());
+}
+
+std::string toString(const LitVec& lits) {
+  std::string out = "(";
+  for (size_t i = 0; i < lits.size(); ++i) {
+    if (i > 0) out += " ";
+    out += toString(lits[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace presat

@@ -1,0 +1,102 @@
+// Core literal/variable/truth-value types shared by the CNF and SAT layers.
+//
+// Encoding follows the MiniSat convention: a variable is a dense non-negative
+// integer index; a literal packs (var << 1) | sign, where sign==1 means the
+// negated literal. This keeps literal-indexed arrays dense and branch-free.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace presat {
+
+using Var = int32_t;
+
+constexpr Var kNullVar = -1;
+
+// A propositional literal. Value-type, 4 bytes, totally ordered.
+class Lit {
+ public:
+  constexpr Lit() : code_(-2) {}
+  constexpr Lit(Var v, bool negated) : code_((v << 1) | (negated ? 1 : 0)) {}
+
+  static constexpr Lit fromCode(int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+  // DIMACS-style integer: +v / -v with v >= 1.
+  static constexpr Lit fromDimacs(int32_t d) {
+    return Lit(static_cast<Var>(std::abs(d)) - 1, d < 0);
+  }
+
+  constexpr Var var() const { return code_ >> 1; }
+  constexpr bool sign() const { return (code_ & 1) != 0; }  // true = negated
+  constexpr int32_t code() const { return code_; }
+  constexpr int32_t toDimacs() const { return sign() ? -(var() + 1) : (var() + 1); }
+
+  constexpr Lit operator~() const { return fromCode(code_ ^ 1); }
+  // Literal with this var and the given polarity applied on top: if b is
+  // false, flips the literal.
+  constexpr Lit operator^(bool b) const { return fromCode(code_ ^ (b ? 0 : 1)); }
+
+  constexpr bool operator==(const Lit& o) const { return code_ == o.code_; }
+  constexpr bool operator!=(const Lit& o) const { return code_ != o.code_; }
+  constexpr bool operator<(const Lit& o) const { return code_ < o.code_; }
+
+ private:
+  int32_t code_;
+};
+
+constexpr Lit kUndefLit = Lit::fromCode(-2);
+
+inline Lit mkLit(Var v, bool negated = false) { return Lit(v, negated); }
+
+// Three-valued logic constant: true / false / undefined.
+class lbool {
+ public:
+  constexpr lbool() : v_(2) {}
+  explicit constexpr lbool(uint8_t raw) : v_(raw) {}
+  constexpr lbool(bool b) : v_(b ? 0 : 1) {}
+
+  constexpr bool isTrue() const { return v_ == 0; }
+  constexpr bool isFalse() const { return v_ == 1; }
+  constexpr bool isUndef() const { return v_ >= 2; }
+
+  constexpr bool operator==(const lbool& o) const {
+    return (isUndef() && o.isUndef()) || v_ == o.v_;
+  }
+  constexpr bool operator!=(const lbool& o) const { return !(*this == o); }
+
+  // XOR with a boolean: flips true<->false, leaves undef alone.
+  constexpr lbool operator^(bool b) const {
+    return isUndef() ? *this : lbool(static_cast<uint8_t>(v_ ^ (b ? 1 : 0)));
+  }
+
+  constexpr uint8_t raw() const { return v_; }
+
+ private:
+  uint8_t v_;
+};
+
+constexpr lbool l_True{static_cast<uint8_t>(0)};
+constexpr lbool l_False{static_cast<uint8_t>(1)};
+constexpr lbool l_Undef{static_cast<uint8_t>(2)};
+
+// A cube or clause as a plain literal vector (no invariant beyond "literals").
+using LitVec = std::vector<Lit>;
+
+std::string toString(Lit l);
+std::string toString(const LitVec& lits);
+
+}  // namespace presat
+
+template <>
+struct std::hash<presat::Lit> {
+  size_t operator()(const presat::Lit& l) const noexcept {
+    return std::hash<int32_t>()(l.code());
+  }
+};

@@ -1,0 +1,106 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+
+#include "base/log.hpp"
+
+namespace presat {
+
+BddManager::BddManager(int numVars) : numVars_(numVars) {
+  PRESAT_CHECK(numVars >= 0);
+  nodes_.push_back({static_cast<Var>(numVars_), kFalse, kFalse});  // 0 = false
+  nodes_.push_back({static_cast<Var>(numVars_), kTrue, kTrue});    // 1 = true
+}
+
+BddRef BddManager::mkNode(Var var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;  // reduction rule
+  UniqueKey key{var, lo, hi};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::variable(Var v) {
+  PRESAT_CHECK(v >= 0 && v < numVars_) << "BDD variable out of range: " << v;
+  return mkNode(v, kFalse, kTrue);
+}
+
+BddRef BddManager::literal(Var v, bool phase) {
+  PRESAT_CHECK(v >= 0 && v < numVars_) << "BDD variable out of range: " << v;
+  return phase ? mkNode(v, kFalse, kTrue) : mkNode(v, kTrue, kFalse);
+}
+
+BddRef BddManager::cube(const LitVec& lits) {
+  // Build bottom-up in descending variable order so each mkNode call is O(1).
+  LitVec sorted = lits;
+  std::sort(sorted.begin(), sorted.end(),
+            [](Lit a, Lit b) { return a.var() < b.var(); });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    PRESAT_CHECK(sorted[i].var() != sorted[i - 1].var() || sorted[i] == sorted[i - 1])
+        << "contradictory cube";
+  }
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  BddRef acc = kTrue;
+  for (size_t i = sorted.size(); i-- > 0;) {
+    Lit l = sorted[i];
+    acc = l.sign() ? mkNode(l.var(), acc, kFalse) : mkNode(l.var(), kFalse, acc);
+  }
+  return acc;
+}
+
+Var BddManager::topVar(BddRef f) const {
+  PRESAT_DCHECK(!isConstant(f));
+  return node(f).var;
+}
+
+BddRef BddManager::low(BddRef f) const {
+  PRESAT_DCHECK(!isConstant(f));
+  return node(f).lo;
+}
+
+BddRef BddManager::high(BddRef f) const {
+  PRESAT_DCHECK(!isConstant(f));
+  return node(f).hi;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  IteKey key{f, g, h};
+  auto it = iteCache_.find(key);
+  if (it != iteCache_.end()) return it->second;
+
+  // Split on the smallest top variable among the operands.
+  Var v = node(f).var;
+  if (!isConstant(g)) v = std::min(v, node(g).var);
+  if (!isConstant(h)) v = std::min(v, node(h).var);
+
+  auto cof = [&](BddRef x, bool hi) -> BddRef {
+    if (isConstant(x) || node(x).var != v) return x;
+    return hi ? node(x).hi : node(x).lo;
+  };
+  BddRef lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  BddRef hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  BddRef result = mkNode(v, lo, hi);
+  iteCache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::restrict1(BddRef f, Var v, bool value) {
+  if (isConstant(f)) return f;
+  Var top = node(f).var;
+  if (top > v) return f;
+  if (top == v) return value ? node(f).hi : node(f).lo;
+  // Simple recursion without cache: restrict1 is only used on small BDDs
+  // (target cubes, tests).
+  return mkNode(top, restrict1(node(f).lo, v, value), restrict1(node(f).hi, v, value));
+}
+
+}  // namespace presat

@@ -1,0 +1,137 @@
+// Reduced Ordered Binary Decision Diagram package.
+//
+// Serves two roles in the reproduction: the BDD-based preimage baseline the
+// paper compares against, and the exactness oracle for every all-SAT engine
+// (solution sets are converted to BDDs and compared for equality).
+//
+// Design: plain nodes without complement edges (simpler invariants, easily
+// auditable), a hash-consed unique table, an ITE computed cache, and no
+// garbage collection — managers are scoped to an analysis and dropped
+// wholesale, which is how every caller in this repository uses them.
+// Variable order is the integer order of the variable indices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/biguint.hpp"
+#include "base/types.hpp"
+
+namespace presat {
+
+using BddRef = uint32_t;
+
+class BddManager {
+ public:
+  // All BDDs in this manager range over variables 0..numVars-1.
+  explicit BddManager(int numVars);
+
+  static constexpr BddRef kFalse = 0;
+  static constexpr BddRef kTrue = 1;
+
+  int numVars() const { return numVars_; }
+  size_t numNodes() const { return nodes_.size(); }
+
+  // --- constructors -----------------------------------------------------------
+  BddRef constant(bool value) const { return value ? kTrue : kFalse; }
+  BddRef variable(Var v);           // the function "v"
+  BddRef literal(Var v, bool phase);  // v or ~v
+  BddRef literal(Lit l) { return literal(l.var(), !l.sign()); }
+  // Conjunction of literals.
+  BddRef cube(const LitVec& lits);
+
+  // --- boolean operations --------------------------------------------------------
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+  BddRef bddAnd(BddRef f, BddRef g) { return ite(f, g, kFalse); }
+  BddRef bddOr(BddRef f, BddRef g) { return ite(f, kTrue, g); }
+  BddRef bddXor(BddRef f, BddRef g) { return ite(f, bddNot(g), g); }
+  BddRef bddXnor(BddRef f, BddRef g) { return ite(f, g, bddNot(g)); }
+  BddRef bddNot(BddRef f) { return ite(f, kFalse, kTrue); }
+  BddRef bddImplies(BddRef f, BddRef g) { return ite(f, g, kTrue); }
+
+  // --- structure ------------------------------------------------------------------
+  bool isConstant(BddRef f) const { return f <= kTrue; }
+  Var topVar(BddRef f) const;
+  BddRef low(BddRef f) const;
+  BddRef high(BddRef f) const;
+
+  // Cofactor with respect to a single literal.
+  BddRef restrict1(BddRef f, Var v, bool value);
+
+  // Existential / universal quantification over a variable set.
+  BddRef exists(BddRef f, const std::vector<Var>& vars);
+  BddRef forall(BddRef f, const std::vector<Var>& vars);
+  // Relational product ∃vars. f ∧ g in one pass (avoids building the full
+  // conjunction before quantifying) — the classic image/preimage primitive.
+  BddRef andExists(BddRef f, BddRef g, const std::vector<Var>& vars);
+
+  // Simultaneous substitution: variable v is replaced by substitution[v]
+  // (entries equal to kNoSubstitution keep the variable). Used for the
+  // substitution-based preimage  Target(s' <- delta(s, x)).
+  static constexpr BddRef kNoSubstitution = static_cast<BddRef>(-1);
+  BddRef composeVector(BddRef f, const std::vector<BddRef>& substitution);
+
+  // --- queries --------------------------------------------------------------------
+  // Number of satisfying assignments over all numVars() variables.
+  BigUint satCount(BddRef f);
+  // Support variables, ascending.
+  std::vector<Var> support(BddRef f);
+  // All cubes (paths to kTrue): literals over decision variables on the path.
+  std::vector<LitVec> enumerateCubes(BddRef f);
+  // Count of BDD nodes reachable from f (including terminals).
+  size_t dagSize(BddRef f);
+
+  // Structural equality is just reference equality thanks to hash-consing;
+  // exposed for readability at call sites.
+  static bool equal(BddRef a, BddRef b) { return a == b; }
+
+  std::string toDot(BddRef f, const std::string& name = "bdd");
+
+ private:
+  struct Node {
+    Var var;  // numVars_ for terminals
+    BddRef lo;
+    BddRef hi;
+  };
+  struct UniqueKey {
+    Var var;
+    BddRef lo, hi;
+    bool operator==(const UniqueKey& o) const {
+      return var == o.var && lo == o.lo && hi == o.hi;
+    }
+  };
+  struct UniqueKeyHash {
+    size_t operator()(const UniqueKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.var) * 0x9e3779b97f4a7c15ull;
+      h ^= (static_cast<uint64_t>(k.lo) << 32) | k.hi;
+      h *= 0xbf58476d1ce4e5b9ull;
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+  struct IteKey {
+    BddRef f, g, h;
+    bool operator==(const IteKey& o) const { return f == o.f && g == o.g && h == o.h; }
+  };
+  struct IteKeyHash {
+    size_t operator()(const IteKey& k) const {
+      uint64_t h = k.f;
+      h = h * 0x100000001b3ull ^ k.g;
+      h = h * 0x100000001b3ull ^ k.h;
+      return static_cast<size_t>(h ^ (h >> 31));
+    }
+  };
+
+  BddRef mkNode(Var var, BddRef lo, BddRef hi);
+  const Node& node(BddRef f) const { return nodes_[f]; }
+
+  int numVars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<UniqueKey, BddRef, UniqueKeyHash> unique_;
+  std::unordered_map<IteKey, BddRef, IteKeyHash> iteCache_;
+
+  friend class BddAlgoScratch;
+};
+
+}  // namespace presat

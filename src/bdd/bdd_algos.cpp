@@ -1,0 +1,207 @@
+// Quantification, composition, counting, and enumeration algorithms.
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/log.hpp"
+#include "bdd/bdd.hpp"
+
+namespace presat {
+
+BddRef BddManager::exists(BddRef f, const std::vector<Var>& vars) {
+  if (vars.empty() || isConstant(f)) return f;
+  std::vector<bool> quantified(static_cast<size_t>(numVars_), false);
+  for (Var v : vars) {
+    PRESAT_CHECK(v >= 0 && v < numVars_);
+    quantified[static_cast<size_t>(v)] = true;
+  }
+  std::unordered_map<BddRef, BddRef> memo;
+  // Iterative-friendly recursion via explicit lambda (depth <= numVars_).
+  auto rec = [&](auto&& self, BddRef g) -> BddRef {
+    if (isConstant(g)) return g;
+    auto it = memo.find(g);
+    if (it != memo.end()) return it->second;
+    const Node& n = node(g);
+    BddRef lo = self(self, n.lo);
+    BddRef hi = self(self, n.hi);
+    BddRef result = quantified[static_cast<size_t>(n.var)] ? bddOr(lo, hi)
+                                                           : mkNode(n.var, lo, hi);
+    memo.emplace(g, result);
+    return result;
+  };
+  return rec(rec, f);
+}
+
+BddRef BddManager::forall(BddRef f, const std::vector<Var>& vars) {
+  return bddNot(exists(bddNot(f), vars));
+}
+
+BddRef BddManager::andExists(BddRef f, BddRef g, const std::vector<Var>& vars) {
+  std::vector<bool> quantified(static_cast<size_t>(numVars_), false);
+  for (Var v : vars) {
+    PRESAT_CHECK(v >= 0 && v < numVars_);
+    quantified[static_cast<size_t>(v)] = true;
+  }
+  struct Key {
+    BddRef f, g;
+    bool operator==(const Key& o) const { return f == o.f && g == o.g; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(k.f) << 32) | k.g);
+    }
+  };
+  std::unordered_map<Key, BddRef, KeyHash> memo;
+  auto rec = [&](auto&& self, BddRef a, BddRef b) -> BddRef {
+    if (a == kFalse || b == kFalse) return kFalse;
+    if (a == kTrue && b == kTrue) return kTrue;
+    if (a > b) std::swap(a, b);  // AND is commutative: canonicalize the key
+    Key key{a, b};
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    Var v = numVars_;
+    if (!isConstant(a)) v = std::min(v, node(a).var);
+    if (!isConstant(b)) v = std::min(v, node(b).var);
+    auto cof = [&](BddRef x, bool hi) -> BddRef {
+      if (isConstant(x) || node(x).var != v) return x;
+      return hi ? node(x).hi : node(x).lo;
+    };
+    BddRef lo = self(self, cof(a, false), cof(b, false));
+    BddRef result;
+    if (quantified[static_cast<size_t>(v)]) {
+      // Early termination: once the low branch is TRUE the disjunction is.
+      result = lo == kTrue ? kTrue : bddOr(lo, self(self, cof(a, true), cof(b, true)));
+    } else {
+      result = mkNode(v, lo, self(self, cof(a, true), cof(b, true)));
+    }
+    memo.emplace(key, result);
+    return result;
+  };
+  return rec(rec, f, g);
+}
+
+BddRef BddManager::composeVector(BddRef f, const std::vector<BddRef>& substitution) {
+  PRESAT_CHECK(substitution.size() == static_cast<size_t>(numVars_))
+      << "composeVector needs one entry per variable";
+  std::unordered_map<BddRef, BddRef> memo;
+  auto rec = [&](auto&& self, BddRef g) -> BddRef {
+    if (isConstant(g)) return g;
+    auto it = memo.find(g);
+    if (it != memo.end()) return it->second;
+    const Node& n = node(g);
+    BddRef lo = self(self, n.lo);
+    BddRef hi = self(self, n.hi);
+    BddRef replacement = substitution[static_cast<size_t>(n.var)];
+    BddRef result = (replacement == kNoSubstitution)
+                        ? ite(variable(n.var), hi, lo)
+                        : ite(replacement, hi, lo);
+    memo.emplace(g, result);
+    return result;
+  };
+  return rec(rec, f);
+}
+
+BigUint BddManager::satCount(BddRef f) {
+  // count(g) = number of assignments of variables var(g)..numVars-1 that
+  // satisfy g; the root is then scaled by 2^var(root).
+  std::unordered_map<BddRef, BigUint> memo;
+  auto varOf = [&](BddRef g) -> int {
+    return isConstant(g) ? numVars_ : node(g).var;
+  };
+  auto rec = [&](auto&& self, BddRef g) -> BigUint {
+    if (g == kFalse) return BigUint(0);
+    if (g == kTrue) return BigUint(1);
+    auto it = memo.find(g);
+    if (it != memo.end()) return it->second;
+    const Node& n = node(g);
+    BigUint lo = self(self, n.lo);
+    lo <<= static_cast<uint32_t>(varOf(n.lo) - n.var - 1);
+    BigUint hi = self(self, n.hi);
+    hi <<= static_cast<uint32_t>(varOf(n.hi) - n.var - 1);
+    BigUint result = lo + hi;
+    memo.emplace(g, result);
+    return result;
+  };
+  BigUint count = rec(rec, f);
+  count <<= static_cast<uint32_t>(varOf(f));
+  return count;
+}
+
+std::vector<Var> BddManager::support(BddRef f) {
+  std::vector<bool> present(static_cast<size_t>(numVars_), false);
+  std::unordered_set<BddRef> visited;
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    BddRef g = stack.back();
+    stack.pop_back();
+    if (isConstant(g) || !visited.insert(g).second) continue;
+    const Node& n = node(g);
+    present[static_cast<size_t>(n.var)] = true;
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
+  }
+  std::vector<Var> result;
+  for (Var v = 0; v < numVars_; ++v) {
+    if (present[static_cast<size_t>(v)]) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<LitVec> BddManager::enumerateCubes(BddRef f) {
+  std::vector<LitVec> cubes;
+  LitVec path;
+  auto rec = [&](auto&& self, BddRef g) -> void {
+    if (g == kFalse) return;
+    if (g == kTrue) {
+      cubes.push_back(path);
+      return;
+    }
+    const Node& n = node(g);
+    path.push_back(mkLit(n.var, /*negated=*/true));
+    self(self, n.lo);
+    path.back() = mkLit(n.var, /*negated=*/false);
+    self(self, n.hi);
+    path.pop_back();
+  };
+  rec(rec, f);
+  return cubes;
+}
+
+size_t BddManager::dagSize(BddRef f) {
+  std::unordered_set<BddRef> visited;
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    BddRef g = stack.back();
+    stack.pop_back();
+    if (!visited.insert(g).second) continue;
+    if (isConstant(g)) continue;
+    stack.push_back(node(g).lo);
+    stack.push_back(node(g).hi);
+  }
+  return visited.size();
+}
+
+std::string BddManager::toDot(BddRef f, const std::string& name) {
+  std::ostringstream out;
+  out << "digraph \"" << name << "\" {\n";
+  out << "  node0 [label=\"0\", shape=box];\n";
+  out << "  node1 [label=\"1\", shape=box];\n";
+  std::unordered_set<BddRef> visited{kFalse, kTrue};
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    BddRef g = stack.back();
+    stack.pop_back();
+    if (!visited.insert(g).second) continue;
+    const Node& n = node(g);
+    out << "  node" << g << " [label=\"x" << n.var << "\"];\n";
+    out << "  node" << g << " -> node" << n.lo << " [style=dashed];\n";
+    out << "  node" << g << " -> node" << n.hi << ";\n";
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace presat

@@ -1,0 +1,210 @@
+#include "circuit/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/log.hpp"
+
+namespace presat {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+GateType gateTypeFromName(const std::string& rawName) {
+  std::string n = upper(rawName);
+  if (n == "AND") return GateType::kAnd;
+  if (n == "OR") return GateType::kOr;
+  if (n == "NAND") return GateType::kNand;
+  if (n == "NOR") return GateType::kNor;
+  if (n == "NOT" || n == "INV") return GateType::kNot;
+  if (n == "BUF" || n == "BUFF") return GateType::kBuf;
+  if (n == "XOR") return GateType::kXor;
+  if (n == "XNOR") return GateType::kXnor;
+  if (n == "DFF") return GateType::kDff;
+  if (n == "MUX") return GateType::kMux;
+  if (n == "CONST0") return GateType::kConst0;
+  if (n == "CONST1") return GateType::kConst1;
+  PRESAT_CHECK(false) << "unknown gate type in .bench: " << rawName;
+  return GateType::kBuf;
+}
+
+struct Definition {
+  GateType type;
+  std::vector<std::string> faninNames;
+};
+
+struct ParsedFile {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  // Insertion-ordered definitions (std::map keeps deterministic iteration;
+  // order of creation is resolved by dependencies anyway).
+  std::map<std::string, Definition> defs;
+  std::vector<std::string> defOrder;
+};
+
+ParsedFile scan(std::istream& in) {
+  ParsedFile file;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      size_t open = line.find('(');
+      size_t close = line.rfind(')');
+      PRESAT_CHECK(open != std::string::npos && close != std::string::npos && close > open)
+          << ".bench line " << lineNo << ": expected INPUT(...)/OUTPUT(...): " << line;
+      std::string kind = upper(trim(line.substr(0, open)));
+      std::string name = trim(line.substr(open + 1, close - open - 1));
+      PRESAT_CHECK(!name.empty()) << ".bench line " << lineNo << ": empty signal name";
+      if (kind == "INPUT") {
+        file.inputs.push_back(name);
+      } else if (kind == "OUTPUT") {
+        file.outputs.push_back(name);
+      } else {
+        PRESAT_CHECK(false) << ".bench line " << lineNo << ": unknown directive " << kind;
+      }
+      continue;
+    }
+
+    std::string lhs = trim(line.substr(0, eq));
+    std::string rhs = trim(line.substr(eq + 1));
+    size_t open = rhs.find('(');
+    size_t close = rhs.rfind(')');
+    PRESAT_CHECK(open != std::string::npos && close != std::string::npos && close > open)
+        << ".bench line " << lineNo << ": expected name = GATE(...): " << line;
+    Definition def;
+    def.type = gateTypeFromName(trim(rhs.substr(0, open)));
+    std::string args = rhs.substr(open + 1, close - open - 1);
+    std::istringstream as(args);
+    std::string arg;
+    while (std::getline(as, arg, ',')) {
+      arg = trim(arg);
+      if (!arg.empty()) def.faninNames.push_back(arg);
+    }
+    PRESAT_CHECK(!file.defs.count(lhs)) << ".bench line " << lineNo << ": redefinition of " << lhs;
+    file.defOrder.push_back(lhs);
+    file.defs.emplace(lhs, std::move(def));
+  }
+  return file;
+}
+
+class Builder {
+ public:
+  explicit Builder(const ParsedFile& file) : file_(file) {}
+
+  Netlist build() {
+    for (const std::string& name : file_.inputs) netlist_.addInput(name);
+    // Create all DFF output nodes first so combinational recursion through
+    // state feedback terminates.
+    for (const std::string& name : file_.defOrder) {
+      if (file_.defs.at(name).type == GateType::kDff) netlist_.addDff(name);
+    }
+    for (const std::string& name : file_.defOrder) resolve(name);
+    // Connect DFF data pins now that every signal exists.
+    for (const std::string& name : file_.defOrder) {
+      const Definition& def = file_.defs.at(name);
+      if (def.type != GateType::kDff) continue;
+      PRESAT_CHECK(def.faninNames.size() == 1) << "DFF " << name << " needs 1 fanin";
+      netlist_.connectDffData(netlist_.findByName(name), resolve(def.faninNames[0]));
+    }
+    for (const std::string& name : file_.outputs) {
+      netlist_.markOutput(resolve(name), name);
+    }
+    netlist_.validate();
+    return std::move(netlist_);
+  }
+
+ private:
+  NodeId resolve(const std::string& name) {
+    NodeId existing = netlist_.findByName(name);
+    if (existing != kNoNode) return existing;
+    auto it = file_.defs.find(name);
+    PRESAT_CHECK(it != file_.defs.end()) << "undefined signal in .bench: " << name;
+    const Definition& def = it->second;
+    PRESAT_CHECK(def.type != GateType::kDff) << "DFF should have been pre-created: " << name;
+    if (def.type == GateType::kConst0 || def.type == GateType::kConst1) {
+      return netlist_.addConst(def.type == GateType::kConst1, name);
+    }
+    std::vector<NodeId> fanins;
+    fanins.reserve(def.faninNames.size());
+    for (const std::string& f : def.faninNames) fanins.push_back(resolve(f));
+    return netlist_.addGate(def.type, std::move(fanins), name);
+  }
+
+  const ParsedFile& file_;
+  Netlist netlist_;
+};
+
+}  // namespace
+
+Netlist parseBench(std::istream& in) { return Builder(scan(in)).build(); }
+
+Netlist parseBenchString(const std::string& text) {
+  std::istringstream in(text);
+  return parseBench(in);
+}
+
+Netlist parseBenchFile(const std::string& path) {
+  std::ifstream in(path);
+  PRESAT_CHECK(in.good()) << "cannot open .bench file: " << path;
+  return parseBench(in);
+}
+
+void writeBench(std::ostream& out, const Netlist& netlist) {
+  auto nodeName = [&](NodeId id) {
+    const std::string& n = netlist.name(id);
+    if (!n.empty()) return n;
+    return "n" + std::to_string(id);
+  };
+  for (NodeId id : netlist.inputs()) out << "INPUT(" << nodeName(id) << ")\n";
+  for (NodeId id : netlist.outputs()) out << "OUTPUT(" << nodeName(id) << ")\n";
+  for (NodeId id : netlist.dffs()) {
+    out << nodeName(id) << " = DFF(" << nodeName(netlist.dffData(id)) << ")\n";
+  }
+  for (NodeId id = 0; id < netlist.numNodes(); ++id) {
+    GateType t = netlist.type(id);
+    if (t == GateType::kConst0 || t == GateType::kConst1) {
+      out << nodeName(id) << " = " << gateTypeName(t) << "()\n";
+    }
+  }
+  for (NodeId id : netlist.topologicalOrder()) {
+    const GateNode& g = netlist.node(id);
+    if (!isCombinational(g.type)) continue;
+    out << nodeName(id) << " = " << gateTypeName(g.type) << "(";
+    for (size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << nodeName(g.fanins[i]);
+    }
+    out << ")\n";
+  }
+}
+
+std::string toBenchString(const Netlist& netlist) {
+  std::ostringstream out;
+  writeBench(out, netlist);
+  return out.str();
+}
+
+}  // namespace presat

@@ -1,0 +1,27 @@
+// ISCAS89 `.bench` netlist reader/writer.
+//
+// Accepted grammar (case-insensitive gate names, '#' comments):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(a, b, ...)
+// with GATE in {AND, OR, NAND, NOR, NOT, BUF/BUFF, XOR, XNOR, DFF, MUX,
+// CONST0, CONST1}. MUX/CONST* are a small dialect extension used by the
+// generators (standard ISCAS89 files never contain them). Signals may be
+// referenced before definition, as in the original benchmark files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace presat {
+
+Netlist parseBench(std::istream& in);
+Netlist parseBenchString(const std::string& text);
+Netlist parseBenchFile(const std::string& path);
+
+void writeBench(std::ostream& out, const Netlist& netlist);
+std::string toBenchString(const Netlist& netlist);
+
+}  // namespace presat

@@ -1,0 +1,26 @@
+// CNF -> circuit conversion.
+//
+// Lets the circuit-level engines (success-driven all-SAT, justification
+// lifting) run on DIMACS inputs: each CNF variable becomes a primary input,
+// each clause an OR gate, and the conjunction an AND root whose value-1
+// objective encodes satisfiability.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "cnf/cnf.hpp"
+
+namespace presat {
+
+struct CnfCircuit {
+  Netlist netlist;
+  // Input node of CNF variable v.
+  std::vector<NodeId> varNode;
+  // Root AND gate; the formula is satisfied iff this node is 1.
+  NodeId root = kNoNode;
+};
+
+CnfCircuit cnfToCircuit(const Cnf& cnf);
+
+}  // namespace presat

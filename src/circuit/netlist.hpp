@@ -1,0 +1,127 @@
+// Gate-level netlist for combinational and sequential (DFF-based) circuits.
+//
+// This is the structural substrate for preimage computation: a sequential
+// circuit is a combinational core whose sources are primary inputs and DFF
+// outputs (present state) and whose DFF data pins define the next-state
+// functions. The ISCAS89 `.bench` dialect maps onto this directly.
+//
+// Node identifiers are dense indices into the node table; the graph is
+// immutable once built except for appending nodes, which keeps every consumer
+// (simulators, encoder, all-SAT engines) free of invalidation concerns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace presat {
+
+using NodeId = uint32_t;
+constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+enum class GateType : uint8_t {
+  kConst0,
+  kConst1,
+  kInput,  // primary input
+  kDff,    // sequential element; node value = present-state output Q,
+           // fanin[0] = next-state data D
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,   // n-ary parity
+  kXnor,  // n-ary inverted parity
+  kMux,   // fanin[0] ? fanin[2] : fanin[1]  (select, data0, data1)
+};
+
+const char* gateTypeName(GateType t);
+// True for gates whose value is a function of fanins (everything but
+// inputs/constants/DFF outputs).
+bool isCombinational(GateType t);
+
+struct GateNode {
+  GateType type;
+  std::vector<NodeId> fanins;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+
+  // --- construction ----------------------------------------------------------
+  NodeId addInput(const std::string& name);
+  NodeId addConst(bool value, const std::string& name = "");
+  // fanin count is validated against the gate type.
+  NodeId addGate(GateType type, std::vector<NodeId> fanins, const std::string& name = "");
+  // A DFF whose data input can be connected later via connectDffData (the
+  // .bench parser needs forward references).
+  NodeId addDff(const std::string& name, NodeId data = kNoNode);
+  void connectDffData(NodeId dff, NodeId data);
+  void markOutput(NodeId node, const std::string& name = "");
+
+  // Convenience constructors for common gates.
+  NodeId mkNot(NodeId a, const std::string& name = "") { return addGate(GateType::kNot, {a}, name); }
+  NodeId mkAnd(NodeId a, NodeId b, const std::string& name = "") {
+    return addGate(GateType::kAnd, {a, b}, name);
+  }
+  NodeId mkOr(NodeId a, NodeId b, const std::string& name = "") {
+    return addGate(GateType::kOr, {a, b}, name);
+  }
+  NodeId mkXor(NodeId a, NodeId b, const std::string& name = "") {
+    return addGate(GateType::kXor, {a, b}, name);
+  }
+  NodeId mkMux(NodeId sel, NodeId ifFalse, NodeId ifTrue, const std::string& name = "") {
+    return addGate(GateType::kMux, {sel, ifFalse, ifTrue}, name);
+  }
+
+  // --- inspection --------------------------------------------------------------
+  size_t numNodes() const { return nodes_.size(); }
+  const GateNode& node(NodeId id) const { return nodes_[id]; }
+  GateType type(NodeId id) const { return nodes_[id].type; }
+  const std::vector<NodeId>& fanins(NodeId id) const { return nodes_[id].fanins; }
+  const std::string& name(NodeId id) const { return nodes_[id].name; }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& dffs() const { return dffs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  NodeId dffData(NodeId dff) const;
+
+  size_t numGates() const;  // combinational gates only
+
+  // Node lookup by name; kNoNode if absent.
+  NodeId findByName(const std::string& name) const;
+
+  // --- analyses -----------------------------------------------------------------
+  // Topological order of the combinational core (sources first). DFF nodes
+  // appear as sources; their data fanins are sinks of the order.
+  std::vector<NodeId> topologicalOrder() const;
+  // Logic level per node (sources are 0).
+  std::vector<int> levels() const;
+  // Fanout lists per node.
+  std::vector<std::vector<NodeId>> fanouts() const;
+  // Transitive fanin cone of `roots` (includes roots and sources).
+  std::vector<NodeId> coneOf(const std::vector<NodeId>& roots) const;
+  // Source nodes (inputs + DFF outputs + constants) in the cone of `roots`.
+  std::vector<NodeId> supportOf(const std::vector<NodeId>& roots) const;
+
+  // Validates structural invariants (acyclicity, connected DFF data pins,
+  // fanin arities). PRESAT_CHECK-fails with a diagnostic on violation.
+  void validate() const;
+
+ private:
+  NodeId addNode(GateNode node);
+
+  std::vector<GateNode> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> dffs_;
+  std::vector<NodeId> outputs_;
+  std::unordered_map<std::string, NodeId> byName_;
+};
+
+}  // namespace presat

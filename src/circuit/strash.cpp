@@ -1,0 +1,258 @@
+#include "circuit/strash.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "base/log.hpp"
+
+namespace presat {
+
+namespace {
+
+// Rewrites the input into a scratch netlist with hashing/folding, tracking
+// old->scratch node correspondence, then copies the live cone into the final
+// result.
+class Sweeper {
+ public:
+  explicit Sweeper(const Netlist& input) : input_(input) {}
+
+  SweepResult run() {
+    map_.assign(input_.numNodes(), kNoNode);
+    // Interface nodes are preserved verbatim, in order.
+    for (NodeId id : input_.inputs()) map_[id] = scratch_.addInput(input_.name(id));
+    for (NodeId id : input_.dffs()) map_[id] = scratch_.addDff(input_.name(id));
+
+    for (NodeId id : input_.topologicalOrder()) {
+      if (map_[id] != kNoNode) continue;  // interface node
+      map_[id] = rewrite(id);
+    }
+    for (NodeId dff : input_.dffs()) {
+      scratch_.connectDffData(map_[dff], map_[input_.dffData(dff)]);
+    }
+    for (NodeId out : input_.outputs()) scratch_.markOutput(map_[out]);
+
+    return extractLiveCone();
+  }
+
+ private:
+  // --- scratch-netlist helpers ---------------------------------------------------
+
+  NodeId constant(bool value) {
+    NodeId& slot = value ? const1_ : const0_;
+    if (slot == kNoNode) slot = scratch_.addConst(value);
+    return slot;
+  }
+  bool isConst(NodeId n, bool value) const {
+    return n != kNoNode &&
+           scratch_.type(n) == (value ? GateType::kConst1 : GateType::kConst0);
+  }
+  bool isAnyConst(NodeId n) const {
+    return scratch_.type(n) == GateType::kConst0 || scratch_.type(n) == GateType::kConst1;
+  }
+
+  NodeId inverterOf(NodeId n) const {
+    auto it = invOf_.find(n);
+    return it == invOf_.end() ? kNoNode : it->second;
+  }
+
+  NodeId mkNot(NodeId f, const std::string& name = "") {
+    if (isAnyConst(f)) return constant(scratch_.type(f) == GateType::kConst0);
+    // invOf_ is symmetric: any recorded partner already computes ~f.
+    NodeId existing = inverterOf(f);
+    if (existing != kNoNode) return existing;
+    NodeId n = hashed(GateType::kNot, {f}, name);
+    invOf_.emplace(f, n);
+    invOf_.emplace(n, f);
+    return n;
+  }
+
+  // Canonical gate creation with structural hashing.
+  NodeId hashed(GateType type, std::vector<NodeId> fanins, const std::string& name) {
+    bool commutative = type == GateType::kAnd || type == GateType::kNand ||
+                       type == GateType::kOr || type == GateType::kNor ||
+                       type == GateType::kXor || type == GateType::kXnor;
+    if (commutative) std::sort(fanins.begin(), fanins.end());
+    auto key = std::make_pair(static_cast<int>(type), fanins);
+    auto it = table_.find(key);
+    if (it != table_.end()) return it->second;
+    // The name may already be taken by the node another original merged into;
+    // drop it in that case (names are a convenience, not an invariant).
+    std::string useName = name;
+    if (!useName.empty() && scratch_.findByName(useName) != kNoNode) useName.clear();
+    NodeId n = scratch_.addGate(type, fanins, useName);
+    table_.emplace(std::move(key), n);
+    if (type == GateType::kNot) {
+      invOf_.emplace(fanins[0], n);
+      invOf_.emplace(n, fanins[0]);
+    }
+    return n;
+  }
+
+  // --- per-gate simplification ----------------------------------------------------
+
+  NodeId rewrite(NodeId id) {
+    const GateNode& g = input_.node(id);
+    const std::string& name = g.name;
+    std::vector<NodeId> ins;
+    ins.reserve(g.fanins.size());
+    for (NodeId f : g.fanins) {
+      PRESAT_DCHECK(map_[f] != kNoNode);
+      ins.push_back(map_[f]);
+    }
+    switch (g.type) {
+      case GateType::kConst0:
+        return constant(false);
+      case GateType::kConst1:
+        return constant(true);
+      case GateType::kBuf:
+        return ins[0];
+      case GateType::kNot:
+        return mkNot(ins[0], name);
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor:
+        return rewriteAndOr(g.type, std::move(ins), name);
+      case GateType::kXor:
+      case GateType::kXnor:
+        return rewriteXor(g.type, std::move(ins), name);
+      case GateType::kMux:
+        return rewriteMux(ins[0], ins[1], ins[2], name);
+      default:
+        PRESAT_CHECK(false) << "rewrite of non-combinational node";
+        return kNoNode;
+    }
+  }
+
+  NodeId rewriteAndOr(GateType type, std::vector<NodeId> ins, const std::string& name) {
+    bool ctrlIn = (type == GateType::kOr || type == GateType::kNor);
+    bool inverted = (type == GateType::kNand || type == GateType::kNor);
+    std::vector<NodeId> kept;
+    for (NodeId f : ins) {
+      if (isConst(f, ctrlIn)) return constant(ctrlIn != inverted);  // controlling constant
+      if (isConst(f, !ctrlIn)) continue;                            // identity constant
+      kept.push_back(f);
+    }
+    std::sort(kept.begin(), kept.end());
+    kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+    // Complementary pair: x and ~x force the controlled value.
+    for (NodeId f : kept) {
+      NodeId inv = inverterOf(f);
+      if (inv != kNoNode && std::binary_search(kept.begin(), kept.end(), inv)) {
+        return constant(ctrlIn != inverted);
+      }
+    }
+    if (kept.empty()) return constant(!ctrlIn != inverted);  // identity of the operation
+    if (kept.size() == 1) return inverted ? mkNot(kept[0], name) : kept[0];
+    GateType base = ctrlIn ? (inverted ? GateType::kNor : GateType::kOr)
+                           : (inverted ? GateType::kNand : GateType::kAnd);
+    return hashed(base, std::move(kept), name);
+  }
+
+  NodeId rewriteXor(GateType type, std::vector<NodeId> ins, const std::string& name) {
+    bool phase = (type == GateType::kXnor);
+    std::vector<NodeId> kept;
+    for (NodeId f : ins) {
+      if (isConst(f, true)) {
+        phase = !phase;
+      } else if (!isConst(f, false)) {
+        kept.push_back(f);
+      }
+    }
+    std::sort(kept.begin(), kept.end());
+    // x ^ x cancels; x ^ ~x contributes a constant 1.
+    std::vector<NodeId> reduced;
+    for (size_t i = 0; i < kept.size();) {
+      if (i + 1 < kept.size() && kept[i] == kept[i + 1]) {
+        i += 2;
+        continue;
+      }
+      reduced.push_back(kept[i]);
+      ++i;
+    }
+    for (size_t i = 0; i < reduced.size();) {
+      NodeId inv = inverterOf(reduced[i]);
+      auto it = inv == kNoNode
+                    ? reduced.end()
+                    : std::find(reduced.begin() + static_cast<long>(i) + 1, reduced.end(), inv);
+      if (it != reduced.end()) {
+        reduced.erase(it);
+        reduced.erase(reduced.begin() + static_cast<long>(i));
+        phase = !phase;
+      } else {
+        ++i;
+      }
+    }
+    if (reduced.empty()) return constant(phase);
+    if (reduced.size() == 1) return phase ? mkNot(reduced[0], name) : reduced[0];
+    return hashed(phase ? GateType::kXnor : GateType::kXor, std::move(reduced), name);
+  }
+
+  NodeId rewriteMux(NodeId s, NodeId d0, NodeId d1, const std::string& name) {
+    if (isConst(s, false)) return d0;
+    if (isConst(s, true)) return d1;
+    if (d0 == d1) return d0;
+    if (isConst(d0, false) && isConst(d1, true)) return s;
+    if (isConst(d0, true) && isConst(d1, false)) return mkNot(s, name);
+    if (isConst(d0, false)) return rewriteAndOr(GateType::kAnd, {s, d1}, name);
+    if (isConst(d1, false)) return rewriteAndOr(GateType::kAnd, {mkNot(s), d0}, name);
+    if (isConst(d0, true)) return rewriteAndOr(GateType::kOr, {mkNot(s), d1}, name);
+    if (isConst(d1, true)) return rewriteAndOr(GateType::kOr, {s, d0}, name);
+    if (inverterOf(d0) == d1) return rewriteXor(GateType::kXor, {s, d0}, name);
+    return hashed(GateType::kMux, {s, d0, d1}, name);
+  }
+
+  // --- dead-logic removal -----------------------------------------------------------
+
+  SweepResult extractLiveCone() {
+    std::vector<NodeId> roots = scratch_.outputs();
+    for (NodeId dff : scratch_.dffs()) roots.push_back(scratch_.dffData(dff));
+    std::vector<bool> live(scratch_.numNodes(), false);
+    for (NodeId id : scratch_.coneOf(roots)) live[id] = true;
+
+    SweepResult result;
+    result.gatesBefore = input_.numGates();
+    std::vector<NodeId> toFinal(scratch_.numNodes(), kNoNode);
+    // Interface preserved unconditionally (a dangling PI is still a PI).
+    for (NodeId id : scratch_.inputs()) toFinal[id] = result.netlist.addInput(scratch_.name(id));
+    for (NodeId id : scratch_.dffs()) toFinal[id] = result.netlist.addDff(scratch_.name(id));
+    for (NodeId id : scratch_.topologicalOrder()) {
+      if (toFinal[id] != kNoNode || !live[id]) continue;
+      const GateNode& g = scratch_.node(id);
+      if (g.type == GateType::kConst0 || g.type == GateType::kConst1) {
+        toFinal[id] = result.netlist.addConst(g.type == GateType::kConst1, g.name);
+        continue;
+      }
+      std::vector<NodeId> fanins;
+      for (NodeId f : g.fanins) fanins.push_back(toFinal[f]);
+      toFinal[id] = result.netlist.addGate(g.type, std::move(fanins), g.name);
+    }
+    for (NodeId dff : scratch_.dffs()) {
+      result.netlist.connectDffData(toFinal[dff], toFinal[scratch_.dffData(dff)]);
+    }
+    for (NodeId out : scratch_.outputs()) result.netlist.markOutput(toFinal[out]);
+
+    result.nodeMap.assign(input_.numNodes(), kNoNode);
+    for (NodeId id = 0; id < input_.numNodes(); ++id) {
+      if (map_[id] != kNoNode) result.nodeMap[id] = toFinal[map_[id]];
+    }
+    result.gatesAfter = result.netlist.numGates();
+    result.netlist.validate();
+    return result;
+  }
+
+  const Netlist& input_;
+  Netlist scratch_;
+  std::vector<NodeId> map_;
+  NodeId const0_ = kNoNode;
+  NodeId const1_ = kNoNode;
+  std::map<std::pair<int, std::vector<NodeId>>, NodeId> table_;
+  std::map<NodeId, NodeId> invOf_;
+};
+
+}  // namespace
+
+SweepResult strashSweep(const Netlist& input) { return Sweeper(input).run(); }
+
+}  // namespace presat

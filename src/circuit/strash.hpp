@@ -1,0 +1,32 @@
+// Structural hashing and constant-propagation sweep.
+//
+// Produces a functionally equivalent netlist with: constants folded through
+// gates, controlling-constant simplifications (AND with 0, OR with 1, ...),
+// unary collapses (BUF(x) → x, NOT(NOT(x)) → x, single-input AND → x),
+// MUX simplifications (constant select, equal data, s?1:0 → s), duplicate
+// gates merged (same type + same fanins, commutative inputs sorted), and
+// logic not in the cone of any output or next-state function dropped.
+//
+// Running this before Tseitin encoding shrinks the CNF the blocking-clause
+// engines re-solve thousands of times; the sweep itself is linear.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace presat {
+
+struct SweepResult {
+  Netlist netlist;
+  // Old NodeId -> new NodeId; kNoNode for dropped (dangling) nodes. A mapped
+  // node computes the same function; note a node may map onto a *different*
+  // gate (deduplication) or a source (collapse).
+  std::vector<NodeId> nodeMap;
+  size_t gatesBefore = 0;
+  size_t gatesAfter = 0;
+};
+
+SweepResult strashSweep(const Netlist& input);
+
+}  // namespace presat

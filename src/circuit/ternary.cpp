@@ -1,0 +1,90 @@
+#include "circuit/ternary.hpp"
+
+#include "base/log.hpp"
+
+namespace presat {
+
+lbool evalGateTernary(GateType type, const std::vector<lbool>& inputs) {
+  switch (type) {
+    case GateType::kConst0:
+      return l_False;
+    case GateType::kConst1:
+      return l_True;
+    case GateType::kInput:
+    case GateType::kDff:
+      PRESAT_CHECK(false) << "evalGateTernary called on a source node";
+      return l_Undef;
+    case GateType::kBuf:
+      return inputs[0];
+    case GateType::kNot:
+      return inputs[0] ^ true;
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool anyUndef = false;
+      bool anyFalse = false;
+      for (lbool v : inputs) {
+        if (v.isFalse()) anyFalse = true;
+        if (v.isUndef()) anyUndef = true;
+      }
+      lbool r = anyFalse ? l_False : (anyUndef ? l_Undef : l_True);
+      return type == GateType::kNand ? (r ^ true) : r;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool anyUndef = false;
+      bool anyTrue = false;
+      for (lbool v : inputs) {
+        if (v.isTrue()) anyTrue = true;
+        if (v.isUndef()) anyUndef = true;
+      }
+      lbool r = anyTrue ? l_True : (anyUndef ? l_Undef : l_False);
+      return type == GateType::kNor ? (r ^ true) : r;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      bool parity = false;
+      for (lbool v : inputs) {
+        if (v.isUndef()) return l_Undef;
+        parity ^= v.isTrue();
+      }
+      lbool r = lbool(parity);
+      return type == GateType::kXnor ? (r ^ true) : r;
+    }
+    case GateType::kMux: {
+      lbool s = inputs[0];
+      lbool a = inputs[1];  // selected when s = 0
+      lbool b = inputs[2];  // selected when s = 1
+      if (s.isFalse()) return a;
+      if (s.isTrue()) return b;
+      // Select unknown: output known only if both data inputs agree.
+      if (!a.isUndef() && a == b) return a;
+      return l_Undef;
+    }
+  }
+  return l_Undef;
+}
+
+std::vector<lbool> ternarySimulate(const Netlist& netlist,
+                                   const std::vector<lbool>& sourceValues) {
+  std::vector<lbool> value(netlist.numNodes(), l_Undef);
+  std::vector<lbool> ins;
+  for (NodeId id : netlist.topologicalOrder()) {
+    const GateNode& g = netlist.node(id);
+    if (!isCombinational(g.type)) {
+      if (g.type == GateType::kConst0) {
+        value[id] = l_False;
+      } else if (g.type == GateType::kConst1) {
+        value[id] = l_True;
+      } else {
+        value[id] = sourceValues[id];
+      }
+      continue;
+    }
+    ins.clear();
+    for (NodeId f : g.fanins) ins.push_back(value[f]);
+    value[id] = evalGateTernary(g.type, ins);
+  }
+  return value;
+}
+
+}  // namespace presat

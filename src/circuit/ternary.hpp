@@ -1,0 +1,25 @@
+// Three-valued (0/1/X) gate evaluation and forward simulation.
+//
+// Forward ternary evaluation is the workhorse of model lifting (which inputs
+// does this output value actually depend on?) and of the justification
+// machinery in the success-driven all-SAT engine.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "circuit/netlist.hpp"
+
+namespace presat {
+
+// Evaluates one gate over three-valued inputs (controlling values win: an
+// AND with any 0 input is 0 even if other inputs are X).
+lbool evalGateTernary(GateType type, const std::vector<lbool>& inputs);
+
+// Forward-simulates the netlist under a partial assignment of source nodes
+// (entries for combinational nodes in `sourceValues` are ignored). Returns a
+// value per node; gates whose value is not determined stay X.
+std::vector<lbool> ternarySimulate(const Netlist& netlist,
+                                   const std::vector<lbool>& sourceValues);
+
+}  // namespace presat

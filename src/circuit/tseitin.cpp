@@ -1,0 +1,138 @@
+#include "circuit/tseitin.hpp"
+
+#include "base/log.hpp"
+
+namespace presat {
+
+Var CircuitEncoding::varOf(NodeId id) const {
+  PRESAT_CHECK(nodeVar[id] != kNullVar) << "node " << id << " is not in the encoded cone";
+  return nodeVar[id];
+}
+
+namespace {
+
+// Encodes z <-> XOR(a, b) (4 clauses).
+void encodeXor2(Cnf& cnf, Lit z, Lit a, Lit b) {
+  cnf.addTernary(~z, a, b);
+  cnf.addTernary(~z, ~a, ~b);
+  cnf.addTernary(z, ~a, b);
+  cnf.addTernary(z, a, ~b);
+}
+
+void encodeGate(Cnf& cnf, const GateNode& g, Lit z, const LitVec& ins) {
+  switch (g.type) {
+    case GateType::kBuf: {
+      cnf.addBinary(~z, ins[0]);
+      cnf.addBinary(z, ~ins[0]);
+      break;
+    }
+    case GateType::kNot: {
+      cnf.addBinary(~z, ~ins[0]);
+      cnf.addBinary(z, ins[0]);
+      break;
+    }
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Lit out = g.type == GateType::kNand ? ~z : z;
+      Clause big;
+      for (Lit a : ins) {
+        cnf.addBinary(~out, a);
+        big.push_back(~a);
+      }
+      big.push_back(out);
+      cnf.addClause(std::move(big));
+      break;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Lit out = g.type == GateType::kNor ? ~z : z;
+      Clause big;
+      for (Lit a : ins) {
+        cnf.addBinary(out, ~a);
+        big.push_back(a);
+      }
+      big.push_back(~out);
+      cnf.addClause(std::move(big));
+      break;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      Lit out = g.type == GateType::kXnor ? ~z : z;
+      if (ins.size() == 1) {
+        cnf.addBinary(~out, ins[0]);
+        cnf.addBinary(out, ~ins[0]);
+        break;
+      }
+      // Chain: acc = ins[0] ^ ins[1] ^ ... with fresh accumulators, final
+      // stage written directly onto the output literal.
+      Lit acc = ins[0];
+      for (size_t i = 1; i + 1 < ins.size(); ++i) {
+        Lit next = mkLit(cnf.newVar());
+        encodeXor2(cnf, next, acc, ins[i]);
+        acc = next;
+      }
+      encodeXor2(cnf, out, acc, ins.back());
+      break;
+    }
+    case GateType::kMux: {
+      Lit s = ins[0], a = ins[1], b = ins[2];
+      cnf.addTernary(~z, s, a);
+      cnf.addTernary(z, s, ~a);
+      cnf.addTernary(~z, ~s, b);
+      cnf.addTernary(z, ~s, ~b);
+      // Redundant but propagation-strengthening clauses.
+      cnf.addTernary(z, ~a, ~b);
+      cnf.addTernary(~z, a, b);
+      break;
+    }
+    default:
+      PRESAT_CHECK(false) << "encodeGate on non-combinational node";
+  }
+}
+
+}  // namespace
+
+CircuitEncoding encodeCircuit(const Netlist& netlist, const std::vector<NodeId>& roots) {
+  CircuitEncoding enc;
+  enc.nodeVar.assign(netlist.numNodes(), kNullVar);
+
+  std::vector<NodeId> cone;
+  if (roots.empty()) {
+    cone.reserve(netlist.numNodes());
+    for (NodeId id = 0; id < netlist.numNodes(); ++id) cone.push_back(id);
+  } else {
+    cone = netlist.coneOf(roots);
+  }
+  std::vector<bool> inCone(netlist.numNodes(), false);
+  for (NodeId id : cone) inCone[id] = true;
+
+  // Allocate variables for every cone node first, then write gate clauses in
+  // topological order.
+  for (NodeId id : cone) enc.nodeVar[id] = enc.cnf.newVar();
+
+  LitVec ins;
+  for (NodeId id : netlist.topologicalOrder()) {
+    if (!inCone[id]) continue;
+    const GateNode& g = netlist.node(id);
+    Lit z = mkLit(enc.nodeVar[id]);
+    switch (g.type) {
+      case GateType::kConst0:
+        enc.cnf.addUnit(~z);
+        continue;
+      case GateType::kConst1:
+        enc.cnf.addUnit(z);
+        continue;
+      case GateType::kInput:
+      case GateType::kDff:
+        continue;  // free variable
+      default:
+        break;
+    }
+    ins.clear();
+    for (NodeId f : g.fanins) ins.push_back(mkLit(enc.nodeVar[f]));
+    encodeGate(enc.cnf, g, z, ins);
+  }
+  return enc;
+}
+
+}  // namespace presat

@@ -1,0 +1,32 @@
+// Tseitin encoding of a netlist's combinational core into CNF.
+//
+// Every encoded node gets a CNF variable; gate semantics become the usual
+// equivalence clauses. The node→variable map is returned alongside the
+// formula so callers (all-SAT engines, preimage) can express targets and
+// projections in terms of circuit nodes.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "circuit/netlist.hpp"
+#include "cnf/cnf.hpp"
+
+namespace presat {
+
+class CircuitEncoding {
+ public:
+  Cnf cnf;
+  // Per NodeId; kNullVar for nodes outside the encoded cone.
+  std::vector<Var> nodeVar;
+
+  bool isEncoded(NodeId id) const { return nodeVar[id] != kNullVar; }
+  Var varOf(NodeId id) const;
+  Lit litOf(NodeId id, bool value = true) const { return mkLit(varOf(id), !value); }
+};
+
+// Encodes the cone of `roots` (every node if `roots` is empty). DFF outputs
+// and primary inputs become free variables; constants become unit clauses.
+CircuitEncoding encodeCircuit(const Netlist& netlist, const std::vector<NodeId>& roots = {});
+
+}  // namespace presat

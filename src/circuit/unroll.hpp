@@ -1,0 +1,34 @@
+// Time-frame expansion: unrolling a sequential netlist into a combinational
+// one.
+//
+// Frame t's combinational logic is copied with its DFF outputs replaced by
+// frame t's state nodes: frame 0 state bits become fresh primary inputs, and
+// frame t>0 state bits are the frame t-1 next-state roots. The result feeds
+// bounded reachability (BMC) queries and, in tests, cross-checks the
+// iterated-preimage engines frame by frame.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace presat {
+
+class TransitionSystem;
+
+struct UnrolledCircuit {
+  Netlist netlist;  // purely combinational
+  // Fresh inputs representing the initial state (one per state bit).
+  std::vector<NodeId> initialState;
+  // framePrimaryInputs[t][j]: frame-t copy of primary input j (t in [0, frames)).
+  std::vector<std::vector<NodeId>> frameInputs;
+  // stateAt[t][i]: node carrying state bit i at time t (t in [0, frames]);
+  // stateAt[0] == initialState, stateAt[t] = frame t-1 next-state roots.
+  std::vector<std::vector<NodeId>> stateAt;
+};
+
+// Unrolls `frames` transitions (frames >= 0; 0 yields only the initial-state
+// inputs).
+UnrolledCircuit unroll(const TransitionSystem& system, int frames);
+
+}  // namespace presat

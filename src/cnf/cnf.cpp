@@ -1,0 +1,67 @@
+#include "cnf/cnf.hpp"
+
+#include <algorithm>
+
+#include "base/log.hpp"
+
+namespace presat {
+
+size_t Cnf::numLiterals() const {
+  size_t n = 0;
+  for (const Clause& c : clauses_) n += c.size();
+  return n;
+}
+
+void Cnf::addClause(Clause clause) {
+  for (Lit l : clause) {
+    PRESAT_CHECK(l.var() >= 0 && l.var() < numVars_)
+        << "clause references unknown variable x" << l.var() << " (numVars=" << numVars_ << ")";
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+bool Cnf::evaluate(const std::vector<bool>& values) const {
+  PRESAT_CHECK(values.size() >= static_cast<size_t>(numVars_));
+  for (const Clause& c : clauses_) {
+    bool sat = false;
+    for (Lit l : c) {
+      if (values[static_cast<size_t>(l.var())] != l.sign()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+lbool Cnf::evaluate(const std::vector<lbool>& values) const {
+  PRESAT_CHECK(values.size() >= static_cast<size_t>(numVars_));
+  bool anyUndef = false;
+  for (const Clause& c : clauses_) {
+    bool sat = false;
+    bool clauseUndef = false;
+    for (Lit l : c) {
+      lbool v = values[static_cast<size_t>(l.var())];
+      if (v.isUndef()) {
+        clauseUndef = true;
+      } else if (v.isTrue() != l.sign()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) {
+      if (!clauseUndef) return l_False;
+      anyUndef = true;
+    }
+  }
+  return anyUndef ? l_Undef : l_True;
+}
+
+void Cnf::append(const Cnf& other) {
+  PRESAT_CHECK(other.numVars_ <= numVars_)
+      << "append requires the other formula's variables to exist here";
+  clauses_.insert(clauses_.end(), other.clauses_.begin(), other.clauses_.end());
+}
+
+}  // namespace presat

@@ -1,0 +1,100 @@
+#include "cnf/dimacs.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/log.hpp"
+
+namespace presat {
+
+DimacsFile parseDimacs(std::istream& in) {
+  DimacsFile file;
+  int declaredVars = -1;
+  long declaredClauses = -1;
+  Clause current;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+    if (tok == "c") {
+      std::string kind;
+      if (ls >> kind && kind == "proj") {
+        std::vector<Var> proj;
+        long v;
+        while (ls >> v) {
+          PRESAT_CHECK(v >= 1) << "projection vars are 1-based positive ints";
+          proj.push_back(static_cast<Var>(v - 1));
+        }
+        file.projection = std::move(proj);
+      }
+      continue;
+    }
+    if (tok == "p") {
+      std::string fmt;
+      PRESAT_CHECK((ls >> fmt) && fmt == "cnf") << "expected 'p cnf' header";
+      PRESAT_CHECK(ls >> declaredVars >> declaredClauses) << "bad 'p cnf' header";
+      file.cnf = Cnf(declaredVars);
+      continue;
+    }
+    // Clause data: integers terminated by 0 (clauses may span lines).
+    ls.clear();
+    ls.seekg(0);
+    long v;
+    while (ls >> v) {
+      if (v == 0) {
+        PRESAT_CHECK(declaredVars >= 0) << "clause before 'p cnf' header";
+        file.cnf.addClause(current);
+        current.clear();
+      } else {
+        Lit l = Lit::fromDimacs(static_cast<int32_t>(v));
+        PRESAT_CHECK(l.var() < declaredVars)
+            << "literal " << v << " exceeds declared variable count " << declaredVars;
+        current.push_back(l);
+      }
+    }
+  }
+  PRESAT_CHECK(current.empty()) << "unterminated clause at end of DIMACS input";
+  if (declaredClauses >= 0) {
+    PRESAT_CHECK(static_cast<long>(file.cnf.numClauses()) == declaredClauses)
+        << "clause count mismatch: declared " << declaredClauses << ", found "
+        << file.cnf.numClauses();
+  }
+  if (file.projection) {
+    for (Var v : *file.projection)
+      PRESAT_CHECK(v < file.cnf.numVars()) << "projection var out of range";
+  }
+  return file;
+}
+
+DimacsFile parseDimacsString(const std::string& text) {
+  std::istringstream in(text);
+  return parseDimacs(in);
+}
+
+DimacsFile parseDimacsFile(const std::string& path) {
+  std::ifstream in(path);
+  PRESAT_CHECK(in.good()) << "cannot open DIMACS file: " << path;
+  return parseDimacs(in);
+}
+
+void writeDimacs(std::ostream& out, const Cnf& cnf, const std::vector<Var>* projection) {
+  if (projection) {
+    out << "c proj";
+    for (Var v : *projection) out << " " << (v + 1);
+    out << "\n";
+  }
+  out << "p cnf " << cnf.numVars() << " " << cnf.numClauses() << "\n";
+  for (const Clause& c : cnf.clauses()) {
+    for (Lit l : c) out << l.toDimacs() << " ";
+    out << "0\n";
+  }
+}
+
+std::string toDimacsString(const Cnf& cnf, const std::vector<Var>* projection) {
+  std::ostringstream out;
+  writeDimacs(out, cnf, projection);
+  return out.str();
+}
+
+}  // namespace presat

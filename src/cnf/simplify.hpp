@@ -1,0 +1,26 @@
+// Lightweight preprocessing: duplicate-literal and tautology removal plus
+// unit propagation to fixpoint. Used to shrink encoder output before the
+// baselines re-solve it thousands of times, and as a reference propagator in
+// tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+
+namespace presat {
+
+struct SimplifyResult {
+  bool unsat = false;          // formula is trivially UNSAT
+  Cnf simplified;              // same variable space as the input
+  std::vector<lbool> forced;   // values forced by unit propagation, per var
+};
+
+SimplifyResult simplify(const Cnf& input);
+
+// Propagates units only, returning per-variable forced values, or nullopt on
+// an immediate conflict.
+std::optional<std::vector<lbool>> propagateUnits(const Cnf& input);
+
+}  // namespace presat

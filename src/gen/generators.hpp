@@ -1,0 +1,53 @@
+// Parametric sequential benchmark circuits.
+//
+// These play the role of the ISCAS89 suite in the reconstructed evaluation
+// (the original files are not redistributable here): deterministic, scalable
+// circuits with the gate mix typical of the suite — counters (carry chains),
+// gray-code counters (XOR-heavy), LFSRs (shift + feedback), shift registers,
+// a round-robin arbiter (priority logic + one-hot state), and a traffic-light
+// controller (small FSM with timers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace presat {
+
+// n-bit binary up-counter. With `withEnable`, input "en" gates the increment;
+// output is the carry-out of the increment chain.
+Netlist makeCounter(int bits, bool withEnable = true);
+
+// n-bit gray-code counter: decodes to binary, increments, re-encodes.
+Netlist makeGrayCounter(int bits);
+
+// Fibonacci LFSR with feedback taps given as a bitmask over state bits
+// (tapsMask = 0 picks a default of the two top bits). Input "en" gates the
+// shift through per-bit MUXes.
+Netlist makeLfsr(int bits, uint64_t tapsMask = 0);
+
+// Serial-in shift register; input "d", output is the last stage.
+Netlist makeShiftRegister(int bits);
+
+// Round-robin arbiter over `clients` request inputs with a one-hot pointer
+// state (clients in [2, 8]).
+Netlist makeRoundRobinArbiter(int clients);
+
+// Classic highway/farm-road traffic-light controller: 2 state bits, 2 timer
+// bits, one car sensor input, per-light outputs.
+Netlist makeTrafficLight();
+
+// Accumulator: adds the `bits`-wide input to the register every cycle
+// (mod 2^bits) through a ripple-carry adder; output is the carry-out.
+Netlist makeAccumulator(int bits);
+
+// Combination lock FSM: advances one step per clock when the input symbol
+// (bitsPerSymbol input bits) matches the next code digit, resets to the
+// start on a mismatch, and sets the "open" output after the full code.
+// State: a one-hot-free binary progress counter of ceil(log2(len+1)) bits.
+// The classic backward-reachability demo: the opening sequence is exactly
+// the counterexample trace from "locked" to "open".
+Netlist makeCombinationLock(const std::vector<int>& code, int bitsPerSymbol);
+
+}  // namespace presat

@@ -1,0 +1,19 @@
+// Embedded ISCAS89 benchmark circuits.
+//
+// Only s27 (the canonical tiny sequential benchmark) is embedded verbatim;
+// the larger ISCAS89 circuits are not redistributable in this repository and
+// are substituted by the parametric generators in generators.hpp /
+// random_circuit.hpp, which match their gate mix and scale (see DESIGN.md).
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace presat {
+
+// ISCAS89 s27: 4 inputs, 3 DFFs, 1 output, 10 gates + 2 inverters.
+const std::string& iscasS27Text();
+Netlist makeS27();
+
+}  // namespace presat

@@ -1,0 +1,29 @@
+// Seeded random sequential netlists — the scale substitute for the larger
+// ISCAS89 circuits.
+//
+// The generator grows a random combinational DAG over the sources (inputs +
+// DFF outputs) with an ISCAS-like gate mix (AND/OR/NAND/NOR dominate, a few
+// XORs and inverters), then picks the deepest gates as next-state functions.
+// Identical parameters + seed always produce the identical netlist.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/netlist.hpp"
+
+namespace presat {
+
+struct RandomCircuitParams {
+  int numInputs = 4;
+  int numDffs = 6;
+  int numGates = 40;
+  int maxFanin = 3;      // 2..maxFanin fanins for AND/OR-family gates
+  uint64_t seed = 1;
+  // Fraction (percent) of XOR/XNOR gates; the rest split between the
+  // AND/OR families and inverters.
+  int xorPercent = 10;
+};
+
+Netlist makeRandomSequential(const RandomCircuitParams& params);
+
+}  // namespace presat

@@ -1,0 +1,215 @@
+#include "preimage/bdd_preimage.hpp"
+
+#include "base/log.hpp"
+#include "base/timer.hpp"
+#include "circuit/netlist.hpp"
+
+namespace presat {
+
+BddTransition::BddTransition(const TransitionSystem& system)
+    : system_(system),
+      mgr_(system.numStateBits() + system.numInputs()) {
+  const Netlist& nl = system.netlist();
+  // Node -> BDD over (state, input) variables, built in topological order.
+  std::vector<BddRef> nodeBdd(nl.numNodes(), BddManager::kFalse);
+  std::vector<bool> isSource(nl.numNodes(), false);
+  for (int i = 0; i < system.numStateBits(); ++i) {
+    nodeBdd[system.stateNode(i)] = mgr_.variable(static_cast<Var>(i));
+    isSource[system.stateNode(i)] = true;
+  }
+  for (int j = 0; j < system.numInputs(); ++j) {
+    Var v = static_cast<Var>(system.numStateBits() + j);
+    nodeBdd[system.inputNode(j)] = mgr_.variable(v);
+    isSource[system.inputNode(j)] = true;
+    inputVars_.push_back(v);
+  }
+  for (NodeId id : nl.topologicalOrder()) {
+    const GateNode& g = nl.node(id);
+    if (g.type == GateType::kInput || g.type == GateType::kDff) {
+      PRESAT_CHECK(isSource[id]) << "unregistered source node";
+      continue;
+    }
+    switch (g.type) {
+      case GateType::kConst0:
+        nodeBdd[id] = BddManager::kFalse;
+        break;
+      case GateType::kConst1:
+        nodeBdd[id] = BddManager::kTrue;
+        break;
+      case GateType::kBuf:
+        nodeBdd[id] = nodeBdd[g.fanins[0]];
+        break;
+      case GateType::kNot:
+        nodeBdd[id] = mgr_.bddNot(nodeBdd[g.fanins[0]]);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        BddRef acc = BddManager::kTrue;
+        for (NodeId f : g.fanins) acc = mgr_.bddAnd(acc, nodeBdd[f]);
+        nodeBdd[id] = g.type == GateType::kNand ? mgr_.bddNot(acc) : acc;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        BddRef acc = BddManager::kFalse;
+        for (NodeId f : g.fanins) acc = mgr_.bddOr(acc, nodeBdd[f]);
+        nodeBdd[id] = g.type == GateType::kNor ? mgr_.bddNot(acc) : acc;
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        BddRef acc = BddManager::kFalse;
+        for (NodeId f : g.fanins) acc = mgr_.bddXor(acc, nodeBdd[f]);
+        nodeBdd[id] = g.type == GateType::kXnor ? mgr_.bddNot(acc) : acc;
+        break;
+      }
+      case GateType::kMux:
+        nodeBdd[id] = mgr_.ite(nodeBdd[g.fanins[0]], nodeBdd[g.fanins[2]], nodeBdd[g.fanins[1]]);
+        break;
+      default:
+        PRESAT_CHECK(false) << "unhandled gate type";
+    }
+  }
+  delta_.reserve(static_cast<size_t>(system.numStateBits()));
+  for (int i = 0; i < system.numStateBits(); ++i) {
+    delta_.push_back(nodeBdd[system.nextStateRoot(i)]);
+  }
+}
+
+BddRef BddTransition::preimage(BddRef target) {
+  // Substitute state variable i by delta_i; input variables stay themselves.
+  std::vector<BddRef> substitution(static_cast<size_t>(mgr_.numVars()),
+                                   BddManager::kNoSubstitution);
+  for (int i = 0; i < system_.numStateBits(); ++i) {
+    substitution[static_cast<size_t>(i)] = delta_[static_cast<size_t>(i)];
+  }
+  BddRef shifted = mgr_.composeVector(target, substitution);
+  return mgr_.exists(shifted, inputVars_);
+}
+
+StateSet BddTransition::preimage(const StateSet& target) {
+  PRESAT_CHECK(target.numStateBits == system_.numStateBits());
+  return toStateSet(preimage(target.toBdd(mgr_)));
+}
+
+StateSet BddTransition::toStateSet(BddRef stateBdd) {
+  StateSet set;
+  set.numStateBits = system_.numStateBits();
+  set.cubes = mgr_.enumerateCubes(stateBdd);
+  for (const LitVec& cube : set.cubes) {
+    for (Lit l : cube) {
+      PRESAT_CHECK(l.var() < set.numStateBits) << "BDD has input variables in its support";
+    }
+  }
+  return set;
+}
+
+BigUint BddTransition::countStates(BddRef stateBdd) {
+  // satCount ranges over state and input variables; inputs are not in the
+  // support of a state BDD, so divide their factor back out.
+  BigUint count = mgr_.satCount(stateBdd);
+  count >>= static_cast<uint32_t>(system_.numInputs());
+  return count;
+}
+
+BddRelationalTransition::BddRelationalTransition(const TransitionSystem& system)
+    : system_(system),
+      mgr_(2 * system.numStateBits() + system.numInputs()) {
+  const int n = system.numStateBits();
+  const Netlist& nl = system.netlist();
+  std::vector<BddRef> nodeBdd(nl.numNodes(), BddManager::kFalse);
+  for (int i = 0; i < n; ++i) {
+    nodeBdd[system.stateNode(i)] = mgr_.variable(static_cast<Var>(i));
+  }
+  for (int j = 0; j < system.numInputs(); ++j) {
+    Var v = static_cast<Var>(2 * n + j);
+    nodeBdd[system.inputNode(j)] = mgr_.variable(v);
+    quantified_.push_back(v);
+  }
+  for (NodeId id : nl.topologicalOrder()) {
+    const GateNode& g = nl.node(id);
+    if (!isCombinational(g.type)) {
+      if (g.type == GateType::kConst1) nodeBdd[id] = BddManager::kTrue;
+      continue;
+    }
+    switch (g.type) {
+      case GateType::kBuf:
+        nodeBdd[id] = nodeBdd[g.fanins[0]];
+        break;
+      case GateType::kNot:
+        nodeBdd[id] = mgr_.bddNot(nodeBdd[g.fanins[0]]);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        BddRef acc = BddManager::kTrue;
+        for (NodeId f : g.fanins) acc = mgr_.bddAnd(acc, nodeBdd[f]);
+        nodeBdd[id] = g.type == GateType::kNand ? mgr_.bddNot(acc) : acc;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        BddRef acc = BddManager::kFalse;
+        for (NodeId f : g.fanins) acc = mgr_.bddOr(acc, nodeBdd[f]);
+        nodeBdd[id] = g.type == GateType::kNor ? mgr_.bddNot(acc) : acc;
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        BddRef acc = BddManager::kFalse;
+        for (NodeId f : g.fanins) acc = mgr_.bddXor(acc, nodeBdd[f]);
+        nodeBdd[id] = g.type == GateType::kXnor ? mgr_.bddNot(acc) : acc;
+        break;
+      }
+      case GateType::kMux:
+        nodeBdd[id] = mgr_.ite(nodeBdd[g.fanins[0]], nodeBdd[g.fanins[2]], nodeBdd[g.fanins[1]]);
+        break;
+      default:
+        PRESAT_CHECK(false) << "unhandled gate type";
+    }
+  }
+  relation_ = BddManager::kTrue;
+  for (int i = 0; i < n; ++i) {
+    Var prime = static_cast<Var>(n + i);
+    quantified_.push_back(prime);
+    relation_ = mgr_.bddAnd(
+        relation_, mgr_.bddXnor(mgr_.variable(prime), nodeBdd[system.nextStateRoot(i)]));
+  }
+  shiftToPrime_.assign(static_cast<size_t>(mgr_.numVars()), BddManager::kNoSubstitution);
+  for (int i = 0; i < n; ++i) {
+    shiftToPrime_[static_cast<size_t>(i)] = mgr_.variable(static_cast<Var>(n + i));
+  }
+}
+
+BddRef BddRelationalTransition::preimage(BddRef target) {
+  BddRef primed = mgr_.composeVector(target, shiftToPrime_);
+  return mgr_.andExists(relation_, primed, quantified_);
+}
+
+StateSet BddRelationalTransition::preimage(const StateSet& target) {
+  PRESAT_CHECK(target.numStateBits == system_.numStateBits());
+  return toStateSet(preimage(target.toBdd(mgr_)));
+}
+
+StateSet BddRelationalTransition::toStateSet(BddRef stateBdd) {
+  StateSet set;
+  set.numStateBits = system_.numStateBits();
+  set.cubes = mgr_.enumerateCubes(stateBdd);
+  for (const LitVec& cube : set.cubes) {
+    for (Lit l : cube) {
+      PRESAT_CHECK(l.var() < set.numStateBits) << "preimage BDD escaped the state variables";
+    }
+  }
+  return set;
+}
+
+StateSet bddPreimage(const TransitionSystem& system, const StateSet& target, double* seconds,
+                     size_t* peakNodes) {
+  Timer timer;
+  BddTransition transition(system);
+  StateSet result = transition.preimage(target);
+  if (seconds) *seconds = timer.seconds();
+  if (peakNodes) *peakNodes = transition.manager().numNodes();
+  return result;
+}
+
+}  // namespace presat

@@ -1,0 +1,137 @@
+#include "preimage/bmc.hpp"
+
+#include "base/log.hpp"
+#include "base/timer.hpp"
+#include "circuit/tseitin.hpp"
+#include "circuit/unroll.hpp"
+#include "sat/solver.hpp"
+
+namespace presat {
+
+namespace {
+
+// Adds "state nodes `nodes` lie in `set`" via one selector per cube.
+void constrainStateSet(Cnf& cnf, const CircuitEncoding& enc, const std::vector<NodeId>& nodes,
+                       const StateSet& set) {
+  PRESAT_CHECK(!set.cubes.empty()) << "empty state set makes the query trivially UNSAT";
+  Clause atLeastOne;
+  for (const LitVec& cube : set.cubes) {
+    Lit sel = mkLit(cnf.newVar());
+    atLeastOne.push_back(sel);
+    for (Lit l : cube) {
+      cnf.addBinary(~sel, enc.litOf(nodes[static_cast<size_t>(l.var())], !l.sign()));
+    }
+  }
+  cnf.addClause(std::move(atLeastOne));
+}
+
+}  // namespace
+
+BmcResult boundedReach(const TransitionSystem& system, const StateSet& init,
+                       const StateSet& target, int maxDepth) {
+  Timer timer;
+  const int n = system.numStateBits();
+  PRESAT_CHECK(init.numStateBits == n && target.numStateBits == n);
+  BmcResult result;
+  if (init.cubes.empty() || target.cubes.empty()) {
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  for (int k = 0; k <= maxDepth; ++k) {
+    UnrolledCircuit unrolled = unroll(system, k);
+    CircuitEncoding enc = encodeCircuit(unrolled.netlist);
+    constrainStateSet(enc.cnf, enc, unrolled.stateAt.front(), init);
+    constrainStateSet(enc.cnf, enc, unrolled.stateAt.back(), target);
+
+    Solver solver;
+    ++result.satCalls;
+    if (!solver.addCnf(enc.cnf) || !solver.solve().isTrue()) continue;
+
+    result.reachable = true;
+    result.depth = k;
+    for (int t = 0; t <= k; ++t) {
+      std::vector<bool> state(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        state[static_cast<size_t>(i)] =
+            solver.modelValue(enc.varOf(unrolled.stateAt[static_cast<size_t>(t)][static_cast<size_t>(i)]));
+      }
+      result.traceStates.push_back(std::move(state));
+    }
+    for (int t = 0; t < k; ++t) {
+      std::vector<bool> inputs(static_cast<size_t>(system.numInputs()));
+      for (int j = 0; j < system.numInputs(); ++j) {
+        inputs[static_cast<size_t>(j)] = solver.modelValue(
+            enc.varOf(unrolled.frameInputs[static_cast<size_t>(t)][static_cast<size_t>(j)]));
+      }
+      result.traceInputs.push_back(std::move(inputs));
+    }
+    break;
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+BmcResult boundedReachIncremental(const TransitionSystem& system, const StateSet& init,
+                                  const StateSet& target, int maxDepth) {
+  Timer timer;
+  const int n = system.numStateBits();
+  PRESAT_CHECK(init.numStateBits == n && target.numStateBits == n);
+  BmcResult result;
+  if (init.cubes.empty() || target.cubes.empty()) {
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  UnrolledCircuit unrolled = unroll(system, maxDepth);
+  CircuitEncoding enc = encodeCircuit(unrolled.netlist);
+  constrainStateSet(enc.cnf, enc, unrolled.stateAt.front(), init);
+
+  Solver solver;
+  bool consistent = solver.addCnf(enc.cnf);
+
+  for (int k = 0; consistent && k <= maxDepth; ++k) {
+    // Activation literal for "target holds at frame k".
+    Var activation = solver.newVar();
+    LitVec selectors;
+    for (const LitVec& cube : target.cubes) {
+      Var sel = solver.newVar();
+      for (Lit l : cube) {
+        NodeId node = unrolled.stateAt[static_cast<size_t>(k)][static_cast<size_t>(l.var())];
+        consistent = consistent && solver.addClause({~mkLit(sel), enc.litOf(node, !l.sign())});
+      }
+      selectors.push_back(mkLit(sel));
+    }
+    LitVec gate = selectors;
+    gate.push_back(~mkLit(activation));
+    consistent = consistent && solver.addClause(gate);
+    if (!consistent) break;
+
+    ++result.satCalls;
+    if (!solver.solve({mkLit(activation)}).isTrue()) continue;
+
+    result.reachable = true;
+    result.depth = k;
+    for (int t = 0; t <= k; ++t) {
+      std::vector<bool> state(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        state[static_cast<size_t>(i)] = solver.modelValue(
+            enc.varOf(unrolled.stateAt[static_cast<size_t>(t)][static_cast<size_t>(i)]));
+      }
+      result.traceStates.push_back(std::move(state));
+    }
+    for (int t = 0; t < k; ++t) {
+      std::vector<bool> inputs(static_cast<size_t>(system.numInputs()));
+      for (int j = 0; j < system.numInputs(); ++j) {
+        inputs[static_cast<size_t>(j)] = solver.modelValue(
+            enc.varOf(unrolled.frameInputs[static_cast<size_t>(t)][static_cast<size_t>(j)]));
+      }
+      result.traceInputs.push_back(std::move(inputs));
+    }
+    break;
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace presat

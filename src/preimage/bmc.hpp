@@ -1,0 +1,39 @@
+// Bounded model checking by time-frame expansion — the forward companion to
+// the backward preimage engines.
+//
+// boundedReach answers "can `target` be reached from `init` within maxDepth
+// transitions?" with one SAT query per depth over the unrolled circuit, and
+// extracts the witness trace from the satisfying model. Tests cross-check it
+// against backward reachability and the safety checker: the three must agree
+// on reachability and on the minimal depth.
+#pragma once
+
+#include <vector>
+
+#include "preimage/target.hpp"
+#include "preimage/transition_system.hpp"
+
+namespace presat {
+
+struct BmcResult {
+  bool reachable = false;
+  int depth = -1;  // smallest depth at which target is hit (0 = init ∩ target)
+  // Witness when reachable: states[0] ∈ init, states[depth] ∈ target,
+  // inputs[t] drives states[t] -> states[t+1].
+  std::vector<std::vector<bool>> traceStates;
+  std::vector<std::vector<bool>> traceInputs;
+  uint64_t satCalls = 0;
+  double seconds = 0.0;
+};
+
+BmcResult boundedReach(const TransitionSystem& system, const StateSet& init,
+                       const StateSet& target, int maxDepth);
+
+// Incremental variant: unrolls maxDepth frames once into a single solver and
+// issues one assumption-guarded query per depth, so learnt clauses carry over
+// between depths (the standard BMC engineering trick). Same results as
+// boundedReach; cheaper on deep bounds.
+BmcResult boundedReachIncremental(const TransitionSystem& system, const StateSet& init,
+                                  const StateSet& target, int maxDepth);
+
+}  // namespace presat

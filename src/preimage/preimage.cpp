@@ -1,0 +1,237 @@
+#include "preimage/preimage.hpp"
+
+#include <algorithm>
+
+#include "allsat/cube_blocking.hpp"
+#include "allsat/lifting.hpp"
+#include "allsat/minterm_blocking.hpp"
+#include "allsat/success_driven.hpp"
+#include "base/log.hpp"
+#include "base/timer.hpp"
+#include "bdd/bdd.hpp"
+#include "circuit/simulator.hpp"
+#include "circuit/strash.hpp"
+#include "circuit/tseitin.hpp"
+#include "preimage/bdd_preimage.hpp"
+
+namespace presat {
+
+const char* preimageMethodName(PreimageMethod method) {
+  switch (method) {
+    case PreimageMethod::kMintermBlocking: return "minterm-blocking";
+    case PreimageMethod::kCubeBlocking: return "cube-blocking";
+    case PreimageMethod::kCubeBlockingLifted: return "cube-blocking-lifted";
+    case PreimageMethod::kSuccessDriven: return "success-driven";
+    case PreimageMethod::kBdd: return "bdd";
+    case PreimageMethod::kBddRelational: return "bdd-relational";
+  }
+  return "?";
+}
+
+namespace {
+
+struct SatProblem {
+  CircuitEncoding enc;
+  std::vector<Var> projection;  // CNF var of state bit i at position i
+};
+
+// Encodes the next-state cones plus the target-membership constraint
+// T(δ(s, x)) into enc.cnf.
+SatProblem buildSatProblem(const TransitionSystem& system, const StateSet& target) {
+  PRESAT_CHECK(target.numStateBits == system.numStateBits());
+  const Netlist& nl = system.netlist();
+
+  std::vector<NodeId> roots = system.nextStateRoots();
+  // State sources must be encoded even when unused by any next-state cone,
+  // so the projection scope is always the full state space.
+  for (NodeId s : system.stateNodes()) roots.push_back(s);
+
+  SatProblem problem;
+  problem.enc = encodeCircuit(nl, roots);
+  Cnf& cnf = problem.enc.cnf;
+
+  if (target.cubes.empty()) {
+    cnf.addClause({});  // empty target: the query is vacuously UNSAT
+  } else if (target.cubes.size() == 1) {
+    for (Lit l : target.cubes[0]) {
+      cnf.addUnit(problem.enc.litOf(system.nextStateRoot(l.var()), !l.sign()));
+    }
+  } else {
+    // Union target: selector variable per cube, (sel_i -> cube_i) plus
+    // (sel_1 | ... | sel_k).
+    Clause atLeastOne;
+    for (const LitVec& cube : target.cubes) {
+      Lit sel = mkLit(cnf.newVar());
+      atLeastOne.push_back(sel);
+      for (Lit l : cube) {
+        cnf.addBinary(~sel, problem.enc.litOf(system.nextStateRoot(l.var()), !l.sign()));
+      }
+    }
+    cnf.addClause(std::move(atLeastOne));
+  }
+
+  problem.projection.reserve(static_cast<size_t>(system.numStateBits()));
+  for (NodeId s : system.stateNodes()) problem.projection.push_back(problem.enc.varOf(s));
+  return problem;
+}
+
+// Builds the circuit-justification model lifter for the lifted-cube engine.
+ModelLifter makeJustificationLifter(const TransitionSystem& system, const StateSet& target,
+                                    const SatProblem& problem) {
+  const Netlist& nl = system.netlist();
+  return [&system, &target, &problem, &nl](const std::vector<lbool>& model) -> LitVec {
+    // Reconstruct source values from the model (sources outside the encoded
+    // cone are irrelevant to the objectives; default them to 0).
+    std::vector<bool> sources(nl.numNodes(), false);
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+      if (isCombinational(nl.type(id)) || !problem.enc.isEncoded(id)) continue;
+      Var v = problem.enc.nodeVar[id];
+      sources[id] = model[static_cast<size_t>(v)].isTrue();
+    }
+    std::vector<bool> values = Simulator::evaluateOnce(nl, sources);
+
+    // Find a target cube this model realizes and justify exactly that cube.
+    const LitVec* satisfiedCube = nullptr;
+    for (const LitVec& cube : target.cubes) {
+      bool ok = true;
+      for (Lit l : cube) {
+        if (values[system.nextStateRoot(l.var())] == l.sign()) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        satisfiedCube = &cube;
+        break;
+      }
+    }
+    PRESAT_CHECK(satisfiedCube != nullptr) << "model does not reach the target set";
+
+    NodeCube objectives;
+    for (Lit l : *satisfiedCube) {
+      objectives.emplace_back(system.nextStateRoot(l.var()), !l.sign());
+    }
+    JustificationLifter lifter(nl, std::move(objectives));
+    NodeCube sources2 = lifter.liftedSources(values);
+
+    // Keep only state sources (the projection scope).
+    std::vector<bool> isState(nl.numNodes(), false);
+    for (NodeId s : system.stateNodes()) isState[s] = true;
+    LitVec cube;
+    for (const NodeAssign& a : sources2) {
+      if (!isState[a.first]) continue;
+      cube.push_back(mkLit(problem.enc.varOf(a.first), !a.second));
+    }
+    return cube;
+  };
+}
+
+PreimageResult fromAllSat(AllSatResult&& r, int numStateBits) {
+  PreimageResult result;
+  result.states.numStateBits = numStateBits;
+  result.states.cubes = std::move(r.cubes);
+  result.stateCount = std::move(r.mintermCount);
+  result.complete = r.complete;
+  result.stats = r.stats;
+  result.seconds = r.stats.seconds;
+  return result;
+}
+
+}  // namespace
+
+PreimageResult computePreimage(const TransitionSystem& system, const StateSet& target,
+                               PreimageMethod method, const PreimageOptions& options) {
+  const int n = system.numStateBits();
+  PRESAT_CHECK(target.numStateBits == n) << "target state width mismatch";
+
+  if (options.presimplify) {
+    // The sweep preserves PI/DFF identity and order, so the swept system has
+    // the same state space and the same transition function.
+    SweepResult swept = strashSweep(system.netlist());
+    TransitionSystem simplified(swept.netlist);
+    PreimageOptions inner = options;
+    inner.presimplify = false;
+    return computePreimage(simplified, target, method, inner);
+  }
+
+  switch (method) {
+    case PreimageMethod::kMintermBlocking: {
+      SatProblem problem = buildSatProblem(system, target);
+      return fromAllSat(
+          mintermBlockingAllSat(problem.enc.cnf, problem.projection, options.allsat), n);
+    }
+    case PreimageMethod::kCubeBlocking: {
+      SatProblem problem = buildSatProblem(system, target);
+      AllSatOptions opts = options.allsat;
+      opts.liftModels = false;
+      return fromAllSat(cubeBlockingAllSat(problem.enc.cnf, problem.projection, {}, opts), n);
+    }
+    case PreimageMethod::kCubeBlockingLifted: {
+      SatProblem problem = buildSatProblem(system, target);
+      ModelLifter lifter = makeJustificationLifter(system, target, problem);
+      return fromAllSat(
+          cubeBlockingAllSat(problem.enc.cnf, problem.projection, lifter, options.allsat), n);
+    }
+    case PreimageMethod::kSuccessDriven: {
+      Timer timer;
+      PreimageResult result;
+      result.states.numStateBits = n;
+      for (const LitVec& cube : target.cubes) {
+        CircuitAllSatProblem problem;
+        problem.netlist = &system.netlist();
+        problem.projectionSources = system.stateNodes();
+        for (Lit l : cube) problem.objectives.emplace_back(system.nextStateRoot(l.var()), !l.sign());
+        SuccessDrivenResult sub = successDrivenAllSat(problem, options.allsat);
+        result.states.cubes.insert(result.states.cubes.end(), sub.summary.cubes.begin(),
+                                   sub.summary.cubes.end());
+        result.complete = result.complete && sub.summary.complete;
+        result.stats.satCalls += 1;
+        result.stats.decisions += sub.summary.stats.decisions;
+        result.stats.conflicts += sub.summary.stats.conflicts;
+        result.stats.memoHits += sub.summary.stats.memoHits;
+        result.stats.memoEntries += sub.summary.stats.memoEntries;
+        result.stats.graphNodes += sub.summary.stats.graphNodes;
+        result.stats.graphEdges += sub.summary.stats.graphEdges;
+        result.graphs.push_back(std::move(sub.graph));
+      }
+      // Exact union count straight from the graphs (never enumerates paths).
+      BddManager mgr(n);
+      BddRef u = BddManager::kFalse;
+      for (const SolutionGraph& g : result.graphs) u = mgr.bddOr(u, g.toBdd(mgr));
+      result.stateCount = mgr.satCount(u);
+      result.seconds = timer.seconds();
+      result.stats.seconds = result.seconds;
+      return result;
+    }
+    case PreimageMethod::kBdd: {
+      Timer timer;
+      BddTransition transition(system);
+      BddRef pre = transition.preimage(target.toBdd(transition.manager()));
+      PreimageResult result;
+      result.states = transition.toStateSet(pre);
+      result.stateCount = transition.countStates(pre);
+      result.seconds = timer.seconds();
+      result.bddNodes = transition.manager().numNodes();
+      return result;
+    }
+    case PreimageMethod::kBddRelational: {
+      Timer timer;
+      BddRelationalTransition transition(system);
+      BddRef pre = transition.preimage(target.toBdd(transition.manager()));
+      PreimageResult result;
+      result.states = transition.toStateSet(pre);
+      // The relational manager spans s, s', x; a state BDD's satCount must
+      // shed the factor for the 2n+m - n variables outside its support.
+      BigUint count = transition.manager().satCount(pre);
+      count >>= static_cast<uint32_t>(system.numStateBits() + system.numInputs());
+      result.stateCount = std::move(count);
+      result.seconds = timer.seconds();
+      result.bddNodes = transition.manager().numNodes();
+      return result;
+    }
+  }
+  PRESAT_CHECK(false) << "unknown preimage method";
+  return {};
+}
+
+}  // namespace presat

@@ -1,0 +1,65 @@
+// One-step preimage computation — the paper's headline application.
+//
+// Pre(T) = { s | ∃x. δ(s, x) ∈ T }: all present states from which some input
+// drives the circuit into the target set in one clock. Six engines compute
+// the same set:
+//   kMintermBlocking    CDCL + one blocking clause per projected minterm
+//   kCubeBlocking       CDCL + blocking whole projected minterms (no lift)
+//   kCubeBlockingLifted CDCL + justification-lifted cube blocking
+//   kSuccessDriven      the paper's solver (justification search + success-
+//                       driven learning + solution graph)
+//   kBdd                symbolic baseline (compose + quantify)
+//   kBddRelational      symbolic baseline (monolithic transition relation +
+//                       relational product)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "allsat/projection.hpp"
+#include "allsat/solution_graph.hpp"
+#include "preimage/target.hpp"
+#include "preimage/transition_system.hpp"
+
+namespace presat {
+
+enum class PreimageMethod {
+  kMintermBlocking,
+  kCubeBlocking,
+  kCubeBlockingLifted,
+  kSuccessDriven,
+  kBdd,
+  kBddRelational,
+};
+
+const char* preimageMethodName(PreimageMethod method);
+
+inline constexpr PreimageMethod kAllPreimageMethods[] = {
+    PreimageMethod::kMintermBlocking, PreimageMethod::kCubeBlocking,
+    PreimageMethod::kCubeBlockingLifted, PreimageMethod::kSuccessDriven,
+    PreimageMethod::kBdd,               PreimageMethod::kBddRelational,
+};
+
+struct PreimageOptions {
+  AllSatOptions allsat;
+  // Run the structural-hashing / constant sweep (circuit/strash.hpp) on the
+  // netlist before encoding. State-bit order is preserved, so results are
+  // identical; the SAT engines then solve a smaller formula.
+  bool presimplify = false;
+};
+
+struct PreimageResult {
+  StateSet states;      // union of cubes = exact preimage
+  BigUint stateCount;   // exact number of states in the union
+  bool complete = true;
+  AllSatStats stats;    // zero-initialized for the BDD engine
+  double seconds = 0.0;
+  size_t bddNodes = 0;  // BDD engine only: manager size after the query
+  // Success-driven engine only: one solution graph per target cube.
+  std::vector<SolutionGraph> graphs;
+};
+
+PreimageResult computePreimage(const TransitionSystem& system, const StateSet& target,
+                               PreimageMethod method, const PreimageOptions& options = {});
+
+}  // namespace presat

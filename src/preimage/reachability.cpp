@@ -1,0 +1,57 @@
+#include "preimage/reachability.hpp"
+
+#include "base/log.hpp"
+#include "base/timer.hpp"
+#include "bdd/bdd.hpp"
+
+namespace presat {
+
+ReachabilityResult backwardReach(const TransitionSystem& system, const StateSet& target,
+                                 int maxDepth, PreimageMethod method,
+                                 const PreimageOptions& options) {
+  Timer total;
+  const int n = system.numStateBits();
+  PRESAT_CHECK(target.numStateBits == n);
+
+  // Persistent manager for the set algebra between steps.
+  BddManager mgr(n);
+  BddRef reached = target.toBdd(mgr);
+  BddRef frontier = reached;
+
+  ReachabilityResult result;
+  for (int depth = 1; depth <= maxDepth; ++depth) {
+    if (frontier == BddManager::kFalse) {
+      result.fixpoint = true;
+      break;
+    }
+    StateSet frontierSet;
+    frontierSet.numStateBits = n;
+    frontierSet.cubes = mgr.enumerateCubes(frontier);
+
+    PreimageResult pre = computePreimage(system, frontierSet, method, options);
+    PRESAT_CHECK(pre.complete) << "reachability needs complete preimages";
+
+    BddRef preBdd = pre.states.toBdd(mgr);
+    BddRef fresh = mgr.bddAnd(preBdd, mgr.bddNot(reached));
+    reached = mgr.bddOr(reached, preBdd);
+
+    ReachabilityStep step;
+    step.depth = depth;
+    step.newStates = mgr.satCount(fresh);
+    step.totalStates = mgr.satCount(reached);
+    step.seconds = pre.seconds;
+    step.stats = pre.stats;
+    step.frontierCubes = frontierSet.cubes.size();
+    result.steps.push_back(step);
+
+    frontier = fresh;
+  }
+  if (!result.fixpoint && frontier == BddManager::kFalse) result.fixpoint = true;
+
+  result.reached.numStateBits = n;
+  result.reached.cubes = mgr.enumerateCubes(reached);
+  result.totalSeconds = total.seconds();
+  return result;
+}
+
+}  // namespace presat

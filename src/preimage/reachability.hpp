@@ -1,0 +1,37 @@
+// Multi-step backward reachability by iterated preimage.
+//
+// Computes R_0 = T, R_{k+1} = R_k ∪ Pre(frontier_k) until a fixpoint or a
+// depth bound, where frontier_k = R_k \ R_{k-1} (only newly discovered states
+// are queried — the standard frontier optimization). Set algebra between
+// steps runs on a persistent state-space BDD regardless of which preimage
+// engine is used, so all engines are compared on identical iteration
+// structure.
+#pragma once
+
+#include <vector>
+
+#include "preimage/preimage.hpp"
+
+namespace presat {
+
+struct ReachabilityStep {
+  int depth = 0;
+  BigUint newStates;       // states discovered at this depth
+  BigUint totalStates;     // cumulative
+  double seconds = 0.0;    // preimage time for this step
+  AllSatStats stats;       // engine stats for this step
+  size_t frontierCubes = 0;
+};
+
+struct ReachabilityResult {
+  StateSet reached;
+  bool fixpoint = false;  // true if closed before hitting maxDepth
+  std::vector<ReachabilityStep> steps;
+  double totalSeconds = 0.0;
+};
+
+ReachabilityResult backwardReach(const TransitionSystem& system, const StateSet& target,
+                                 int maxDepth, PreimageMethod method,
+                                 const PreimageOptions& options = {});
+
+}  // namespace presat

@@ -1,0 +1,169 @@
+#include "preimage/safety.hpp"
+
+#include "base/log.hpp"
+#include "base/timer.hpp"
+#include "bdd/bdd.hpp"
+#include "circuit/tseitin.hpp"
+#include "sat/solver.hpp"
+
+namespace presat {
+
+const char* safetyStatusName(SafetyStatus status) {
+  switch (status) {
+    case SafetyStatus::kSafe: return "SAFE";
+    case SafetyStatus::kUnsafe: return "UNSAFE";
+    case SafetyStatus::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+bool findTransitionInto(const TransitionSystem& system, const std::vector<bool>& state,
+                        const StateSet& target, std::vector<bool>* inputsOut,
+                        std::vector<bool>* nextStateOut) {
+  const Netlist& nl = system.netlist();
+  PRESAT_CHECK(state.size() == static_cast<size_t>(system.numStateBits()));
+  PRESAT_CHECK(target.numStateBits == system.numStateBits());
+
+  std::vector<NodeId> roots = system.nextStateRoots();
+  for (NodeId s : system.stateNodes()) roots.push_back(s);
+  CircuitEncoding enc = encodeCircuit(nl, roots);
+  Cnf& cnf = enc.cnf;
+
+  // Pin the present state.
+  for (int i = 0; i < system.numStateBits(); ++i) {
+    cnf.addUnit(enc.litOf(system.stateNode(i), state[static_cast<size_t>(i)]));
+  }
+  // Require the next state to land in the target union.
+  if (target.cubes.empty()) return false;
+  Clause atLeastOne;
+  for (const LitVec& cube : target.cubes) {
+    Lit sel = mkLit(cnf.newVar());
+    atLeastOne.push_back(sel);
+    for (Lit l : cube) {
+      cnf.addBinary(~sel, enc.litOf(system.nextStateRoot(l.var()), !l.sign()));
+    }
+  }
+  cnf.addClause(std::move(atLeastOne));
+
+  Solver solver;
+  if (!solver.addCnf(cnf)) return false;
+  if (!solver.solve().isTrue()) return false;
+
+  if (inputsOut) {
+    inputsOut->assign(static_cast<size_t>(system.numInputs()), false);
+    for (int j = 0; j < system.numInputs(); ++j) {
+      NodeId in = system.inputNode(j);
+      // Inputs outside every next-state cone are unconstrained; default 0.
+      (*inputsOut)[static_cast<size_t>(j)] =
+          enc.isEncoded(in) && solver.modelValue(enc.varOf(in));
+    }
+  }
+  if (nextStateOut) {
+    nextStateOut->assign(static_cast<size_t>(system.numStateBits()), false);
+    for (int i = 0; i < system.numStateBits(); ++i) {
+      (*nextStateOut)[static_cast<size_t>(i)] = solver.modelValue(enc.varOf(system.nextStateRoot(i)));
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Picks one concrete state out of a non-empty BDD over the state space.
+std::vector<bool> pickState(BddManager& mgr, BddRef set, int numStateBits) {
+  PRESAT_CHECK(set != BddManager::kFalse);
+  std::vector<bool> state(static_cast<size_t>(numStateBits), false);
+  BddRef cur = set;
+  while (!mgr.isConstant(cur)) {
+    Var v = mgr.topVar(cur);
+    if (mgr.low(cur) != BddManager::kFalse) {
+      state[static_cast<size_t>(v)] = false;
+      cur = mgr.low(cur);
+    } else {
+      state[static_cast<size_t>(v)] = true;
+      cur = mgr.high(cur);
+    }
+  }
+  PRESAT_CHECK(cur == BddManager::kTrue);
+  return state;
+}
+
+}  // namespace
+
+SafetyResult checkSafety(const TransitionSystem& system, const StateSet& initial,
+                         const StateSet& bad, const SafetyOptions& options) {
+  Timer timer;
+  const int n = system.numStateBits();
+  PRESAT_CHECK(initial.numStateBits == n && bad.numStateBits == n);
+
+  SafetyResult result;
+  BddManager mgr(n);
+  BddRef initBdd = initial.toBdd(mgr);
+  BddRef reached = bad.toBdd(mgr);
+  BddRef frontier = reached;
+
+  // Layered backward sets: cumulative[d] = states reaching bad in <= d steps.
+  std::vector<StateSet> cumulative;
+  auto snapshot = [&](BddRef set) {
+    StateSet s;
+    s.numStateBits = n;
+    s.cubes = mgr.enumerateCubes(set);
+    return s;
+  };
+  cumulative.push_back(snapshot(reached));
+
+  int hitDepth = -1;
+  if (mgr.bddAnd(initBdd, reached) != BddManager::kFalse) hitDepth = 0;
+
+  int depth = 0;
+  while (hitDepth < 0 && depth < options.maxDepth) {
+    if (frontier == BddManager::kFalse) {
+      result.status = SafetyStatus::kSafe;
+      result.depth = depth;
+      break;
+    }
+    ++depth;
+    StateSet frontierSet = snapshot(frontier);
+    PreimageResult pre = computePreimage(system, frontierSet, options.method, options.preimage);
+    PRESAT_CHECK(pre.complete) << "safety checking needs complete preimages";
+    BddRef preBdd = pre.states.toBdd(mgr);
+    frontier = mgr.bddAnd(preBdd, mgr.bddNot(reached));
+    reached = mgr.bddOr(reached, preBdd);
+    cumulative.push_back(snapshot(reached));
+    if (mgr.bddAnd(initBdd, reached) != BddManager::kFalse) hitDepth = depth;
+  }
+
+  result.backwardReached = snapshot(reached);
+
+  if (hitDepth >= 0) {
+    result.status = SafetyStatus::kUnsafe;
+    result.depth = hitDepth;
+    // Trace extraction: start at an initial state inside the depth-d cone,
+    // then step into strictly shallower layers until the bad set is reached.
+    std::vector<bool> current =
+        pickState(mgr, mgr.bddAnd(initBdd, cumulative[static_cast<size_t>(hitDepth)].toBdd(mgr)),
+                  n);
+    result.traceStates.push_back(current);
+    for (int layer = hitDepth; layer > 0; --layer) {
+      if (bad.contains(current)) break;  // reached bad early
+      std::vector<bool> inputs, next;
+      bool found = findTransitionInto(system, current, cumulative[static_cast<size_t>(layer - 1)],
+                                      &inputs, &next);
+      PRESAT_CHECK(found) << "layered backward sets must admit a forward step";
+      result.traceInputs.push_back(std::move(inputs));
+      current = std::move(next);
+      result.traceStates.push_back(current);
+    }
+    PRESAT_CHECK(bad.contains(result.traceStates.back()))
+        << "counterexample does not end in the bad set";
+    // The forward replay may reach bad before exhausting the layers.
+    result.depth = static_cast<int>(result.traceInputs.size());
+  } else if (result.status != SafetyStatus::kSafe) {
+    result.status = SafetyStatus::kUnknown;
+    result.depth = depth;
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace presat

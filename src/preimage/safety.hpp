@@ -1,0 +1,58 @@
+// Unbounded safety checking by backward reachability — the model-checking
+// loop the paper's preimage engine plugs into.
+//
+// A property "bad states are never reachable from the initial states" is
+// checked by iterating preimages from the bad set: if the backward fixpoint
+// closes without touching the initial set, the design is SAFE; if some
+// initial state enters the backward cone at depth d, the design is UNSAFE
+// and a concrete length-d counterexample trace (states + inputs) is
+// extracted by replaying the layered backward sets forward with single SAT
+// queries.
+#pragma once
+
+#include <vector>
+
+#include "preimage/preimage.hpp"
+#include "preimage/reachability.hpp"
+
+namespace presat {
+
+enum class SafetyStatus {
+  kSafe,     // backward fixpoint closed away from the initial states
+  kUnsafe,   // counterexample found
+  kUnknown,  // depth bound exhausted before closing
+};
+
+const char* safetyStatusName(SafetyStatus status);
+
+struct SafetyOptions {
+  int maxDepth = 10000;
+  PreimageMethod method = PreimageMethod::kSuccessDriven;
+  PreimageOptions preimage;
+};
+
+struct SafetyResult {
+  SafetyStatus status = SafetyStatus::kUnknown;
+  // Depth at which the verdict was reached: counterexample length for
+  // kUnsafe, closing depth for kSafe.
+  int depth = 0;
+  // For kUnsafe: states[0] is initial, states.back() is bad;
+  // inputs[i] drives states[i] -> states[i+1] (inputs.size() == depth).
+  std::vector<std::vector<bool>> traceStates;
+  std::vector<std::vector<bool>> traceInputs;
+  // Backward-reachable set accumulated up to the verdict.
+  StateSet backwardReached;
+  double seconds = 0.0;
+};
+
+SafetyResult checkSafety(const TransitionSystem& system, const StateSet& initial,
+                         const StateSet& bad, const SafetyOptions& options = {});
+
+// Single-transition witness query: is there an input taking `state` into
+// `target` in one step? Returns the input vector if so. Exposed for reuse by
+// the BMC cross-checks and the trace extractor.
+bool findTransitionInto(const TransitionSystem& system, const std::vector<bool>& state,
+                        const StateSet& target, std::vector<bool>* inputsOut,
+                        std::vector<bool>* nextStateOut);
+
+}  // namespace presat

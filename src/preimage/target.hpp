@@ -1,0 +1,43 @@
+// State sets as cube lists over the state index space.
+//
+// This is the interchange format between preimage steps: the target of a
+// query, and its result, are both unions of cubes over the state bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/biguint.hpp"
+#include "base/types.hpp"
+
+namespace presat {
+
+class BddManager;
+
+struct StateSet {
+  int numStateBits = 0;
+  // Union of cubes; variable i of each literal is state bit i.
+  std::vector<LitVec> cubes;
+
+  static StateSet fromCube(int numStateBits, LitVec cube);
+  // State given as bit pattern (bit i = state bit i).
+  static StateSet fromMinterm(int numStateBits, uint64_t minterm);
+  static StateSet all(int numStateBits) { return fromCube(numStateBits, {}); }
+  static StateSet none(int numStateBits) { return {numStateBits, {}}; }
+
+  bool empty() const { return cubes.empty(); }
+  // Exact number of states in the union.
+  BigUint countStates() const;
+  // Membership test for a concrete state.
+  bool contains(const std::vector<bool>& state) const;
+
+  uint32_t toBdd(BddManager& mgr) const;
+
+  std::string toString() const;
+};
+
+// Semantic equality of two state sets (via BDDs).
+bool sameStates(const StateSet& a, const StateSet& b);
+
+}  // namespace presat

@@ -1,0 +1,30 @@
+#include "preimage/transition_system.hpp"
+
+#include "base/log.hpp"
+#include "circuit/simulator.hpp"
+
+namespace presat {
+
+TransitionSystem::TransitionSystem(const Netlist& netlist) : netlist_(&netlist) {
+  PRESAT_CHECK(!netlist.dffs().empty()) << "transition system needs at least one DFF";
+  netlist.validate();
+  stateNodes_ = netlist.dffs();
+  inputNodes_ = netlist.inputs();
+  nextRoots_.reserve(stateNodes_.size());
+  for (NodeId dff : stateNodes_) nextRoots_.push_back(netlist.dffData(dff));
+}
+
+std::vector<bool> TransitionSystem::step(const std::vector<bool>& state,
+                                         const std::vector<bool>& inputs) const {
+  PRESAT_CHECK(state.size() == stateNodes_.size());
+  PRESAT_CHECK(inputs.size() == inputNodes_.size());
+  std::vector<bool> sources(netlist_->numNodes(), false);
+  for (size_t i = 0; i < stateNodes_.size(); ++i) sources[stateNodes_[i]] = state[i];
+  for (size_t i = 0; i < inputNodes_.size(); ++i) sources[inputNodes_[i]] = inputs[i];
+  std::vector<bool> values = Simulator::evaluateOnce(*netlist_, sources);
+  std::vector<bool> next(stateNodes_.size());
+  for (size_t i = 0; i < nextRoots_.size(); ++i) next[i] = values[nextRoots_[i]];
+  return next;
+}
+
+}  // namespace presat

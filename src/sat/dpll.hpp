@@ -1,0 +1,32 @@
+// Reference solvers used for differential testing.
+//
+// These are intentionally simple (no watched literals, no learning) so their
+// correctness is evident by inspection; the CDCL solver and every all-SAT
+// engine are fuzzed against them on small instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+
+namespace presat {
+
+// Plain DPLL with unit propagation. Returns a model if SAT.
+std::optional<std::vector<bool>> dpllSolve(const Cnf& cnf);
+
+bool dpllIsSat(const Cnf& cnf);
+
+// Enumerates, by exhaustive 2^|projection| sweep, every assignment to the
+// projection variables that can be extended to a full satisfying assignment.
+// Each result is encoded as a bit pattern: bit i = value of projection[i].
+// Only usable for small projections (checked: |projection| <= 24).
+std::set<uint64_t> bruteForceProjectedSolutions(const Cnf& cnf,
+                                                const std::vector<Var>& projection);
+
+// Exhaustive count of full satisfying assignments (numVars <= 24 checked).
+uint64_t bruteForceModelCount(const Cnf& cnf);
+
+}  // namespace presat

@@ -1,0 +1,625 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/log.hpp"
+
+namespace presat {
+
+// Clause as stored inside the solver. lits[0] and lits[1] are the watched
+// literals; for a reason clause, lits[0] is the implied literal.
+struct Solver::InternalClause {
+  LitVec lits;
+  double activity = 0.0;
+  bool learnt = false;
+};
+
+namespace {
+
+// Finite-subsequence generator for Luby restarts (MiniSat's formulation).
+double luby(double y, int x) {
+  int size, seq;
+  for (size = 1, seq = 0; size < x + 1; seq++, size = 2 * size + 1) {
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    seq--;
+    x = x % size;
+  }
+  return std::pow(y, seq);
+}
+
+constexpr double kRestartBase = 100.0;
+
+}  // namespace
+
+Solver::Solver() = default;
+Solver::~Solver() = default;
+
+// ---------------------------------------------------------------------------
+// Problem construction
+// ---------------------------------------------------------------------------
+
+Var Solver::newVar() {
+  Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(l_Undef);
+  polarity_.push_back(false);
+  decision_.push_back(true);
+  reason_.push_back(nullptr);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  heapIndex_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();  // positive literal
+  watches_.emplace_back();  // negative literal
+  heapInsert(v);
+  return v;
+}
+
+void Solver::setDecisionVar(Var v, bool decidable) {
+  decision_[static_cast<size_t>(v)] = decidable;
+  if (decidable && !heapContains(v)) heapInsert(v);
+}
+
+bool Solver::addClause(const LitVec& lits) {
+  PRESAT_CHECK(decisionLevel() == 0) << "clauses may only be added at level 0";
+  if (!ok_) return false;
+
+  LitVec c = lits;
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  LitVec cleaned;
+  for (size_t i = 0; i < c.size(); ++i) {
+    PRESAT_CHECK(c[i].var() >= 0 && c[i].var() < numVars()) << "unknown variable in clause";
+    if (i + 1 < c.size() && c[i].var() == c[i + 1].var()) return true;  // tautology
+    lbool v = value(c[i]);
+    if (v.isTrue()) return true;  // already satisfied at level 0
+    if (!v.isFalse()) cleaned.push_back(c[i]);
+  }
+
+  if (cleaned.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (cleaned.size() == 1) {
+    uncheckedEnqueue(cleaned[0], nullptr);
+    ok_ = (propagate() == nullptr);
+    return ok_;
+  }
+  InternalClause* clause = allocClause(cleaned, /*learnt=*/false);
+  attachClause(clause);
+  return true;
+}
+
+bool Solver::addCnf(const Cnf& cnf) {
+  while (numVars() < cnf.numVars()) newVar();
+  for (const Clause& c : cnf.clauses()) {
+    if (!addClause(c)) return false;
+  }
+  return true;
+}
+
+Solver::InternalClause* Solver::allocClause(const LitVec& lits, bool learnt) {
+  auto clause = std::make_unique<InternalClause>();
+  clause->lits = lits;
+  clause->learnt = learnt;
+  InternalClause* raw = clause.get();
+  clauses_.push_back(std::move(clause));
+  if (learnt) {
+    ++numLearnts_;
+    ++stats_.learntClauses;
+  } else {
+    ++numOriginal_;
+  }
+  return raw;
+}
+
+void Solver::attachClause(InternalClause* c) {
+  PRESAT_DCHECK(c->lits.size() >= 2);
+  watches_[static_cast<size_t>((~c->lits[0]).code())].push_back({c, c->lits[1]});
+  watches_[static_cast<size_t>((~c->lits[1]).code())].push_back({c, c->lits[0]});
+}
+
+void Solver::detachClause(InternalClause* c) {
+  for (int w = 0; w < 2; ++w) {
+    auto& list = watches_[static_cast<size_t>((~c->lits[w]).code())];
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i].clause == c) {
+        list[i] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::locked(const InternalClause* c) const {
+  Var v = c->lits[0].var();
+  return reason_[static_cast<size_t>(v)] == c && value(c->lits[0]).isTrue();
+}
+
+void Solver::removeClause(InternalClause* c) {
+  detachClause(c);
+  if (locked(c)) reason_[static_cast<size_t>(c->lits[0].var())] = nullptr;
+  if (c->learnt) {
+    --numLearnts_;
+    ++stats_.deletedClauses;
+  } else {
+    --numOriginal_;
+  }
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].get() == c) {
+      clauses_[i] = std::move(clauses_.back());
+      clauses_.pop_back();
+      return;
+    }
+  }
+  PRESAT_CHECK(false) << "removeClause: clause not found";
+}
+
+// ---------------------------------------------------------------------------
+// Trail & propagation
+// ---------------------------------------------------------------------------
+
+void Solver::uncheckedEnqueue(Lit l, InternalClause* from) {
+  size_t v = static_cast<size_t>(l.var());
+  PRESAT_DCHECK(assigns_[v].isUndef());
+  assigns_[v] = lbool(!l.sign());
+  level_[v] = decisionLevel();
+  reason_[v] = from;
+  trail_.push_back(l);
+}
+
+Solver::InternalClause* Solver::propagate() {
+  InternalClause* conflict = nullptr;
+  while (qhead_ < static_cast<int>(trail_.size())) {
+    Lit p = trail_[static_cast<size_t>(qhead_++)];
+    ++stats_.propagations;
+    auto& ws = watches_[static_cast<size_t>(p.code())];
+    size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      Watcher w = ws[i];
+      if (value(w.blocker).isTrue()) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      InternalClause& c = *w.clause;
+      ++i;
+      Lit falseLit = ~p;
+      if (c.lits[0] == falseLit) std::swap(c.lits[0], c.lits[1]);
+      PRESAT_DCHECK(c.lits[1] == falseLit);
+      Lit first = c.lits[0];
+      Watcher keep{&c, first};
+      if (first != w.blocker && value(first).isTrue()) {
+        ws[j++] = keep;
+        continue;
+      }
+      // Find a new literal to watch.
+      bool rewatched = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (!value(c.lits[k]).isFalse()) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<size_t>((~c.lits[1]).code())].push_back(keep);
+          rewatched = true;
+          break;
+        }
+      }
+      if (rewatched) continue;
+      // Clause is unit or conflicting under the current assignment.
+      ws[j++] = keep;
+      if (value(first).isFalse()) {
+        conflict = &c;
+        qhead_ = static_cast<int>(trail_.size());
+        while (i < ws.size()) ws[j++] = ws[i++];
+      } else {
+        uncheckedEnqueue(first, &c);
+      }
+    }
+    ws.resize(j);
+    if (conflict) break;
+  }
+  return conflict;
+}
+
+void Solver::cancelUntil(int targetLevel) {
+  if (decisionLevel() <= targetLevel) return;
+  int bound = trailLim_[static_cast<size_t>(targetLevel)];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    size_t v = static_cast<size_t>(trail_[static_cast<size_t>(i)].var());
+    polarity_[v] = assigns_[v].isTrue();  // phase saving
+    assigns_[v] = l_Undef;
+    reason_[v] = nullptr;
+    insertVarOrder(static_cast<Var>(v));
+  }
+  trail_.resize(static_cast<size_t>(bound));
+  trailLim_.resize(static_cast<size_t>(targetLevel));
+  qhead_ = bound;
+}
+
+// ---------------------------------------------------------------------------
+// Conflict analysis
+// ---------------------------------------------------------------------------
+
+void Solver::analyze(InternalClause* conflict, LitVec& outLearnt, int& outBtLevel) {
+  auto abstractLevel = [this](Var v) -> uint32_t {
+    return 1u << (level_[static_cast<size_t>(v)] & 31);
+  };
+
+  outLearnt.clear();
+  outLearnt.push_back(kUndefLit);  // slot for the asserting literal
+  int pathCount = 0;
+  Lit p = kUndefLit;
+  int index = static_cast<int>(trail_.size()) - 1;
+  InternalClause* reasonClause = conflict;
+
+  do {
+    PRESAT_DCHECK(reasonClause != nullptr);
+    if (reasonClause->learnt) claBumpActivity(*reasonClause);
+    size_t start = (p == kUndefLit) ? 0 : 1;
+    for (size_t j = start; j < reasonClause->lits.size(); ++j) {
+      Lit q = reasonClause->lits[j];
+      size_t v = static_cast<size_t>(q.var());
+      if (!seen_[v] && level_[v] > 0) {
+        varBumpActivity(q.var());
+        seen_[v] = 1;
+        if (level_[v] >= decisionLevel()) {
+          ++pathCount;
+        } else {
+          outLearnt.push_back(q);
+        }
+      }
+    }
+    // Walk back to the next marked literal on the trail.
+    while (!seen_[static_cast<size_t>(trail_[static_cast<size_t>(index--)].var())]) {
+    }
+    p = trail_[static_cast<size_t>(index + 1)];
+    reasonClause = reason_[static_cast<size_t>(p.var())];
+    seen_[static_cast<size_t>(p.var())] = 0;
+    --pathCount;
+  } while (pathCount > 0);
+  outLearnt[0] = ~p;
+
+  // Conflict-clause minimization: drop literals implied by the rest.
+  analyzeToClear_.assign(outLearnt.begin(), outLearnt.end());
+  uint32_t levels = 0;
+  for (size_t i = 1; i < outLearnt.size(); ++i) levels |= abstractLevel(outLearnt[i].var());
+  size_t i, j;
+  for (i = j = 1; i < outLearnt.size(); ++i) {
+    if (reason_[static_cast<size_t>(outLearnt[i].var())] == nullptr ||
+        !litRedundant(outLearnt[i], levels)) {
+      outLearnt[j++] = outLearnt[i];
+    }
+  }
+  stats_.minimizedLits += i - j;
+  outLearnt.resize(j);
+
+  // Determine the backjump level and move its literal to position 1.
+  if (outLearnt.size() == 1) {
+    outBtLevel = 0;
+  } else {
+    size_t maxI = 1;
+    for (size_t k = 2; k < outLearnt.size(); ++k) {
+      if (level_[static_cast<size_t>(outLearnt[k].var())] >
+          level_[static_cast<size_t>(outLearnt[maxI].var())]) {
+        maxI = k;
+      }
+    }
+    std::swap(outLearnt[1], outLearnt[maxI]);
+    outBtLevel = level_[static_cast<size_t>(outLearnt[1].var())];
+  }
+
+  for (Lit l : analyzeToClear_) seen_[static_cast<size_t>(l.var())] = 0;
+}
+
+bool Solver::litRedundant(Lit p, uint32_t abstractLevels) {
+  auto abstractLevel = [this](Var v) -> uint32_t {
+    return 1u << (level_[static_cast<size_t>(v)] & 31);
+  };
+  analyzeStack_.clear();
+  analyzeStack_.push_back(p);
+  size_t top = analyzeToClear_.size();
+  while (!analyzeStack_.empty()) {
+    Lit q = analyzeStack_.back();
+    analyzeStack_.pop_back();
+    InternalClause* c = reason_[static_cast<size_t>(q.var())];
+    PRESAT_DCHECK(c != nullptr);
+    for (size_t k = 1; k < c->lits.size(); ++k) {
+      Lit l = c->lits[k];
+      size_t v = static_cast<size_t>(l.var());
+      if (!seen_[v] && level_[v] > 0) {
+        if (reason_[v] != nullptr && (abstractLevel(l.var()) & abstractLevels) != 0) {
+          seen_[v] = 1;
+          analyzeStack_.push_back(l);
+          analyzeToClear_.push_back(l);
+        } else {
+          // Not removable: undo the marks added during this probe.
+          for (size_t u = top; u < analyzeToClear_.size(); ++u)
+            seen_[static_cast<size_t>(analyzeToClear_[u].var())] = 0;
+          analyzeToClear_.resize(top);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::analyzeFinal(Lit p, LitVec& outCore) {
+  outCore.clear();
+  outCore.push_back(p);
+  if (decisionLevel() == 0) return;
+  seen_[static_cast<size_t>(p.var())] = 1;
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= trailLim_[0]; --i) {
+    Var x = trail_[static_cast<size_t>(i)].var();
+    size_t xv = static_cast<size_t>(x);
+    if (!seen_[xv]) continue;
+    if (reason_[xv] == nullptr) {
+      PRESAT_DCHECK(level_[xv] > 0);
+      outCore.push_back(~trail_[static_cast<size_t>(i)]);
+    } else {
+      const InternalClause* c = reason_[xv];
+      for (size_t k = 1; k < c->lits.size(); ++k) {
+        if (level_[static_cast<size_t>(c->lits[k].var())] > 0)
+          seen_[static_cast<size_t>(c->lits[k].var())] = 1;
+      }
+    }
+    seen_[xv] = 0;
+  }
+  seen_[static_cast<size_t>(p.var())] = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Activities & decision heap
+// ---------------------------------------------------------------------------
+
+void Solver::varBumpActivity(Var v) {
+  size_t idx = static_cast<size_t>(v);
+  activity_[idx] += varInc_;
+  if (activity_[idx] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    varInc_ *= 1e-100;
+  }
+  if (heapContains(v)) heapPercolateUp(heapIndex_[idx]);
+}
+
+void Solver::claBumpActivity(InternalClause& c) {
+  c.activity += claInc_;
+  if (c.activity > 1e20) {
+    for (auto& cl : clauses_) {
+      if (cl->learnt) cl->activity *= 1e-20;
+    }
+    claInc_ *= 1e-20;
+  }
+}
+
+void Solver::insertVarOrder(Var v) {
+  if (!heapContains(v) && decision_[static_cast<size_t>(v)]) heapInsert(v);
+}
+
+void Solver::heapPercolateUp(int pos) {
+  Var v = heap_[static_cast<size_t>(pos)];
+  double act = activity_[static_cast<size_t>(v)];
+  while (pos > 0) {
+    int parent = (pos - 1) >> 1;
+    Var pv = heap_[static_cast<size_t>(parent)];
+    if (activity_[static_cast<size_t>(pv)] >= act) break;
+    heap_[static_cast<size_t>(pos)] = pv;
+    heapIndex_[static_cast<size_t>(pv)] = pos;
+    pos = parent;
+  }
+  heap_[static_cast<size_t>(pos)] = v;
+  heapIndex_[static_cast<size_t>(v)] = pos;
+}
+
+void Solver::heapPercolateDown(int pos) {
+  Var v = heap_[static_cast<size_t>(pos)];
+  double act = activity_[static_cast<size_t>(v)];
+  int size = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * pos + 1;
+    if (child >= size) break;
+    if (child + 1 < size &&
+        activity_[static_cast<size_t>(heap_[static_cast<size_t>(child + 1)])] >
+            activity_[static_cast<size_t>(heap_[static_cast<size_t>(child)])]) {
+      ++child;
+    }
+    Var cv = heap_[static_cast<size_t>(child)];
+    if (activity_[static_cast<size_t>(cv)] <= act) break;
+    heap_[static_cast<size_t>(pos)] = cv;
+    heapIndex_[static_cast<size_t>(cv)] = pos;
+    pos = child;
+  }
+  heap_[static_cast<size_t>(pos)] = v;
+  heapIndex_[static_cast<size_t>(v)] = pos;
+}
+
+void Solver::heapInsert(Var v) {
+  heapIndex_[static_cast<size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heapPercolateUp(static_cast<int>(heap_.size()) - 1);
+}
+
+Var Solver::heapRemoveMax() {
+  Var top = heap_[0];
+  heapIndex_[static_cast<size_t>(top)] = -1;
+  Var last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heapIndex_[static_cast<size_t>(last)] = 0;
+    heapPercolateDown(0);
+  }
+  return top;
+}
+
+double Solver::randomReal() {
+  // xorshift64*
+  randState_ ^= randState_ >> 12;
+  randState_ ^= randState_ << 25;
+  randState_ ^= randState_ >> 27;
+  return static_cast<double>((randState_ * 2685821657736338717ull) >> 11) * 0x1.0p-53;
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+Lit Solver::pickBranchLit() {
+  Var next = kNullVar;
+  if (randomFreq_ > 0 && !heap_.empty() && randomReal() < randomFreq_) {
+    Var cand = heap_[static_cast<size_t>(randState_ % heap_.size())];
+    if (assigns_[static_cast<size_t>(cand)].isUndef() && decision_[static_cast<size_t>(cand)])
+      next = cand;
+  }
+  while (next == kNullVar || !assigns_[static_cast<size_t>(next)].isUndef() ||
+         !decision_[static_cast<size_t>(next)]) {
+    if (heap_.empty()) return kUndefLit;
+    next = heapRemoveMax();
+  }
+  return mkLit(next, !polarity_[static_cast<size_t>(next)]);
+}
+
+void Solver::reduceDB() {
+  // Collect learnt clauses, keep the most active half (always keep binaries
+  // and locked clauses).
+  std::vector<InternalClause*> learnts;
+  for (auto& c : clauses_) {
+    if (c->learnt) learnts.push_back(c.get());
+  }
+  std::sort(learnts.begin(), learnts.end(), [](const InternalClause* a, const InternalClause* b) {
+    if ((a->lits.size() > 2) != (b->lits.size() > 2)) return a->lits.size() > 2;
+    return a->activity < b->activity;
+  });
+  double extraLim = claInc_ / std::max<size_t>(learnts.size(), 1);
+  size_t removed = 0;
+  for (size_t k = 0; k < learnts.size(); ++k) {
+    InternalClause* c = learnts[k];
+    if (c->lits.size() <= 2 || locked(c)) continue;
+    bool inFirstHalf = k < learnts.size() / 2;
+    if (inFirstHalf || c->activity < extraLim) {
+      removeClause(c);
+      ++removed;
+      if (removed >= learnts.size() / 2) break;
+    }
+  }
+}
+
+void Solver::removeSatisfiedAtLevelZero() {
+  PRESAT_DCHECK(decisionLevel() == 0);
+  std::vector<InternalClause*> toRemove;
+  for (auto& c : clauses_) {
+    if (!c->learnt) continue;  // keep originals for incremental correctness
+    for (Lit l : c->lits) {
+      if (value(l).isTrue()) {
+        toRemove.push_back(c.get());
+        break;
+      }
+    }
+  }
+  for (InternalClause* c : toRemove) removeClause(c);
+}
+
+lbool Solver::search(int64_t conflictsBeforeRestart) {
+  PRESAT_DCHECK(ok_);
+  int64_t conflictCount = 0;
+  LitVec learnt;
+
+  for (;;) {
+    InternalClause* conflict = propagate();
+    if (conflict != nullptr) {
+      ++stats_.conflicts;
+      ++conflictCount;
+      if (decisionLevel() == 0) {
+        ok_ = false;
+        return l_False;
+      }
+      int btLevel = 0;
+      analyze(conflict, learnt, btLevel);
+      cancelUntil(btLevel);
+      if (learnt.size() == 1) {
+        uncheckedEnqueue(learnt[0], nullptr);
+      } else {
+        InternalClause* c = allocClause(learnt, /*learnt=*/true);
+        attachClause(c);
+        claBumpActivity(*c);
+        uncheckedEnqueue(learnt[0], c);
+      }
+      varDecayActivity();
+      claDecayActivity();
+      continue;
+    }
+
+    // No conflict.
+    if (conflictCount >= conflictsBeforeRestart) {
+      ++stats_.restarts;
+      cancelUntil(0);
+      return l_Undef;
+    }
+    if (conflictBudget_ != 0 && stats_.conflicts >= budgetLimit_) {
+      cancelUntil(0);
+      return l_Undef;
+    }
+    if (decisionLevel() == 0 && static_cast<int>(trail_.size()) > lastSimplifyTrail_) {
+      removeSatisfiedAtLevelZero();
+      lastSimplifyTrail_ = static_cast<int>(trail_.size());
+    }
+    if (maxLearnts_ > 0 &&
+        static_cast<double>(numLearnts_) - static_cast<double>(trail_.size()) >= maxLearnts_) {
+      reduceDB();
+    }
+
+    // Assumptions first, then free decisions.
+    Lit next = kUndefLit;
+    while (decisionLevel() < static_cast<int>(assumptions_.size())) {
+      Lit p = assumptions_[static_cast<size_t>(decisionLevel())];
+      lbool v = value(p);
+      if (v.isTrue()) {
+        newDecisionLevel();  // dummy level so indices stay aligned
+      } else if (v.isFalse()) {
+        analyzeFinal(~p, conflictCore_);
+        return l_False;
+      } else {
+        next = p;
+        break;
+      }
+    }
+    if (next == kUndefLit) {
+      next = pickBranchLit();
+      if (next == kUndefLit) return l_True;  // all decision vars assigned
+      ++stats_.decisions;
+    }
+    newDecisionLevel();
+    uncheckedEnqueue(next, nullptr);
+  }
+}
+
+lbool Solver::solve(const LitVec& assumptions) {
+  model_.clear();
+  conflictCore_.clear();
+  if (!ok_) return l_False;
+  assumptions_ = assumptions;
+  if (maxLearnts_ <= 0)
+    maxLearnts_ = std::max<double>(static_cast<double>(numOriginal_) / 3.0, 1000.0);
+  budgetLimit_ = conflictBudget_ == 0 ? 0 : stats_.conflicts + conflictBudget_;
+
+  lbool status = l_Undef;
+  int restarts = 0;
+  while (status == l_Undef) {
+    double factor = luby(2.0, restarts);
+    status = search(static_cast<int64_t>(factor * kRestartBase));
+    ++restarts;
+    maxLearnts_ *= learntGrowth_;
+    if (status == l_Undef && budgetLimit_ != 0 && stats_.conflicts >= budgetLimit_) break;
+  }
+
+  if (status == l_True) {
+    model_ = assigns_;
+  } else if (status == l_False && conflictCore_.empty() && !ok_) {
+    // Root-level UNSAT independent of assumptions: empty core.
+  }
+  cancelUntil(0);
+  return status;
+}
+
+}  // namespace presat

@@ -1,0 +1,184 @@
+// MiniSat-style CDCL SAT solver.
+//
+// Architecture: two-watched-literal propagation, EVSIDS variable activities
+// with a heap-ordered decision queue, phase saving, first-UIP conflict
+// analysis with clause minimization, Luby restarts, and activity-based learnt
+// clause deletion. The solver is incremental: clauses can be added between
+// solve() calls, and solve() accepts assumption literals — both are load-
+// bearing for the blocking-clause all-SAT baselines, which add one clause per
+// enumerated solution and re-solve.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/types.hpp"
+#include "cnf/cnf.hpp"
+
+namespace presat {
+
+struct SolverStats {
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t conflicts = 0;
+  uint64_t restarts = 0;
+  uint64_t learntClauses = 0;
+  uint64_t deletedClauses = 0;
+  uint64_t minimizedLits = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+  ~Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // --- problem construction -------------------------------------------------
+  Var newVar();
+  int numVars() const { return static_cast<int>(assigns_.size()); }
+  // Adds a clause; returns false if the solver became trivially UNSAT.
+  bool addClause(const LitVec& lits);
+  bool addClause(std::initializer_list<Lit> lits) { return addClause(LitVec(lits)); }
+  // Loads every clause of a CNF (creating variables as needed).
+  bool addCnf(const Cnf& cnf);
+  bool okay() const { return ok_; }
+
+  // --- solving ---------------------------------------------------------------
+  // Returns l_True (SAT, model() valid), l_False (UNSAT under assumptions),
+  // or l_Undef if the conflict budget was exhausted.
+  lbool solve() { return solve({}); }
+  lbool solve(const LitVec& assumptions);
+
+  // Model of the last successful solve; indexed by variable.
+  const std::vector<lbool>& model() const { return model_; }
+  bool modelValue(Var v) const { return model_[static_cast<size_t>(v)].isTrue(); }
+  bool modelValue(Lit l) const { return modelValue(l.var()) != l.sign(); }
+
+  // Subset of the assumptions responsible for UNSAT (valid after solve()
+  // returned l_False with assumptions); literals appear as passed in.
+  const LitVec& conflictCore() const { return conflictCore_; }
+
+  // --- knobs ------------------------------------------------------------------
+  // 0 disables the budget. The budget applies per solve() call.
+  void setConflictBudget(uint64_t maxConflicts) { conflictBudget_ = maxConflicts; }
+  // Preferred phase when the variable is first decided (phase saving then
+  // takes over).
+  void setPolarity(Var v, bool phase) { polarity_[static_cast<size_t>(v)] = phase; }
+  // Excludes/includes a variable from decision making.
+  void setDecisionVar(Var v, bool decidable);
+  void setRandomSeed(uint64_t seed) { randState_ = seed | 1; }
+  // Fraction [0,1) of decisions taken randomly (diversification in benches).
+  void setRandomDecisionFreq(double f) { randomFreq_ = f; }
+
+  const SolverStats& stats() const { return stats_; }
+  size_t numLearnts() const { return numLearnts_; }
+  size_t numOriginalClauses() const { return numOriginal_; }
+
+  // Current assignment value during/after search (level-0 forced values
+  // persist between solves).
+  lbool value(Var v) const { return assigns_[static_cast<size_t>(v)]; }
+  lbool value(Lit l) const { return assigns_[static_cast<size_t>(l.var())] ^ l.sign(); }
+
+ private:
+  struct InternalClause;
+  struct Watcher {
+    InternalClause* clause;
+    Lit blocker;
+  };
+
+  // -- trail / assignment
+  void newDecisionLevel() { trailLim_.push_back(static_cast<int>(trail_.size())); }
+  int decisionLevel() const { return static_cast<int>(trailLim_.size()); }
+  void uncheckedEnqueue(Lit l, InternalClause* from);
+  InternalClause* propagate();
+  void cancelUntil(int level);
+
+  // -- conflict analysis
+  void analyze(InternalClause* conflict, LitVec& outLearnt, int& outBtLevel);
+  bool litRedundant(Lit l, uint32_t abstractLevels);
+  void analyzeFinal(Lit p, LitVec& outCore);
+
+  // -- search
+  Lit pickBranchLit();
+  lbool search(int64_t conflictsBeforeRestart);
+  void reduceDB();
+  void removeSatisfiedAtLevelZero();
+
+  // -- activities
+  void varBumpActivity(Var v);
+  void varDecayActivity() { varInc_ /= varDecay_; }
+  void claBumpActivity(InternalClause& c);
+  void claDecayActivity() { claInc_ /= claDecay_; }
+  void insertVarOrder(Var v);
+
+  // -- clause plumbing
+  InternalClause* allocClause(const LitVec& lits, bool learnt);
+  void attachClause(InternalClause* c);
+  void detachClause(InternalClause* c);
+  void removeClause(InternalClause* c);
+  bool locked(const InternalClause* c) const;
+
+  // -- decision heap (binary max-heap on activity)
+  void heapDecrease(int pos);
+  void heapIncrease(int pos);
+  void heapPercolateUp(int pos);
+  void heapPercolateDown(int pos);
+  bool heapContains(Var v) const { return heapIndex_[static_cast<size_t>(v)] >= 0; }
+  void heapInsert(Var v);
+  Var heapRemoveMax();
+
+  double randomReal();
+
+  // state
+  bool ok_ = true;
+  std::vector<std::unique_ptr<InternalClause>> clauses_;  // original + learnt
+  size_t numOriginal_ = 0;
+  size_t numLearnts_ = 0;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit code
+  std::vector<lbool> assigns_;                 // per var
+  std::vector<bool> polarity_;                 // saved phase, per var
+  std::vector<bool> decision_;                 // decidable, per var
+  std::vector<InternalClause*> reason_;        // per var
+  std::vector<int> level_;                     // per var
+
+  std::vector<Lit> trail_;
+  std::vector<int> trailLim_;
+  int qhead_ = 0;
+
+  // activities
+  std::vector<double> activity_;
+  double varInc_ = 1.0;
+  double varDecay_ = 0.95;
+  double claInc_ = 1.0;
+  double claDecay_ = 0.999;
+
+  // decision heap
+  std::vector<Var> heap_;
+  std::vector<int> heapIndex_;  // per var; -1 if absent
+
+  // analyze scratch
+  std::vector<uint8_t> seen_;
+  std::vector<Lit> analyzeToClear_;
+  std::vector<Lit> analyzeStack_;
+
+  // solve state
+  LitVec assumptions_;
+  LitVec conflictCore_;
+  std::vector<lbool> model_;
+  uint64_t conflictBudget_ = 0;
+  uint64_t budgetLimit_ = 0;
+  double maxLearnts_ = 0;
+  double learntGrowth_ = 1.1;
+  int lastSimplifyTrail_ = -1;
+
+  uint64_t randState_ = 91648253;
+  double randomFreq_ = 0.0;
+
+  SolverStats stats_;
+};
+
+}  // namespace presat

@@ -1,0 +1,374 @@
+// Cross-engine all-SAT tests: every engine must produce the same projected
+// solution set, verified against brute force and against each other.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "allsat/cube_blocking.hpp"
+#include "allsat/lifting.hpp"
+#include "allsat/minterm_blocking.hpp"
+#include "allsat/projection.hpp"
+#include "allsat/success_driven.hpp"
+#include "base/rng.hpp"
+#include "bdd/bdd.hpp"
+#include "circuit/simulator.hpp"
+#include "gen/generators.hpp"
+#include "gen/iscas.hpp"
+#include "gen/random_circuit.hpp"
+#include "sat/dpll.hpp"
+#include "test_util.hpp"
+
+namespace presat {
+namespace {
+
+// Brute-force reference for circuit problems: enumerate every assignment of
+// all sources, keep projected patterns of those meeting the objectives.
+std::set<uint64_t> bruteForceCircuit(const Netlist& nl, const NodeCube& objectives,
+                                     const std::vector<NodeId>& projection) {
+  std::vector<NodeId> sources;
+  for (NodeId id = 0; id < nl.numNodes(); ++id) {
+    GateType t = nl.type(id);
+    if (t == GateType::kInput || t == GateType::kDff) sources.push_back(id);
+  }
+  std::vector<int> projPos(nl.numNodes(), -1);
+  for (size_t i = 0; i < projection.size(); ++i) projPos[projection[i]] = static_cast<int>(i);
+
+  std::set<uint64_t> result;
+  EXPECT_LE(sources.size(), 20u);
+  for (uint64_t bits = 0; bits < (1ull << sources.size()); ++bits) {
+    std::vector<bool> full(nl.numNodes(), false);
+    for (size_t k = 0; k < sources.size(); ++k) full[sources[k]] = (bits >> k) & 1;
+    auto values = Simulator::evaluateOnce(nl, full);
+    bool ok = true;
+    for (const NodeAssign& obj : objectives) ok = ok && values[obj.first] == obj.second;
+    if (!ok) continue;
+    uint64_t pattern = 0;
+    for (size_t k = 0; k < sources.size(); ++k) {
+      int p = projPos[sources[k]];
+      if (p >= 0 && full[sources[k]]) pattern |= 1ull << p;
+    }
+    result.insert(pattern);
+  }
+  return result;
+}
+
+std::set<uint64_t> cubesToMinterms(const std::vector<LitVec>& cubes, size_t projSize) {
+  std::set<uint64_t> result;
+  EXPECT_LE(projSize, 20u);
+  for (uint64_t bits = 0; bits < (1ull << projSize); ++bits) {
+    for (const LitVec& cube : cubes) {
+      if (cubeCoversMinterm(cube, bits)) {
+        result.insert(bits);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+TEST(ProjectionHelpers, DisjointCountAndCoverage) {
+  std::vector<LitVec> cubes{{mkLit(0)}, {~mkLit(0), mkLit(1)}};
+  EXPECT_TRUE(cubesPairwiseDisjoint(cubes));
+  EXPECT_EQ(countDisjointCubeMinterms(cubes, 3).toU64(), 4u + 2u);
+  EXPECT_EQ(countCubeUnionMinterms(cubes, 3).toU64(), 6u);
+  EXPECT_TRUE(cubeCoversMinterm({mkLit(0), ~mkLit(2)}, 0b001));
+  EXPECT_FALSE(cubeCoversMinterm({mkLit(0), ~mkLit(2)}, 0b101));
+  std::vector<LitVec> overlapping{{mkLit(0)}, {mkLit(1)}};
+  EXPECT_FALSE(cubesPairwiseDisjoint(overlapping));
+  EXPECT_EQ(countCubeUnionMinterms(overlapping, 2).toU64(), 3u);
+}
+
+TEST(MintermBlocking, SimpleFormula) {
+  Cnf cnf(3);
+  cnf.addBinary(mkLit(0), mkLit(1));  // x0 | x1
+  AllSatResult r = mintermBlockingAllSat(cnf, {0, 1});
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.cubes.size(), 3u);
+  EXPECT_EQ(r.mintermCount.toU64(), 3u);
+  EXPECT_TRUE(cubesPairwiseDisjoint(r.cubes));
+}
+
+TEST(MintermBlocking, UnsatFormula) {
+  Cnf cnf(2);
+  cnf.addUnit(mkLit(0));
+  cnf.addUnit(~mkLit(0));
+  AllSatResult r = mintermBlockingAllSat(cnf, {0, 1});
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.cubes.empty());
+  EXPECT_TRUE(r.mintermCount.isZero());
+}
+
+TEST(MintermBlocking, EmptyProjection) {
+  Cnf cnf(2);
+  cnf.addBinary(mkLit(0), mkLit(1));
+  AllSatResult r = mintermBlockingAllSat(cnf, {});
+  EXPECT_EQ(r.cubes.size(), 1u);
+  EXPECT_EQ(r.mintermCount.toU64(), 1u);
+}
+
+TEST(MintermBlocking, MaxCubesCap) {
+  Cnf cnf(4);  // no constraints: 16 solutions
+  AllSatOptions opts;
+  opts.maxCubes = 5;
+  AllSatResult r = mintermBlockingAllSat(cnf, {0, 1, 2, 3}, opts);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.cubes.size(), 5u);
+}
+
+TEST(MintermBlockingProperty, MatchesBruteForce) {
+  Rng rng(83);
+  for (int iter = 0; iter < 120; ++iter) {
+    int vars = static_cast<int>(rng.range(2, 9));
+    Cnf cnf = testutil::randomCnf(rng, vars, static_cast<int>(rng.range(1, 18)));
+    std::vector<Var> projection;
+    for (Var v = 0; v < vars; ++v) {
+      if (rng.chance(1, 2)) projection.push_back(v);
+    }
+    std::set<uint64_t> expected = bruteForceProjectedSolutions(cnf, projection);
+    AllSatResult r = mintermBlockingAllSat(cnf, projection);
+    ASSERT_TRUE(r.complete);
+    EXPECT_EQ(cubesToMinterms(r.cubes, projection.size()), expected) << "iter " << iter;
+    EXPECT_EQ(r.mintermCount.toU64(), expected.size());
+    EXPECT_TRUE(cubesPairwiseDisjoint(r.cubes));
+  }
+}
+
+TEST(CubeBlockingNoLift, EquivalentToMintermBlocking) {
+  Rng rng(89);
+  for (int iter = 0; iter < 60; ++iter) {
+    int vars = static_cast<int>(rng.range(2, 8));
+    Cnf cnf = testutil::randomCnf(rng, vars, static_cast<int>(rng.range(1, 14)));
+    std::vector<Var> projection;
+    for (Var v = 0; v < vars; ++v) {
+      if (rng.chance(2, 3)) projection.push_back(v);
+    }
+    AllSatOptions opts;
+    opts.liftModels = false;
+    AllSatResult a = mintermBlockingAllSat(cnf, projection);
+    AllSatResult b = cubeBlockingAllSat(cnf, projection, {}, opts);
+    EXPECT_EQ(a.mintermCount, b.mintermCount);
+    EXPECT_EQ(cubesToMinterms(a.cubes, projection.size()),
+              cubesToMinterms(b.cubes, projection.size()));
+  }
+}
+
+TEST(CubeBlockingLifted, FullProjectionWithImplicantShrinking) {
+  Rng rng(97);
+  for (int iter = 0; iter < 120; ++iter) {
+    int vars = static_cast<int>(rng.range(2, 9));
+    Cnf cnf = testutil::randomCnf(rng, vars, static_cast<int>(rng.range(1, 16)));
+    std::vector<Var> projection;
+    for (Var v = 0; v < vars; ++v) projection.push_back(v);
+
+    ModelLifter lifter = [&cnf](const std::vector<lbool>& model) {
+      return shrinkModelToImplicant(cnf, model);
+    };
+    AllSatResult lifted = cubeBlockingAllSat(cnf, projection, lifter);
+    AllSatResult reference = mintermBlockingAllSat(cnf, projection);
+    EXPECT_EQ(lifted.mintermCount, reference.mintermCount) << "iter " << iter;
+    EXPECT_EQ(cubesToMinterms(lifted.cubes, projection.size()),
+              cubesToMinterms(reference.cubes, projection.size()));
+    // Lifting can only reduce the number of solver calls.
+    EXPECT_LE(lifted.cubes.size(), reference.cubes.size());
+  }
+}
+
+// --- success-driven engine ---------------------------------------------------
+
+CircuitAllSatProblem problemFor(const Netlist& nl, NodeCube objectives) {
+  CircuitAllSatProblem p;
+  p.netlist = &nl;
+  p.objectives = std::move(objectives);
+  for (NodeId d : nl.dffs()) p.projectionSources.push_back(d);
+  return p;
+}
+
+TEST(SuccessDriven, TrivialObjectiveOnSource) {
+  Netlist nl = makeCounter(3);
+  CircuitAllSatProblem p = problemFor(nl, {{nl.dffs()[0], true}});
+  SuccessDrivenResult r = successDrivenAllSat(p);
+  // s0 = 1: exactly half of the 8 states.
+  EXPECT_EQ(r.summary.mintermCount.toU64(), 4u);
+  EXPECT_TRUE(r.summary.complete);
+}
+
+TEST(SuccessDriven, UnsatisfiableObjective) {
+  Netlist nl;
+  NodeId a = nl.addInput("a");
+  NodeId na = nl.mkNot(a, "na");
+  NodeId g = nl.mkAnd(a, na, "g");  // constant 0
+  NodeId d = nl.addDff("s0", g);
+  nl.markOutput(d, "q");
+  CircuitAllSatProblem p;
+  p.netlist = &nl;
+  p.objectives = {{g, true}};
+  p.projectionSources = {d};
+  SuccessDrivenResult r = successDrivenAllSat(p);
+  EXPECT_TRUE(r.summary.cubes.empty());
+  EXPECT_TRUE(r.summary.mintermCount.isZero());
+}
+
+TEST(SuccessDriven, ConflictingObjectivesOnConstants) {
+  Netlist nl;
+  NodeId c = nl.addConst(true, "one");
+  NodeId d = nl.addDff("s0", c);
+  nl.markOutput(d, "q");
+  CircuitAllSatProblem p;
+  p.netlist = &nl;
+  p.objectives = {{c, false}};
+  p.projectionSources = {d};
+  SuccessDrivenResult r = successDrivenAllSat(p);
+  EXPECT_TRUE(r.summary.mintermCount.isZero());
+}
+
+class SuccessDrivenFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuccessDrivenFuzz, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 7);
+  for (int iter = 0; iter < 25; ++iter) {
+    RandomCircuitParams params;
+    params.seed = rng.next();
+    params.numInputs = static_cast<int>(rng.range(1, 3));
+    params.numDffs = static_cast<int>(rng.range(2, 5));
+    params.numGates = static_cast<int>(rng.range(8, 30));
+    Netlist nl = makeRandomSequential(params);
+
+    // Objectives: required values of 1-2 next-state roots (random polarity,
+    // so both SAT and UNSAT instances occur).
+    NodeCube objectives;
+    int numObj = static_cast<int>(rng.range(1, 2));
+    for (int k = 0; k < numObj; ++k) {
+      NodeId root = nl.dffData(nl.dffs()[rng.below(nl.dffs().size())]);
+      objectives.emplace_back(root, rng.flip());
+    }
+    CircuitAllSatProblem p = problemFor(nl, objectives);
+    std::set<uint64_t> expected = bruteForceCircuit(nl, objectives, p.projectionSources);
+
+    for (bool learning : {true, false}) {
+      AllSatOptions opts;
+      opts.successLearning = learning;
+      SuccessDrivenResult r = successDrivenAllSat(p, opts);
+      ASSERT_TRUE(r.summary.complete);
+      EXPECT_EQ(cubesToMinterms(r.summary.cubes, p.projectionSources.size()), expected)
+          << "seed-group " << GetParam() << " iter " << iter << " learning " << learning;
+      EXPECT_EQ(r.summary.mintermCount.toU64(), expected.size());
+      // Graph-derived counts must agree with the cube list.
+      EXPECT_EQ(r.graph.countPaths().toU64(), r.summary.cubes.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuccessDrivenFuzz, ::testing::Range(0, 8));
+
+TEST(SuccessDriven, AgreesWithMintermEngineOnS27) {
+  Netlist nl = makeS27();
+  Rng rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeCube objectives;
+    for (NodeId dff : nl.dffs()) {
+      if (rng.chance(2, 3)) objectives.emplace_back(nl.dffData(dff), rng.flip());
+    }
+    CircuitAllSatProblem p = problemFor(nl, objectives);
+    SuccessDrivenResult r = successDrivenAllSat(p);
+    std::set<uint64_t> expected = bruteForceCircuit(nl, objectives, p.projectionSources);
+    EXPECT_EQ(cubesToMinterms(r.summary.cubes, p.projectionSources.size()), expected)
+        << "trial " << trial;
+  }
+}
+
+// Balanced XOR tree over the state bits: parity objectives are the canonical
+// success-driven-learning showcase. Once the left subtree is justified one
+// way, every one of its (exponentially many) solution leaves faces the
+// identical right-subtree subproblem — the first leaf solves it, the rest hit
+// the memo.
+Netlist makeParityTree(int stateBits) {
+  Netlist nl;
+  std::vector<NodeId> layer;
+  for (int i = 0; i < stateBits; ++i) layer.push_back(nl.addDff("s" + std::to_string(i)));
+  std::vector<NodeId> state = layer;
+  int gateId = 0;
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(nl.mkXor(layer[i], layer[i + 1], "x" + std::to_string(gateId++)));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  for (NodeId d : state) nl.connectDffData(d, layer[0]);
+  nl.markOutput(layer[0], "parity");
+  nl.validate();
+  return nl;
+}
+
+TEST(SuccessDriven, LearningProducesMemoHitsOnXorTrees) {
+  Netlist nl = makeParityTree(8);
+  NodeId root = nl.outputs()[0];
+  CircuitAllSatProblem p = problemFor(nl, {{root, false}});
+  SuccessDrivenResult withLearning = successDrivenAllSat(p);
+  AllSatOptions off;
+  off.successLearning = false;
+  SuccessDrivenResult without = successDrivenAllSat(p, off);
+  EXPECT_GT(withLearning.summary.stats.memoHits, 0u);
+  // Even-parity assignments of 8 bits: exactly half the space.
+  EXPECT_EQ(withLearning.summary.mintermCount.toU64(), 128u);
+  EXPECT_EQ(without.summary.mintermCount.toU64(), 128u);
+  // Learning must shrink the search: fewer decisions and a smaller graph
+  // than the learning-free tree.
+  EXPECT_LT(withLearning.summary.stats.decisions, without.summary.stats.decisions);
+  EXPECT_LT(withLearning.summary.stats.graphNodes, without.summary.stats.graphNodes);
+  // Both represent the same 128 solution paths.
+  EXPECT_EQ(withLearning.graph.countPaths(), without.graph.countPaths());
+}
+
+TEST(SuccessDriven, LinearCarryChainNeedsNoLearning) {
+  // A single-bit objective through a carry chain produces a repetition-free
+  // search tree: learning finds nothing to reuse and must not change the
+  // result.
+  Netlist nl = makeCounter(10);
+  NodeId root = nl.dffData(nl.dffs()[9]);
+  CircuitAllSatProblem p = problemFor(nl, {{root, false}});
+  SuccessDrivenResult withLearning = successDrivenAllSat(p);
+  AllSatOptions off;
+  off.successLearning = false;
+  SuccessDrivenResult without = successDrivenAllSat(p, off);
+  EXPECT_EQ(withLearning.summary.mintermCount, without.summary.mintermCount);
+  EXPECT_EQ(withLearning.summary.stats.decisions, without.summary.stats.decisions);
+}
+
+TEST(SuccessDriven, CubesAreSoundOnCounter) {
+  // Every enumerated cube, completed arbitrarily, must reach the objectives.
+  Netlist nl = makeCounter(5);
+  NodeId root0 = nl.dffData(nl.dffs()[0]);
+  NodeId root3 = nl.dffData(nl.dffs()[3]);
+  NodeCube objectives{{root0, true}, {root3, false}};
+  CircuitAllSatProblem p = problemFor(nl, objectives);
+  SuccessDrivenResult r = successDrivenAllSat(p);
+  std::set<uint64_t> expected = bruteForceCircuit(nl, objectives, p.projectionSources);
+  EXPECT_EQ(cubesToMinterms(r.summary.cubes, p.projectionSources.size()), expected);
+}
+
+TEST(SuccessDriven, BranchOrdersAgreeOnTheUnion) {
+  Rng rng(211);
+  for (int iter = 0; iter < 15; ++iter) {
+    RandomCircuitParams params;
+    params.seed = rng.next();
+    params.numInputs = 2;
+    params.numDffs = 4;
+    params.numGates = static_cast<int>(rng.range(10, 30));
+    Netlist nl = makeRandomSequential(params);
+    NodeCube objectives{{nl.dffData(nl.dffs()[0]), rng.flip()}};
+    CircuitAllSatProblem p = problemFor(nl, objectives);
+    AllSatOptions low;
+    AllSatOptions high;
+    high.branchOrder = BranchOrder::kHighestGateFirst;
+    SuccessDrivenResult a = successDrivenAllSat(p, low);
+    SuccessDrivenResult b = successDrivenAllSat(p, high);
+    EXPECT_EQ(a.summary.mintermCount, b.summary.mintermCount) << "iter " << iter;
+    BddManager mgr(static_cast<int>(p.projectionSources.size()));
+    EXPECT_EQ(cubesToBdd(mgr, a.summary.cubes), cubesToBdd(mgr, b.summary.cubes));
+  }
+}
+
+}  // namespace
+}  // namespace presat

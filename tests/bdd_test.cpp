@@ -1,0 +1,238 @@
+// ROBDD package tests: canonicity, boolean algebra, quantification,
+// composition, counting, enumeration — differentially against truth tables.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "base/rng.hpp"
+#include "bdd/bdd.hpp"
+
+namespace presat {
+namespace {
+
+// Evaluates a BDD under an assignment (bit i of `bits` = var i).
+bool evalBdd(const BddManager& mgr, BddRef f, uint64_t bits) {
+  BddManager& m = const_cast<BddManager&>(mgr);
+  while (!m.isConstant(f)) {
+    f = ((bits >> m.topVar(f)) & 1) ? m.high(f) : m.low(f);
+  }
+  return f == BddManager::kTrue;
+}
+
+TEST(Bdd, Terminals) {
+  BddManager mgr(3);
+  EXPECT_EQ(mgr.constant(true), BddManager::kTrue);
+  EXPECT_EQ(mgr.constant(false), BddManager::kFalse);
+  EXPECT_TRUE(mgr.isConstant(BddManager::kTrue));
+}
+
+TEST(Bdd, VariableAndLiteral) {
+  BddManager mgr(3);
+  BddRef x = mgr.variable(1);
+  EXPECT_EQ(mgr.topVar(x), 1);
+  EXPECT_EQ(mgr.low(x), BddManager::kFalse);
+  EXPECT_EQ(mgr.high(x), BddManager::kTrue);
+  BddRef nx = mgr.literal(1, false);
+  EXPECT_EQ(nx, mgr.bddNot(x));
+}
+
+TEST(Bdd, HashConsingCanonicity) {
+  BddManager mgr(4);
+  BddRef a = mgr.variable(0);
+  BddRef b = mgr.variable(1);
+  // (a & b) built two different ways must be the same node.
+  BddRef ab1 = mgr.bddAnd(a, b);
+  BddRef ab2 = mgr.bddNot(mgr.bddOr(mgr.bddNot(a), mgr.bddNot(b)));
+  EXPECT_EQ(ab1, ab2);
+  // Double negation is the identity.
+  EXPECT_EQ(mgr.bddNot(mgr.bddNot(ab1)), ab1);
+  // XOR of equal operands is false.
+  EXPECT_EQ(mgr.bddXor(ab1, ab2), BddManager::kFalse);
+}
+
+TEST(Bdd, CubeConstruction) {
+  BddManager mgr(4);
+  BddRef c = mgr.cube({mkLit(0), ~mkLit(2)});
+  EXPECT_EQ(mgr.satCount(c).toU64(), 4u);  // 2 free vars
+  EXPECT_TRUE(evalBdd(mgr, c, 0b0001));
+  EXPECT_FALSE(evalBdd(mgr, c, 0b0101));
+  EXPECT_FALSE(evalBdd(mgr, c, 0b0000));
+  EXPECT_EQ(mgr.cube({}), BddManager::kTrue);
+}
+
+TEST(Bdd, RestrictCofactor) {
+  BddManager mgr(3);
+  BddRef f = mgr.bddXor(mgr.variable(0), mgr.variable(1));
+  EXPECT_EQ(mgr.restrict1(f, 0, false), mgr.variable(1));
+  EXPECT_EQ(mgr.restrict1(f, 0, true), mgr.bddNot(mgr.variable(1)));
+  EXPECT_EQ(mgr.restrict1(f, 2, true), f);  // var not in support
+}
+
+TEST(Bdd, ExistsForall) {
+  BddManager mgr(3);
+  BddRef a = mgr.variable(0);
+  BddRef b = mgr.variable(1);
+  BddRef f = mgr.bddAnd(a, b);
+  EXPECT_EQ(mgr.exists(f, {0}), b);
+  EXPECT_EQ(mgr.forall(f, {0}), BddManager::kFalse);
+  BddRef g = mgr.bddOr(a, b);
+  EXPECT_EQ(mgr.forall(g, {0}), b);
+  EXPECT_EQ(mgr.exists(g, {0, 1}), BddManager::kTrue);
+}
+
+TEST(Bdd, SupportComputation) {
+  BddManager mgr(5);
+  BddRef f = mgr.bddAnd(mgr.variable(1), mgr.bddXor(mgr.variable(3), mgr.variable(4)));
+  EXPECT_EQ(mgr.support(f), (std::vector<Var>{1, 3, 4}));
+  EXPECT_TRUE(mgr.support(BddManager::kTrue).empty());
+}
+
+TEST(Bdd, SatCountMatchesTruthTable) {
+  Rng rng(41);
+  const int vars = 6;
+  BddManager mgr(vars);
+  for (int iter = 0; iter < 60; ++iter) {
+    // Random function as OR of random cubes.
+    BddRef f = BddManager::kFalse;
+    int terms = static_cast<int>(rng.range(1, 5));
+    for (int t = 0; t < terms; ++t) {
+      LitVec cube;
+      for (Var v = 0; v < vars; ++v) {
+        if (rng.chance(1, 2)) cube.push_back(mkLit(v, rng.flip()));
+      }
+      f = mgr.bddOr(f, mgr.cube(cube));
+    }
+    uint64_t expected = 0;
+    for (uint64_t bits = 0; bits < (1ull << vars); ++bits) {
+      if (evalBdd(mgr, f, bits)) ++expected;
+    }
+    EXPECT_EQ(mgr.satCount(f).toU64(), expected) << "iter " << iter;
+  }
+}
+
+TEST(Bdd, EnumerateCubesCoversExactlyTheOnSet) {
+  Rng rng(43);
+  const int vars = 5;
+  BddManager mgr(vars);
+  for (int iter = 0; iter < 40; ++iter) {
+    BddRef f = BddManager::kFalse;
+    for (int t = 0; t < 3; ++t) {
+      LitVec cube;
+      for (Var v = 0; v < vars; ++v) {
+        if (rng.chance(2, 3)) cube.push_back(mkLit(v, rng.flip()));
+      }
+      f = mgr.bddOr(f, mgr.cube(cube));
+    }
+    std::vector<LitVec> cubes = mgr.enumerateCubes(f);
+    // Rebuild and compare: must be the identical BDD.
+    BddRef rebuilt = BddManager::kFalse;
+    for (const LitVec& c : cubes) rebuilt = mgr.bddOr(rebuilt, mgr.cube(c));
+    EXPECT_EQ(rebuilt, f);
+    // Path cubes of a BDD are disjoint by construction.
+    for (size_t i = 0; i < cubes.size(); ++i) {
+      for (size_t j = i + 1; j < cubes.size(); ++j) {
+        bool clash = false;
+        for (Lit x : cubes[i]) {
+          for (Lit y : cubes[j]) clash = clash || (x.var() == y.var() && x.sign() != y.sign());
+        }
+        EXPECT_TRUE(clash);
+      }
+    }
+  }
+}
+
+TEST(Bdd, ComposeVectorSubstitutes) {
+  BddManager mgr(4);
+  BddRef a = mgr.variable(0);
+  BddRef b = mgr.variable(1);
+  BddRef c = mgr.variable(2);
+  BddRef f = mgr.bddXor(a, b);  // f(a,b) = a ^ b
+  // Substitute a <- b & c, b <- identity.
+  std::vector<BddRef> subst(4, BddManager::kNoSubstitution);
+  subst[0] = mgr.bddAnd(b, c);
+  BddRef g = mgr.composeVector(f, subst);
+  // g = (b & c) ^ b = b & ~c.
+  EXPECT_EQ(g, mgr.bddAnd(b, mgr.bddNot(c)));
+}
+
+TEST(Bdd, IteMatchesTruthTableRandomly) {
+  Rng rng(47);
+  const int vars = 4;
+  BddManager mgr(vars);
+  std::vector<BddRef> pool;
+  for (Var v = 0; v < vars; ++v) pool.push_back(mgr.variable(v));
+  pool.push_back(BddManager::kTrue);
+  pool.push_back(BddManager::kFalse);
+  for (int iter = 0; iter < 200; ++iter) {
+    BddRef f = pool[rng.below(pool.size())];
+    BddRef g = pool[rng.below(pool.size())];
+    BddRef h = pool[rng.below(pool.size())];
+    BddRef r = mgr.ite(f, g, h);
+    pool.push_back(r);
+    for (uint64_t bits = 0; bits < (1ull << vars); ++bits) {
+      bool expected = evalBdd(mgr, f, bits) ? evalBdd(mgr, g, bits) : evalBdd(mgr, h, bits);
+      ASSERT_EQ(evalBdd(mgr, r, bits), expected);
+    }
+  }
+}
+
+TEST(Bdd, DagSizeAndDot) {
+  BddManager mgr(3);
+  BddRef f = mgr.bddXor(mgr.variable(0), mgr.bddXor(mgr.variable(1), mgr.variable(2)));
+  EXPECT_EQ(mgr.dagSize(f), 3u + 2u + 2u);  // xor chain: 3 levels of 1,2,2 + terminals... structural
+  std::string dot = mgr.toDot(f, "parity");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("x0"), std::string::npos);
+}
+
+// Property: andExists(f, g, V) == exists(f & g, V), on random functions.
+TEST(BddProperty, AndExistsMatchesComposition) {
+  Rng rng(59);
+  const int vars = 6;
+  BddManager mgr(vars);
+  auto randomFn = [&]() {
+    BddRef f = BddManager::kFalse;
+    for (int t = 0; t < 3; ++t) {
+      LitVec cube;
+      for (Var v = 0; v < vars; ++v) {
+        if (rng.chance(1, 2)) cube.push_back(mkLit(v, rng.flip()));
+      }
+      f = mgr.bddOr(f, mgr.cube(cube));
+    }
+    return f;
+  };
+  for (int iter = 0; iter < 80; ++iter) {
+    BddRef f = randomFn();
+    BddRef g = randomFn();
+    std::vector<Var> quantified;
+    for (Var v = 0; v < vars; ++v) {
+      if (rng.chance(1, 3)) quantified.push_back(v);
+    }
+    EXPECT_EQ(mgr.andExists(f, g, quantified), mgr.exists(mgr.bddAnd(f, g), quantified))
+        << "iter " << iter;
+  }
+}
+
+// Property: exists really is disjunction of cofactors, on random functions.
+TEST(BddProperty, ExistsEqualsCofactorDisjunction) {
+  Rng rng(53);
+  const int vars = 5;
+  BddManager mgr(vars);
+  for (int iter = 0; iter < 60; ++iter) {
+    BddRef f = BddManager::kFalse;
+    for (int t = 0; t < 3; ++t) {
+      LitVec cube;
+      for (Var v = 0; v < vars; ++v) {
+        if (rng.chance(1, 2)) cube.push_back(mkLit(v, rng.flip()));
+      }
+      f = mgr.bddOr(f, mgr.cube(cube));
+    }
+    Var q = static_cast<Var>(rng.below(vars));
+    BddRef viaQuant = mgr.exists(f, {q});
+    BddRef viaCof = mgr.bddOr(mgr.restrict1(f, q, false), mgr.restrict1(f, q, true));
+    EXPECT_EQ(viaQuant, viaCof);
+  }
+}
+
+}  // namespace
+}  // namespace presat

@@ -1,0 +1,332 @@
+// Netlist, .bench I/O, simulators, Tseitin encoding, CNF->circuit.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "circuit/bench_io.hpp"
+#include "circuit/from_cnf.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/simulator.hpp"
+#include "circuit/ternary.hpp"
+#include "circuit/tseitin.hpp"
+#include "gen/generators.hpp"
+#include "gen/iscas.hpp"
+#include "gen/random_circuit.hpp"
+#include "preimage/transition_system.hpp"
+#include "sat/dpll.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace presat {
+namespace {
+
+Netlist buildSmallCombinational() {
+  Netlist nl;
+  NodeId a = nl.addInput("a");
+  NodeId b = nl.addInput("b");
+  NodeId c = nl.addInput("c");
+  NodeId ab = nl.mkAnd(a, b, "ab");
+  NodeId abc = nl.mkOr(ab, c, "abc");
+  nl.markOutput(abc, "y");
+  return nl;
+}
+
+TEST(Netlist, BasicConstruction) {
+  Netlist nl = buildSmallCombinational();
+  EXPECT_EQ(nl.numNodes(), 5u);
+  EXPECT_EQ(nl.inputs().size(), 3u);
+  EXPECT_EQ(nl.numGates(), 2u);
+  EXPECT_EQ(nl.findByName("ab"), 3u);
+  EXPECT_EQ(nl.findByName("missing"), kNoNode);
+  nl.validate();
+}
+
+TEST(Netlist, TopologicalOrderRespectsEdges) {
+  Netlist nl = makeS27();
+  std::vector<NodeId> order = nl.topologicalOrder();
+  std::vector<size_t> pos(nl.numNodes());
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId id = 0; id < nl.numNodes(); ++id) {
+    if (!isCombinational(nl.type(id))) continue;
+    for (NodeId f : nl.fanins(id)) EXPECT_LT(pos[f], pos[id]);
+  }
+}
+
+TEST(Netlist, LevelsAreMonotone) {
+  Netlist nl = makeS27();
+  std::vector<int> level = nl.levels();
+  for (NodeId id = 0; id < nl.numNodes(); ++id) {
+    if (!isCombinational(nl.type(id))) {
+      EXPECT_EQ(level[id], 0);
+      continue;
+    }
+    for (NodeId f : nl.fanins(id)) EXPECT_GT(level[id], level[f]);
+  }
+}
+
+TEST(Netlist, ConeAndSupport) {
+  Netlist nl = buildSmallCombinational();
+  NodeId ab = nl.findByName("ab");
+  std::vector<NodeId> support = nl.supportOf({ab});
+  EXPECT_EQ(support.size(), 2u);  // a, b
+  std::vector<NodeId> cone = nl.coneOf({nl.findByName("abc")});
+  EXPECT_EQ(cone.size(), 5u);
+}
+
+TEST(Netlist, FanoutsMatchFanins) {
+  Netlist nl = makeS27();
+  auto outs = nl.fanouts();
+  size_t edges = 0, redges = 0;
+  for (NodeId id = 0; id < nl.numNodes(); ++id) edges += nl.fanins(id).size();
+  for (const auto& v : outs) redges += v.size();
+  EXPECT_EQ(edges, redges);
+}
+
+TEST(BenchIo, ParsesS27Structure) {
+  Netlist nl = makeS27();
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.dffs().size(), 3u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.numGates(), 10u);  // 8 2-input gates + 2 inverters
+  // Spot-check connectivity: G11 = NOR(G5, G9).
+  NodeId g11 = nl.findByName("G11");
+  ASSERT_NE(g11, kNoNode);
+  EXPECT_EQ(nl.type(g11), GateType::kNor);
+  EXPECT_EQ(nl.fanins(g11).size(), 2u);
+  EXPECT_EQ(nl.name(nl.fanins(g11)[0]), "G5");
+  EXPECT_EQ(nl.name(nl.fanins(g11)[1]), "G9");
+}
+
+TEST(BenchIo, RoundTripPreservesBehaviour) {
+  Rng rng(5);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    RandomCircuitParams params;
+    params.seed = seed;
+    Netlist original = makeRandomSequential(params);
+    Netlist back = parseBenchString(toBenchString(original));
+    ASSERT_EQ(back.inputs().size(), original.inputs().size());
+    ASSERT_EQ(back.dffs().size(), original.dffs().size());
+    // Compare behaviour on random patterns: same sources by name.
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<bool> src1(original.numNodes(), false);
+      std::vector<bool> src2(back.numNodes(), false);
+      for (NodeId id = 0; id < original.numNodes(); ++id) {
+        if (isCombinational(original.type(id))) continue;
+        bool v = rng.flip();
+        src1[id] = v;
+        NodeId other = back.findByName(original.name(id).empty() ? "n" + std::to_string(id)
+                                                                 : original.name(id));
+        ASSERT_NE(other, kNoNode);
+        src2[other] = v;
+      }
+      auto val1 = Simulator::evaluateOnce(original, src1);
+      auto val2 = Simulator::evaluateOnce(back, src2);
+      for (size_t i = 0; i < original.dffs().size(); ++i) {
+        EXPECT_EQ(val1[original.dffData(original.dffs()[i])],
+                  val2[back.dffData(back.dffs()[i])]);
+      }
+    }
+  }
+}
+
+TEST(BenchIo, MuxAndConstDialectRoundTrip) {
+  // Traffic light (MUX + const) and combination lock survive the writer's
+  // dialect extension.
+  for (Netlist original : {makeTrafficLight(), makeCombinationLock({1, 2}, 2)}) {
+    Netlist back = parseBenchString(toBenchString(original));
+    TransitionSystem a(original);
+    TransitionSystem b(back);
+    Rng rng(99);
+    for (int trial = 0; trial < 40; ++trial) {
+      std::vector<bool> state(static_cast<size_t>(a.numStateBits()));
+      std::vector<bool> inputs(static_cast<size_t>(a.numInputs()));
+      for (auto&& v : state) v = rng.flip();
+      for (auto&& v : inputs) v = rng.flip();
+      EXPECT_EQ(a.step(state, inputs), b.step(state, inputs));
+    }
+  }
+}
+
+TEST(BenchIo, RejectsMalformedInput) {
+  EXPECT_DEATH((void)parseBenchString("G1 = FROB(G0)\nINPUT(G0)\n"), "unknown gate type");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nG1 = AND(G0, G9)\n"), "undefined signal");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nG1 = NOT(G0)\nG1 = NOT(G0)\n"), "redefinition");
+}
+
+TEST(Simulator, GateSemantics) {
+  Netlist nl;
+  NodeId a = nl.addInput("a");
+  NodeId b = nl.addInput("b");
+  NodeId s = nl.addInput("s");
+  NodeId gAnd = nl.addGate(GateType::kAnd, {a, b});
+  NodeId gNand = nl.addGate(GateType::kNand, {a, b});
+  NodeId gOr = nl.addGate(GateType::kOr, {a, b});
+  NodeId gNor = nl.addGate(GateType::kNor, {a, b});
+  NodeId gXor = nl.addGate(GateType::kXor, {a, b});
+  NodeId gXnor = nl.addGate(GateType::kXnor, {a, b});
+  NodeId gNot = nl.mkNot(a);
+  NodeId gBuf = nl.addGate(GateType::kBuf, {a});
+  NodeId gMux = nl.mkMux(s, a, b);
+
+  Simulator sim(nl);
+  // Pattern k in {0..7}: bit0 of k = a, bit1 = b, bit2 = s.
+  uint64_t wa = 0, wb = 0, ws = 0;
+  for (int k = 0; k < 8; ++k) {
+    if (k & 1) wa |= 1ull << k;
+    if (k & 2) wb |= 1ull << k;
+    if (k & 4) ws |= 1ull << k;
+  }
+  sim.setSource(a, wa);
+  sim.setSource(b, wb);
+  sim.setSource(s, ws);
+  sim.run();
+  uint64_t mask = 0xff;
+  EXPECT_EQ(sim.value(gAnd) & mask, wa & wb & mask);
+  EXPECT_EQ(sim.value(gNand) & mask, ~(wa & wb) & mask);
+  EXPECT_EQ(sim.value(gOr) & mask, (wa | wb) & mask);
+  EXPECT_EQ(sim.value(gNor) & mask, ~(wa | wb) & mask);
+  EXPECT_EQ(sim.value(gXor) & mask, (wa ^ wb) & mask);
+  EXPECT_EQ(sim.value(gXnor) & mask, ~(wa ^ wb) & mask);
+  EXPECT_EQ(sim.value(gNot) & mask, ~wa & mask);
+  EXPECT_EQ(sim.value(gBuf) & mask, wa & mask);
+  EXPECT_EQ(sim.value(gMux) & mask, ((ws & wb) | (~ws & wa)) & mask);
+}
+
+TEST(Ternary, AgreesWithBinaryOnFullAssignments) {
+  Rng rng(9);
+  RandomCircuitParams params;
+  params.seed = 4;
+  params.numGates = 60;
+  Netlist nl = makeRandomSequential(params);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<bool> sources(nl.numNodes(), false);
+    std::vector<lbool> tern(nl.numNodes(), l_Undef);
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+      if (isCombinational(nl.type(id))) continue;
+      bool v = rng.flip();
+      sources[id] = v;
+      tern[id] = lbool(v);
+    }
+    auto binary = Simulator::evaluateOnce(nl, sources);
+    auto ternary = ternarySimulate(nl, tern);
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+      ASSERT_FALSE(ternary[id].isUndef()) << "node " << id;
+      EXPECT_EQ(ternary[id].isTrue(), binary[id]) << "node " << id;
+    }
+  }
+}
+
+TEST(Ternary, PartialAssignmentsNeverContradictCompletions) {
+  Rng rng(33);
+  RandomCircuitParams params;
+  params.seed = 8;
+  params.numGates = 30;
+  params.numInputs = 3;
+  params.numDffs = 3;
+  Netlist nl = makeRandomSequential(params);
+  std::vector<NodeId> sources;
+  for (NodeId id = 0; id < nl.numNodes(); ++id) {
+    if (nl.type(id) == GateType::kInput || nl.type(id) == GateType::kDff) sources.push_back(id);
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<lbool> partial(nl.numNodes(), l_Undef);
+    for (NodeId s : sources) {
+      if (rng.chance(1, 2)) partial[s] = lbool(rng.flip());
+    }
+    auto tern = ternarySimulate(nl, partial);
+    // Every completion must agree with the determined ternary values.
+    size_t free = 0;
+    for (NodeId s : sources) free += partial[s].isUndef() ? 1 : 0;
+    ASSERT_LE(free, 6u);
+    for (uint64_t bits = 0; bits < (1ull << free); ++bits) {
+      std::vector<bool> full(nl.numNodes(), false);
+      size_t k = 0;
+      for (NodeId s : sources) {
+        full[s] = partial[s].isUndef() ? ((bits >> k++) & 1) : partial[s].isTrue();
+      }
+      auto values = Simulator::evaluateOnce(nl, full);
+      for (NodeId id = 0; id < nl.numNodes(); ++id) {
+        if (!tern[id].isUndef()) {
+          EXPECT_EQ(tern[id].isTrue(), values[id]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Tseitin, EncodingMatchesSimulation) {
+  Rng rng(17);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomCircuitParams params;
+    params.seed = seed;
+    params.numGates = 40;
+    Netlist nl = makeRandomSequential(params);
+    CircuitEncoding enc = encodeCircuit(nl);
+    for (int trial = 0; trial < 30; ++trial) {
+      std::vector<bool> sources(nl.numNodes(), false);
+      for (NodeId id = 0; id < nl.numNodes(); ++id) {
+        if (!isCombinational(nl.type(id))) sources[id] = rng.flip();
+      }
+      auto values = Simulator::evaluateOnce(nl, sources);
+      // Constrain the CNF to the source values and solve; every node variable
+      // must take the simulated value.
+      Solver s;
+      s.addCnf(enc.cnf);
+      LitVec assumptions;
+      for (NodeId id = 0; id < nl.numNodes(); ++id) {
+        GateType t = nl.type(id);
+        if (t == GateType::kInput || t == GateType::kDff) {
+          assumptions.push_back(enc.litOf(id, sources[id]));
+        }
+      }
+      ASSERT_TRUE(s.solve(assumptions).isTrue());
+      for (NodeId id = 0; id < nl.numNodes(); ++id) {
+        EXPECT_EQ(s.modelValue(enc.varOf(id)), values[id]) << "node " << id << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Tseitin, ConeEncodingOnlyCoversCone) {
+  Netlist nl = buildSmallCombinational();
+  NodeId ab = nl.findByName("ab");
+  CircuitEncoding enc = encodeCircuit(nl, {ab});
+  EXPECT_TRUE(enc.isEncoded(ab));
+  EXPECT_TRUE(enc.isEncoded(nl.findByName("a")));
+  EXPECT_FALSE(enc.isEncoded(nl.findByName("c")));
+  EXPECT_FALSE(enc.isEncoded(nl.findByName("abc")));
+}
+
+TEST(FromCnf, SatisfiabilityPreserved) {
+  Rng rng(77);
+  for (int iter = 0; iter < 100; ++iter) {
+    Cnf cnf = testutil::randomCnf(rng, static_cast<int>(rng.range(1, 8)),
+                                  static_cast<int>(rng.range(1, 18)));
+    CnfCircuit circuit = cnfToCircuit(cnf);
+    bool expected = dpllIsSat(cnf);
+    // SAT check through the circuit: encode and require root = 1.
+    CircuitEncoding enc = encodeCircuit(circuit.netlist);
+    Solver s;
+    s.addCnf(enc.cnf);
+    s.addClause({enc.litOf(circuit.root, true)});
+    EXPECT_EQ(s.solve().isTrue(), expected) << "iter " << iter;
+  }
+}
+
+TEST(FromCnf, RootSimulatesFormula) {
+  Rng rng(78);
+  Cnf cnf = testutil::randomCnf(rng, 6, 12);
+  CnfCircuit circuit = cnfToCircuit(cnf);
+  std::vector<bool> assignment(6);
+  for (uint64_t bits = 0; bits < 64; ++bits) {
+    std::vector<bool> sources(circuit.netlist.numNodes(), false);
+    for (Var v = 0; v < 6; ++v) {
+      assignment[static_cast<size_t>(v)] = (bits >> v) & 1;
+      sources[circuit.varNode[static_cast<size_t>(v)]] = (bits >> v) & 1;
+    }
+    auto values = Simulator::evaluateOnce(circuit.netlist, sources);
+    EXPECT_EQ(values[circuit.root], cnf.evaluate(assignment));
+  }
+}
+
+}  // namespace
+}  // namespace presat

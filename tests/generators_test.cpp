@@ -1,0 +1,215 @@
+// Generator tests: each benchmark circuit must implement its specified
+// transition function.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/rng.hpp"
+#include "circuit/bench_io.hpp"
+#include "circuit/simulator.hpp"
+#include "gen/generators.hpp"
+#include "gen/iscas.hpp"
+#include "gen/random_circuit.hpp"
+#include "preimage/transition_system.hpp"
+
+namespace presat {
+namespace {
+
+uint64_t toBits(const std::vector<bool>& v) {
+  uint64_t bits = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i]) bits |= 1ull << i;
+  }
+  return bits;
+}
+
+std::vector<bool> fromBits(uint64_t bits, int n) {
+  std::vector<bool> v(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<size_t>(i)] = (bits >> i) & 1;
+  return v;
+}
+
+TEST(Generators, CounterCountsExactly) {
+  for (int bits : {1, 3, 5, 8}) {
+    Netlist nl = makeCounter(bits);
+    TransitionSystem ts(nl);
+    uint64_t mask = (bits == 64) ? ~0ull : (1ull << bits) - 1;
+    Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+      uint64_t s = rng.below(mask + 1);
+      EXPECT_EQ(toBits(ts.step(fromBits(s, bits), {true})), (s + 1) & mask);
+      EXPECT_EQ(toBits(ts.step(fromBits(s, bits), {false})), s);
+    }
+  }
+}
+
+TEST(Generators, CounterWithoutEnable) {
+  Netlist nl = makeCounter(3, /*withEnable=*/false);
+  TransitionSystem ts(nl);
+  EXPECT_EQ(ts.numInputs(), 0);
+  EXPECT_EQ(toBits(ts.step(fromBits(5, 3), {})), 6u);
+  EXPECT_EQ(toBits(ts.step(fromBits(7, 3), {})), 0u);
+}
+
+TEST(Generators, GrayCounterVisitsAllStatesOnce) {
+  const int bits = 5;
+  Netlist nl = makeGrayCounter(bits);
+  TransitionSystem ts(nl);
+  std::vector<bool> state(bits, false);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < (1 << bits); ++i) {
+    EXPECT_TRUE(seen.insert(toBits(state)).second) << "revisit at step " << i;
+    std::vector<bool> next = ts.step(state, {});
+    // Gray property: successive states differ in exactly one bit.
+    int diff = 0;
+    for (int b = 0; b < bits; ++b) diff += state[static_cast<size_t>(b)] != next[static_cast<size_t>(b)];
+    EXPECT_EQ(diff, 1);
+    state = next;
+  }
+  EXPECT_EQ(toBits(state), 0u);  // full cycle
+  EXPECT_EQ(seen.size(), static_cast<size_t>(1 << bits));
+}
+
+TEST(Generators, LfsrShiftsWhenEnabled) {
+  const int bits = 6;
+  Netlist nl = makeLfsr(bits);
+  TransitionSystem ts(nl);
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t s = rng.below(1ull << bits);
+    std::vector<bool> state = fromBits(s, bits);
+    // Disabled: hold.
+    EXPECT_EQ(toBits(ts.step(state, {false})), s);
+    // Enabled: shift left through the register with XOR feedback of the two
+    // top taps into bit 0.
+    bool fb = ((s >> (bits - 1)) & 1) ^ ((s >> (bits - 2)) & 1);
+    uint64_t expected = ((s << 1) | (fb ? 1 : 0)) & ((1ull << bits) - 1);
+    EXPECT_EQ(toBits(ts.step(state, {true})), expected);
+  }
+}
+
+TEST(Generators, ShiftRegisterDelaysInput) {
+  const int bits = 4;
+  Netlist nl = makeShiftRegister(bits);
+  TransitionSystem ts(nl);
+  std::vector<bool> state(bits, false);
+  // Feed 1,0,1,1 and watch it arrive at the output after `bits` cycles.
+  bool pattern[] = {true, false, true, true};
+  for (bool b : pattern) state = ts.step(state, {b});
+  EXPECT_EQ(toBits(state), 0b1011u);  // s0 = newest bit, s3 = oldest
+}
+
+TEST(Generators, ArbiterGrantsAreOneHotAndFair) {
+  for (int clients : {2, 3, 4}) {
+    Netlist nl = makeRoundRobinArbiter(clients);
+    TransitionSystem ts(nl);
+    EXPECT_EQ(ts.numStateBits(), clients);
+    Rng rng(13);
+    // Start with pointer at client 0.
+    std::vector<bool> state(static_cast<size_t>(clients), false);
+    state[0] = true;
+    Simulator sim(nl);
+    for (int cycle = 0; cycle < 100; ++cycle) {
+      std::vector<bool> req(static_cast<size_t>(clients));
+      for (int i = 0; i < clients; ++i) req[static_cast<size_t>(i)] = rng.flip();
+      // Evaluate grants (outputs) for this state/request combination.
+      std::vector<bool> sources(nl.numNodes(), false);
+      for (int i = 0; i < clients; ++i) {
+        sources[ts.stateNode(i)] = state[static_cast<size_t>(i)];
+        sources[ts.inputNode(i)] = req[static_cast<size_t>(i)];
+      }
+      auto values = Simulator::evaluateOnce(nl, sources);
+      int grants = 0;
+      for (NodeId out : nl.outputs()) grants += values[out] ? 1 : 0;
+      bool anyReq = false;
+      for (bool r : req) anyReq |= r;
+      EXPECT_EQ(grants, anyReq ? 1 : 0) << "clients " << clients << " cycle " << cycle;
+      // A granted client must have requested.
+      for (int i = 0; i < clients; ++i) {
+        if (values[nl.outputs()[static_cast<size_t>(i)]]) {
+          EXPECT_TRUE(req[static_cast<size_t>(i)]);
+        }
+      }
+      state = ts.step(state, req);
+      // Pointer stays one-hot.
+      int hot = 0;
+      for (bool b : state) hot += b ? 1 : 0;
+      ASSERT_EQ(hot, 1);
+    }
+  }
+}
+
+TEST(Generators, TrafficLightSafetyInvariant) {
+  Netlist nl = makeTrafficLight();
+  TransitionSystem ts(nl);
+  // From the reset state, the two green lights are never on simultaneously.
+  NodeId hwyGreen = nl.findByName("isHG");
+  NodeId farmGreen = nl.findByName("isFG");
+  ASSERT_NE(hwyGreen, kNoNode);
+  ASSERT_NE(farmGreen, kNoNode);
+  Rng rng(17);
+  std::vector<bool> state(4, false);  // HG with timer 0
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    std::vector<bool> sources(nl.numNodes(), false);
+    for (int i = 0; i < 4; ++i) sources[ts.stateNode(i)] = state[static_cast<size_t>(i)];
+    sources[ts.inputNode(0)] = rng.flip();
+    auto values = Simulator::evaluateOnce(nl, sources);
+    EXPECT_FALSE(values[hwyGreen] && values[farmGreen]) << "cycle " << cycle;
+    state = ts.step(state, {rng.flip()});
+  }
+}
+
+TEST(Generators, RandomCircuitIsDeterministic) {
+  RandomCircuitParams params;
+  params.seed = 42;
+  Netlist a = makeRandomSequential(params);
+  Netlist b = makeRandomSequential(params);
+  EXPECT_EQ(toBenchString(a), toBenchString(b));
+  params.seed = 43;
+  Netlist c = makeRandomSequential(params);
+  EXPECT_NE(toBenchString(a), toBenchString(c));
+}
+
+TEST(Generators, RandomCircuitRespectsParams) {
+  RandomCircuitParams params;
+  params.numInputs = 5;
+  params.numDffs = 7;
+  params.numGates = 50;
+  params.seed = 3;
+  Netlist nl = makeRandomSequential(params);
+  EXPECT_EQ(nl.inputs().size(), 5u);
+  EXPECT_EQ(nl.dffs().size(), 7u);
+  EXPECT_EQ(nl.numGates(), 50u);
+  nl.validate();
+}
+
+TEST(Generators, AccumulatorAddsInput) {
+  const int bits = 5;
+  Netlist nl = makeAccumulator(bits);
+  TransitionSystem ts(nl);
+  Rng rng(23);
+  uint64_t mask = (1ull << bits) - 1;
+  for (int trial = 0; trial < 60; ++trial) {
+    uint64_t s = rng.below(mask + 1);
+    uint64_t a = rng.below(mask + 1);
+    EXPECT_EQ(toBits(ts.step(fromBits(s, bits), fromBits(a, bits))), (s + a) & mask)
+        << s << " + " << a;
+  }
+}
+
+TEST(Iscas, S27IsTheCanonicalCircuit) {
+  Netlist nl = makeS27();
+  TransitionSystem ts(nl);
+  EXPECT_EQ(ts.numStateBits(), 3);
+  EXPECT_EQ(ts.numInputs(), 4);
+  // Behavioural spot check against the known equations:
+  //   G10' = NOR(~G0, G11), G11' = NOR(G5, G9), G13' = NAND(G2, G12).
+  // From all-zero state with all-zero inputs: G14=1, G12=NOR(0,0)=1,
+  // G8=AND(1,0)=0, G15=OR(1,0)=1, G16=OR(0,0)=0, G9=NAND(0,1)=1,
+  // G11=NOR(0,1)=0, G10=NOR(1,0)=0, G13=NAND(0,1)=1.
+  std::vector<bool> next = ts.step({false, false, false}, {false, false, false, false});
+  EXPECT_EQ(next, (std::vector<bool>{false, false, true}));
+}
+
+}  // namespace
+}  // namespace presat

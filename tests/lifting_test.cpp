@@ -1,0 +1,184 @@
+// Model lifting tests: the CNF implicant shrinker and the circuit
+// justification lifter, both checked for the cube-validity contract.
+#include <gtest/gtest.h>
+
+#include "allsat/lifting.hpp"
+#include "base/rng.hpp"
+#include "circuit/simulator.hpp"
+#include "gen/iscas.hpp"
+#include "gen/random_circuit.hpp"
+#include "sat/dpll.hpp"
+#include "sat/solver.hpp"
+#include "test_util.hpp"
+
+namespace presat {
+namespace {
+
+TEST(ShrinkModel, KeepsModelSubset) {
+  Cnf cnf(3);
+  cnf.addBinary(mkLit(0), mkLit(1));
+  cnf.addUnit(mkLit(2));
+  std::vector<lbool> model{l_True, l_True, l_True};
+  LitVec cube = shrinkModelToImplicant(cnf, model);
+  for (Lit l : cube) {
+    EXPECT_TRUE(model[static_cast<size_t>(l.var())].isTrue() != l.sign());
+  }
+  // Variable 2 is forced; at least one of 0/1 must be kept.
+  bool has2 = false;
+  for (Lit l : cube) has2 |= l.var() == 2;
+  EXPECT_TRUE(has2);
+  EXPECT_LE(cube.size(), 2u);
+}
+
+// Property: every completion of the shrunk cube satisfies the formula.
+TEST(ShrinkModelProperty, EveryCompletionSatisfies) {
+  Rng rng(61);
+  for (int iter = 0; iter < 200; ++iter) {
+    int vars = static_cast<int>(rng.range(2, 10));
+    Cnf cnf = testutil::randomCnf(rng, vars, static_cast<int>(rng.range(1, 20)));
+    Solver s;
+    if (!s.addCnf(cnf) || !s.solve().isTrue()) continue;
+    std::vector<lbool> model(static_cast<size_t>(vars));
+    for (Var v = 0; v < vars; ++v) model[static_cast<size_t>(v)] = lbool(s.modelValue(v));
+    LitVec cube = shrinkModelToImplicant(cnf, model);
+
+    std::vector<bool> inCube(static_cast<size_t>(vars), false);
+    std::vector<bool> assignment(static_cast<size_t>(vars), false);
+    for (Lit l : cube) {
+      inCube[static_cast<size_t>(l.var())] = true;
+      assignment[static_cast<size_t>(l.var())] = !l.sign();
+    }
+    std::vector<Var> freeVars;
+    for (Var v = 0; v < vars; ++v) {
+      if (!inCube[static_cast<size_t>(v)]) freeVars.push_back(v);
+    }
+    ASSERT_LE(freeVars.size(), 12u);
+    for (uint64_t bits = 0; bits < (1ull << freeVars.size()); ++bits) {
+      for (size_t k = 0; k < freeVars.size(); ++k) {
+        assignment[static_cast<size_t>(freeVars[k])] = (bits >> k) & 1;
+      }
+      EXPECT_TRUE(cnf.evaluate(assignment)) << "iter " << iter;
+    }
+  }
+}
+
+TEST(JustificationLifter, ControllingInputSuffices) {
+  Netlist nl;
+  NodeId a = nl.addInput("a");
+  NodeId b = nl.addInput("b");
+  NodeId g = nl.mkAnd(a, b, "g");
+  nl.markOutput(g, "g");
+  JustificationLifter lifter(nl, {{g, false}});
+  // a=0, b=1: only a is needed to justify g=0.
+  std::vector<bool> sources(nl.numNodes(), false);
+  sources[b] = true;
+  auto values = Simulator::evaluateOnce(nl, sources);
+  NodeCube cube = lifter.liftedSources(values);
+  ASSERT_EQ(cube.size(), 1u);
+  EXPECT_EQ(cube[0].first, a);
+  EXPECT_FALSE(cube[0].second);
+}
+
+TEST(JustificationLifter, NonControlledNeedsAllInputs) {
+  Netlist nl;
+  NodeId a = nl.addInput("a");
+  NodeId b = nl.addInput("b");
+  NodeId g = nl.mkAnd(a, b, "g");
+  nl.markOutput(g, "g");
+  JustificationLifter lifter(nl, {{g, true}});
+  std::vector<bool> sources(nl.numNodes(), true);
+  auto values = Simulator::evaluateOnce(nl, sources);
+  NodeCube cube = lifter.liftedSources(values);
+  EXPECT_EQ(cube.size(), 2u);
+}
+
+TEST(JustificationLifter, MuxTracksSelectedBranchOnly) {
+  Netlist nl;
+  NodeId s = nl.addInput("s");
+  NodeId a = nl.addInput("a");
+  NodeId b = nl.addInput("b");
+  NodeId m = nl.mkMux(s, a, b, "m");
+  nl.markOutput(m, "m");
+  JustificationLifter lifter(nl, {{m, true}});
+  std::vector<bool> sources(nl.numNodes(), false);
+  sources[a] = true;
+  sources[b] = true;  // s = 0 selects a
+  auto values = Simulator::evaluateOnce(nl, sources);
+  NodeCube cube = lifter.liftedSources(values);
+  // Needs s and a but not b.
+  EXPECT_EQ(cube.size(), 2u);
+  for (const NodeAssign& na : cube) EXPECT_NE(na.first, b);
+}
+
+// Property: the lifted source cube forces the objectives under every
+// completion of the remaining sources.
+TEST(JustificationLifterProperty, LiftedCubeForcesObjectives) {
+  Rng rng(67);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomCircuitParams params;
+    params.seed = seed;
+    params.numInputs = 3;
+    params.numDffs = 4;
+    params.numGates = 25;
+    Netlist nl = makeRandomSequential(params);
+    std::vector<NodeId> sources;
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+      if (nl.type(id) == GateType::kInput || nl.type(id) == GateType::kDff) sources.push_back(id);
+    }
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<bool> full(nl.numNodes(), false);
+      for (NodeId s : sources) full[s] = rng.flip();
+      auto values = Simulator::evaluateOnce(nl, full);
+      // Objectives: the realized values of two DFF data pins.
+      NodeCube objectives;
+      for (size_t k = 0; k < 2 && k < nl.dffs().size(); ++k) {
+        NodeId root = nl.dffData(nl.dffs()[k]);
+        objectives.emplace_back(root, values[root]);
+      }
+      JustificationLifter lifter(nl, objectives);
+      NodeCube cube = lifter.liftedSources(values);
+
+      std::vector<bool> pinned(nl.numNodes(), false);
+      for (const NodeAssign& na : cube) pinned[na.first] = true;
+      std::vector<NodeId> freeSources;
+      for (NodeId s : sources) {
+        if (!pinned[s]) freeSources.push_back(s);
+      }
+      ASSERT_LE(freeSources.size(), 7u);
+      for (uint64_t bits = 0; bits < (1ull << freeSources.size()); ++bits) {
+        std::vector<bool> completion = full;
+        for (size_t k = 0; k < freeSources.size(); ++k) completion[freeSources[k]] = (bits >> k) & 1;
+        auto vals = Simulator::evaluateOnce(nl, completion);
+        for (const NodeAssign& obj : objectives) {
+          ASSERT_EQ(vals[obj.first], obj.second)
+              << "seed " << seed << " trial " << trial << " bits " << bits;
+        }
+      }
+    }
+  }
+}
+
+TEST(JustificationLifter, WorksOnS27) {
+  Netlist nl = makeS27();
+  Rng rng(71);
+  std::vector<NodeId> sources;
+  for (NodeId id = 0; id < nl.numNodes(); ++id) {
+    if (!isCombinational(nl.type(id))) sources.push_back(id);
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<bool> full(nl.numNodes(), false);
+    for (NodeId s : sources) full[s] = rng.flip();
+    auto values = Simulator::evaluateOnce(nl, full);
+    NodeCube objectives;
+    for (NodeId dff : nl.dffs()) {
+      objectives.emplace_back(nl.dffData(dff), values[nl.dffData(dff)]);
+    }
+    JustificationLifter lifter(nl, objectives);
+    NodeCube cube = lifter.liftedSources(values);
+    EXPECT_LE(cube.size(), sources.size());
+    for (const NodeAssign& na : cube) EXPECT_EQ(full[na.first], na.second);
+  }
+}
+
+}  // namespace
+}  // namespace presat

@@ -1,0 +1,206 @@
+// Structural hashing / constant sweep: functional equivalence (fuzzed),
+// specific folding rules, dead-logic removal, and idempotence.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "circuit/simulator.hpp"
+#include "circuit/strash.hpp"
+#include "gen/generators.hpp"
+#include "gen/iscas.hpp"
+#include "gen/random_circuit.hpp"
+#include "preimage/transition_system.hpp"
+
+namespace presat {
+namespace {
+
+// Checks input/output behavioural equivalence over random patterns, matching
+// interface nodes positionally (the sweep preserves PI/DFF order).
+void expectEquivalent(const Netlist& a, const Netlist& b, uint64_t seed, int patterns = 200) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.dffs().size(), b.dffs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  Rng rng(seed);
+  for (int trial = 0; trial < patterns; ++trial) {
+    std::vector<bool> srcA(a.numNodes(), false);
+    std::vector<bool> srcB(b.numNodes(), false);
+    for (size_t i = 0; i < a.inputs().size(); ++i) {
+      bool v = rng.flip();
+      srcA[a.inputs()[i]] = v;
+      srcB[b.inputs()[i]] = v;
+    }
+    for (size_t i = 0; i < a.dffs().size(); ++i) {
+      bool v = rng.flip();
+      srcA[a.dffs()[i]] = v;
+      srcB[b.dffs()[i]] = v;
+    }
+    auto valA = Simulator::evaluateOnce(a, srcA);
+    auto valB = Simulator::evaluateOnce(b, srcB);
+    for (size_t i = 0; i < a.outputs().size(); ++i) {
+      ASSERT_EQ(valA[a.outputs()[i]], valB[b.outputs()[i]]) << "output " << i;
+    }
+    for (size_t i = 0; i < a.dffs().size(); ++i) {
+      ASSERT_EQ(valA[a.dffData(a.dffs()[i])], valB[b.dffData(b.dffs()[i])]) << "state " << i;
+    }
+  }
+}
+
+TEST(Strash, FoldsConstants) {
+  Netlist nl;
+  NodeId a = nl.addInput("a");
+  NodeId one = nl.addConst(true);
+  NodeId zero = nl.addConst(false);
+  NodeId andz = nl.mkAnd(a, zero);      // -> 0
+  NodeId orw = nl.mkOr(andz, one);      // -> 1
+  NodeId x = nl.mkXor(orw, a);          // -> ~a
+  nl.markOutput(x, "y");
+  SweepResult r = strashSweep(nl);
+  // ~a is one inverter.
+  EXPECT_EQ(r.netlist.numGates(), 1u);
+  EXPECT_EQ(r.netlist.type(r.netlist.outputs()[0]), GateType::kNot);
+  expectEquivalent(nl, r.netlist, 1);
+}
+
+TEST(Strash, MergesDuplicateGates) {
+  Netlist nl;
+  NodeId a = nl.addInput("a");
+  NodeId b = nl.addInput("b");
+  NodeId g1 = nl.mkAnd(a, b);
+  NodeId g2 = nl.mkAnd(b, a);  // commutative duplicate
+  NodeId g3 = nl.mkAnd(a, b);  // exact duplicate
+  NodeId o = nl.addGate(GateType::kOr, {g1, g2, g3});
+  nl.markOutput(o, "y");
+  SweepResult r = strashSweep(nl);
+  // OR of three copies of the same AND collapses to the AND itself.
+  EXPECT_EQ(r.netlist.numGates(), 1u);
+  expectEquivalent(nl, r.netlist, 2);
+}
+
+TEST(Strash, CancelsComplementaryPairs) {
+  Netlist nl;
+  NodeId a = nl.addInput("a");
+  NodeId b = nl.addInput("b");
+  NodeId na = nl.mkNot(a);
+  NodeId andc = nl.addGate(GateType::kAnd, {a, na, b});  // -> 0
+  NodeId xorc = nl.addGate(GateType::kXor, {a, na});     // -> 1
+  NodeId o = nl.mkOr(andc, xorc);                        // -> 1
+  nl.markOutput(o, "y");
+  SweepResult r = strashSweep(nl);
+  EXPECT_EQ(r.netlist.numGates(), 0u);
+  EXPECT_EQ(r.netlist.type(r.netlist.outputs()[0]), GateType::kConst1);
+}
+
+TEST(Strash, XorSelfCancellation) {
+  Netlist nl;
+  NodeId a = nl.addInput("a");
+  NodeId b = nl.addInput("b");
+  NodeId x = nl.addGate(GateType::kXor, {a, b, a});  // -> b
+  nl.markOutput(x, "y");
+  SweepResult r = strashSweep(nl);
+  EXPECT_EQ(r.netlist.numGates(), 0u);
+  EXPECT_EQ(r.netlist.outputs()[0], r.netlist.inputs()[1]);
+}
+
+TEST(Strash, MuxSimplifications) {
+  Netlist nl;
+  NodeId s = nl.addInput("s");
+  NodeId d = nl.addInput("d");
+  NodeId zero = nl.addConst(false);
+  NodeId one = nl.addConst(true);
+  nl.markOutput(nl.mkMux(s, zero, one), "as_s");     // -> s
+  nl.markOutput(nl.mkMux(s, one, zero), "as_ns");    // -> ~s
+  nl.markOutput(nl.mkMux(s, d, d), "as_d");          // -> d
+  nl.markOutput(nl.mkMux(s, zero, d), "as_and");     // -> s & d
+  nl.markOutput(nl.mkMux(s, d, one), "as_or");       // -> s | d
+  SweepResult r = strashSweep(nl);
+  EXPECT_EQ(r.netlist.outputs()[0], r.netlist.inputs()[0]);
+  EXPECT_EQ(r.netlist.type(r.netlist.outputs()[1]), GateType::kNot);
+  EXPECT_EQ(r.netlist.outputs()[2], r.netlist.inputs()[1]);
+  EXPECT_EQ(r.netlist.type(r.netlist.outputs()[3]), GateType::kAnd);
+  EXPECT_EQ(r.netlist.type(r.netlist.outputs()[4]), GateType::kOr);
+  expectEquivalent(nl, r.netlist, 3);
+}
+
+TEST(Strash, DropsDanglingLogic) {
+  Netlist nl;
+  NodeId a = nl.addInput("a");
+  NodeId b = nl.addInput("b");
+  NodeId used = nl.mkAnd(a, b);
+  nl.mkOr(a, b);  // dangling
+  nl.mkXor(a, b);  // dangling
+  nl.markOutput(used, "y");
+  SweepResult r = strashSweep(nl);
+  EXPECT_EQ(r.netlist.numGates(), 1u);
+  EXPECT_EQ(r.gatesBefore, 3u);
+  EXPECT_EQ(r.gatesAfter, 1u);
+}
+
+TEST(Strash, DoubleNegationCollapses) {
+  Netlist nl;
+  NodeId a = nl.addInput("a");
+  NodeId nna = nl.mkNot(nl.mkNot(a));
+  nl.markOutput(nna, "y");
+  SweepResult r = strashSweep(nl);
+  EXPECT_EQ(r.netlist.numGates(), 0u);
+  EXPECT_EQ(r.netlist.outputs()[0], r.netlist.inputs()[0]);
+}
+
+TEST(Strash, PreservesSequentialBehaviour) {
+  for (auto make : {+[] { return makeS27(); }, +[] { return makeTrafficLight(); },
+                    +[] { return makeGrayCounter(6); }, +[] { return makeRoundRobinArbiter(3); }}) {
+    Netlist original = make();
+    SweepResult r = strashSweep(original);
+    EXPECT_LE(r.gatesAfter, r.gatesBefore);
+    expectEquivalent(original, r.netlist, 7);
+  }
+}
+
+TEST(Strash, NodeMapPointsToEquivalentNodes) {
+  Netlist nl = makeS27();
+  SweepResult r = strashSweep(nl);
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<bool> srcA(nl.numNodes(), false);
+    std::vector<bool> srcB(r.netlist.numNodes(), false);
+    for (size_t i = 0; i < nl.inputs().size(); ++i) {
+      bool v = rng.flip();
+      srcA[nl.inputs()[i]] = v;
+      srcB[r.netlist.inputs()[i]] = v;
+    }
+    for (size_t i = 0; i < nl.dffs().size(); ++i) {
+      bool v = rng.flip();
+      srcA[nl.dffs()[i]] = v;
+      srcB[r.netlist.dffs()[i]] = v;
+    }
+    auto valA = Simulator::evaluateOnce(nl, srcA);
+    auto valB = Simulator::evaluateOnce(r.netlist, srcB);
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+      if (r.nodeMap[id] == kNoNode) continue;  // dropped as dangling
+      EXPECT_EQ(valA[id], valB[r.nodeMap[id]]) << "node " << id;
+    }
+  }
+}
+
+class StrashFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrashFuzz, RandomCircuitsStayEquivalent) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 503 + 41);
+  for (int iter = 0; iter < 10; ++iter) {
+    RandomCircuitParams params;
+    params.seed = rng.next();
+    params.numInputs = static_cast<int>(rng.range(2, 5));
+    params.numDffs = static_cast<int>(rng.range(2, 6));
+    params.numGates = static_cast<int>(rng.range(20, 120));
+    Netlist original = makeRandomSequential(params);
+    SweepResult once = strashSweep(original);
+    expectEquivalent(original, once.netlist, params.seed ^ 0xabcd, 100);
+    // Idempotence: a second sweep finds nothing more.
+    SweepResult twice = strashSweep(once.netlist);
+    EXPECT_EQ(twice.gatesAfter, once.gatesAfter)
+        << "group " << GetParam() << " iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrashFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace presat

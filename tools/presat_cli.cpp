@@ -1,0 +1,286 @@
+// presat command-line driver.
+//
+// Usage:
+//   presat_cli info    <file.bench>
+//   presat_cli allsat  <file.cnf>  [--method minterm|cube|sd] [--max N]
+//   presat_cli preimage <file.bench> --target CUBE [--method NAME]
+//   presat_cli image    <file.bench> --from CUBE [--method minterm|bdd]
+//   presat_cli reach    <file.bench> --target CUBE [--depth N] [--method NAME]
+//   presat_cli safety   <file.bench> --init CUBE --bad CUBE [--method NAME]
+//   presat_cli bmc      <file.bench> --init CUBE --target CUBE [--depth N]
+//
+// CUBE is a string over the state bits, LSB (state bit 0) first, using
+// '0', '1', and 'x'/'-' for don't-care, e.g. --target 1x0x. Preimage METHOD
+// names are those printed by the tool (minterm-blocking, cube-blocking,
+// cube-blocking-lifted, success-driven, bdd, bdd-relational).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "allsat/cube_blocking.hpp"
+#include "allsat/lifting.hpp"
+#include "allsat/minterm_blocking.hpp"
+#include "allsat/success_driven.hpp"
+#include "circuit/bench_io.hpp"
+#include "circuit/from_cnf.hpp"
+#include "cnf/dimacs.hpp"
+#include "preimage/bmc.hpp"
+#include "preimage/image.hpp"
+#include "preimage/reachability.hpp"
+#include "preimage/safety.hpp"
+
+using namespace presat;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  presat_cli info     <file.bench>\n"
+               "  presat_cli allsat   <file.cnf>   [--method minterm|cube|sd] [--max N]\n"
+               "  presat_cli preimage <file.bench> --target CUBE [--method NAME]\n"
+               "  presat_cli image    <file.bench> --from CUBE [--method minterm|bdd]\n"
+               "  presat_cli reach    <file.bench> --target CUBE [--depth N] [--method NAME]\n"
+               "  presat_cli safety   <file.bench> --init CUBE --bad CUBE [--method NAME]\n"
+               "  presat_cli bmc      <file.bench> --init CUBE --target CUBE [--depth N]\n"
+               "\nCUBE: one char per state bit (bit 0 first): 0, 1, x/- for don't-care.\n");
+  std::exit(2);
+}
+
+// Parses remaining argv into a flag map; positional args returned separately.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::string flag(const std::string& name, const std::string& fallback = "") const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int intFlag(const std::string& name, int fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+  }
+};
+
+Args parseArgs(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      args.flags[a.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+StateSet parseCube(const std::string& text, int numStateBits) {
+  if (static_cast<int>(text.size()) != numStateBits) {
+    usage(("cube '" + text + "' must have one character per state bit (" +
+           std::to_string(numStateBits) + ")")
+              .c_str());
+  }
+  LitVec cube;
+  for (int i = 0; i < numStateBits; ++i) {
+    char c = text[static_cast<size_t>(i)];
+    if (c == '1') {
+      cube.push_back(mkLit(static_cast<Var>(i), false));
+    } else if (c == '0') {
+      cube.push_back(mkLit(static_cast<Var>(i), true));
+    } else if (c != 'x' && c != 'X' && c != '-') {
+      usage(("bad cube character '" + std::string(1, c) + "'").c_str());
+    }
+  }
+  return StateSet::fromCube(numStateBits, std::move(cube));
+}
+
+PreimageMethod parsePreimageMethod(const std::string& name) {
+  for (PreimageMethod m : kAllPreimageMethods) {
+    if (name == preimageMethodName(m)) return m;
+  }
+  usage(("unknown preimage method: " + name).c_str());
+}
+
+std::string cubeToString(const LitVec& cube, int width) {
+  std::string s(static_cast<size_t>(width), 'x');
+  for (Lit l : cube) s[static_cast<size_t>(l.var())] = l.sign() ? '0' : '1';
+  return s;
+}
+
+std::string stateToString(const std::vector<bool>& state) {
+  std::string s;
+  for (bool b : state) s += b ? '1' : '0';
+  return s;
+}
+
+int cmdInfo(const Args& args) {
+  Netlist nl = parseBenchFile(args.positional[0]);
+  std::printf("nodes: %zu, gates: %zu, inputs: %zu, dffs: %zu, outputs: %zu\n", nl.numNodes(),
+              nl.numGates(), nl.inputs().size(), nl.dffs().size(), nl.outputs().size());
+  std::vector<int> levels = nl.levels();
+  int depth = 0;
+  for (int l : levels) depth = std::max(depth, l);
+  std::printf("logic depth: %d\n", depth);
+  std::printf("state bits (preimage order):");
+  for (NodeId d : nl.dffs()) std::printf(" %s", nl.name(d).c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmdAllsat(const Args& args) {
+  DimacsFile file = parseDimacsFile(args.positional[0]);
+  std::vector<Var> projection;
+  if (file.projection) {
+    projection = *file.projection;
+  } else {
+    for (Var v = 0; v < file.cnf.numVars(); ++v) projection.push_back(v);
+  }
+  AllSatOptions options;
+  options.maxCubes = static_cast<uint64_t>(args.intFlag("max", 0));
+  std::string method = args.flag("method", "sd");
+
+  AllSatResult result;
+  if (method == "minterm") {
+    result = mintermBlockingAllSat(file.cnf, projection, options);
+  } else if (method == "cube") {
+    const Cnf& cnf = file.cnf;
+    if (projection.size() != static_cast<size_t>(cnf.numVars())) {
+      usage("--method cube needs a full projection (implicant lifting)");
+    }
+    ModelLifter lifter = [&cnf](const std::vector<lbool>& m) {
+      return shrinkModelToImplicant(cnf, m);
+    };
+    result = cubeBlockingAllSat(file.cnf, projection, lifter, options);
+  } else if (method == "sd") {
+    CnfCircuit circuit = cnfToCircuit(file.cnf);
+    CircuitAllSatProblem problem;
+    problem.netlist = &circuit.netlist;
+    problem.objectives = {{circuit.root, true}};
+    for (Var v : projection) problem.projectionSources.push_back(circuit.varNode[static_cast<size_t>(v)]);
+    SuccessDrivenResult sd = successDrivenAllSat(problem, options);
+    result = std::move(sd.summary);
+    std::printf("solution graph: %llu nodes, %llu edges, %llu memo hits\n",
+                static_cast<unsigned long long>(result.stats.graphNodes),
+                static_cast<unsigned long long>(result.stats.graphEdges),
+                static_cast<unsigned long long>(result.stats.memoHits));
+  } else {
+    usage(("unknown allsat method: " + method).c_str());
+  }
+  std::printf("%s solutions in %zu cubes%s (%.3f ms)\n", result.mintermCount.toDecimal().c_str(),
+              result.cubes.size(), result.complete ? "" : " [truncated]",
+              result.stats.seconds * 1e3);
+  for (const LitVec& cube : result.cubes) {
+    std::printf("  %s\n", cubeToString(cube, static_cast<int>(projection.size())).c_str());
+  }
+  return 0;
+}
+
+int cmdPreimage(const Args& args) {
+  Netlist nl = parseBenchFile(args.positional[0]);
+  TransitionSystem system(nl);
+  StateSet target = parseCube(args.flag("target"), system.numStateBits());
+  PreimageMethod method = parsePreimageMethod(args.flag("method", "success-driven"));
+  PreimageResult r = computePreimage(system, target, method);
+  std::printf("preimage: %s states in %zu cubes (%s, %.3f ms)\n",
+              r.stateCount.toDecimal().c_str(), r.states.cubes.size(), preimageMethodName(method),
+              r.seconds * 1e3);
+  for (const LitVec& cube : r.states.cubes) {
+    std::printf("  %s\n", cubeToString(cube, system.numStateBits()).c_str());
+  }
+  return 0;
+}
+
+int cmdImage(const Args& args) {
+  Netlist nl = parseBenchFile(args.positional[0]);
+  TransitionSystem system(nl);
+  StateSet from = parseCube(args.flag("from"), system.numStateBits());
+  std::string name = args.flag("method", "bdd");
+  ImageMethod method = name == "minterm" ? ImageMethod::kMintermBlocking : ImageMethod::kBdd;
+  ImageResult r = computeImage(system, from, method);
+  std::printf("image: %s states in %zu cubes (%s, %.3f ms)\n", r.stateCount.toDecimal().c_str(),
+              r.states.cubes.size(), imageMethodName(method), r.seconds * 1e3);
+  for (const LitVec& cube : r.states.cubes) {
+    std::printf("  %s\n", cubeToString(cube, system.numStateBits()).c_str());
+  }
+  return 0;
+}
+
+int cmdReach(const Args& args) {
+  Netlist nl = parseBenchFile(args.positional[0]);
+  TransitionSystem system(nl);
+  StateSet target = parseCube(args.flag("target"), system.numStateBits());
+  PreimageMethod method = parsePreimageMethod(args.flag("method", "success-driven"));
+  int depth = args.intFlag("depth", 1000);
+  ReachabilityResult r = backwardReach(system, target, depth, method);
+  std::printf("%5s %14s %14s %10s\n", "depth", "new", "total", "ms");
+  for (const ReachabilityStep& step : r.steps) {
+    std::printf("%5d %14s %14s %10.3f\n", step.depth, step.newStates.toDecimal().c_str(),
+                step.totalStates.toDecimal().c_str(), step.seconds * 1e3);
+  }
+  std::printf("fixpoint: %s, reached %s states, total %.3f ms\n", r.fixpoint ? "yes" : "no",
+              r.reached.countStates().toDecimal().c_str(), r.totalSeconds * 1e3);
+  return 0;
+}
+
+int cmdSafety(const Args& args) {
+  Netlist nl = parseBenchFile(args.positional[0]);
+  TransitionSystem system(nl);
+  StateSet init = parseCube(args.flag("init"), system.numStateBits());
+  StateSet bad = parseCube(args.flag("bad"), system.numStateBits());
+  SafetyOptions options;
+  options.method = parsePreimageMethod(args.flag("method", "success-driven"));
+  SafetyResult r = checkSafety(system, init, bad, options);
+  std::printf("%s (depth %d, %.3f ms)\n", safetyStatusName(r.status), r.depth, r.seconds * 1e3);
+  if (r.status == SafetyStatus::kUnsafe) {
+    std::printf("counterexample (state / input):\n");
+    for (size_t t = 0; t < r.traceStates.size(); ++t) {
+      std::printf("  %s", stateToString(r.traceStates[t]).c_str());
+      if (t < r.traceInputs.size()) std::printf("  in=%s", stateToString(r.traceInputs[t]).c_str());
+      std::printf("\n");
+    }
+  }
+  return r.status == SafetyStatus::kSafe ? 0 : 1;
+}
+
+int cmdBmc(const Args& args) {
+  Netlist nl = parseBenchFile(args.positional[0]);
+  TransitionSystem system(nl);
+  StateSet init = parseCube(args.flag("init"), system.numStateBits());
+  StateSet target = parseCube(args.flag("target"), system.numStateBits());
+  int depth = args.intFlag("depth", 20);
+  BmcResult r = boundedReachIncremental(system, init, target, depth);
+  if (!r.reachable) {
+    std::printf("unreachable within %d steps (%llu SAT calls, %.3f ms)\n", depth,
+                static_cast<unsigned long long>(r.satCalls), r.seconds * 1e3);
+    return 1;
+  }
+  std::printf("reachable at depth %d (%.3f ms); trace:\n", r.depth, r.seconds * 1e3);
+  for (size_t t = 0; t < r.traceStates.size(); ++t) {
+    std::printf("  %s", stateToString(r.traceStates[t]).c_str());
+    if (t < r.traceInputs.size()) std::printf("  in=%s", stateToString(r.traceInputs[t]).c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  std::string command = argv[1];
+  Args args = parseArgs(argc, argv, 2);
+  if (args.positional.empty()) usage("missing input file");
+  if (command == "info") return cmdInfo(args);
+  if (command == "allsat") return cmdAllsat(args);
+  if (command == "preimage") return cmdPreimage(args);
+  if (command == "image") return cmdImage(args);
+  if (command == "reach") return cmdReach(args);
+  if (command == "safety") return cmdSafety(args);
+  if (command == "bmc") return cmdBmc(args);
+  usage(("unknown command: " + command).c_str());
+}
