@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_preimage.dir/bench_table1_preimage.cpp.o"
+  "CMakeFiles/bench_table1_preimage.dir/bench_table1_preimage.cpp.o.d"
+  "bench_table1_preimage"
+  "bench_table1_preimage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_preimage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

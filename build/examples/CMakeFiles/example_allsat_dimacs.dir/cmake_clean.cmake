@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_allsat_dimacs.dir/allsat_dimacs.cpp.o"
+  "CMakeFiles/example_allsat_dimacs.dir/allsat_dimacs.cpp.o.d"
+  "example_allsat_dimacs"
+  "example_allsat_dimacs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_allsat_dimacs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_backward_reachability.dir/backward_reachability.cpp.o"
+  "CMakeFiles/example_backward_reachability.dir/backward_reachability.cpp.o.d"
+  "example_backward_reachability"
+  "example_backward_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_backward_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

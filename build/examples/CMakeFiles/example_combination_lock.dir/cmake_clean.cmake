@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_combination_lock.dir/combination_lock.cpp.o"
+  "CMakeFiles/example_combination_lock.dir/combination_lock.cpp.o.d"
+  "example_combination_lock"
+  "example_combination_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_combination_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_engine_shootout.dir/engine_shootout.cpp.o"
+  "CMakeFiles/example_engine_shootout.dir/engine_shootout.cpp.o.d"
+  "example_engine_shootout"
+  "example_engine_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_engine_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

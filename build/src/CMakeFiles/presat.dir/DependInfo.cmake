@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/allsat/cube_blocking.cpp" "src/CMakeFiles/presat.dir/allsat/cube_blocking.cpp.o" "gcc" "src/CMakeFiles/presat.dir/allsat/cube_blocking.cpp.o.d"
+  "/root/repo/src/allsat/lifting.cpp" "src/CMakeFiles/presat.dir/allsat/lifting.cpp.o" "gcc" "src/CMakeFiles/presat.dir/allsat/lifting.cpp.o.d"
+  "/root/repo/src/allsat/minterm_blocking.cpp" "src/CMakeFiles/presat.dir/allsat/minterm_blocking.cpp.o" "gcc" "src/CMakeFiles/presat.dir/allsat/minterm_blocking.cpp.o.d"
+  "/root/repo/src/allsat/projection.cpp" "src/CMakeFiles/presat.dir/allsat/projection.cpp.o" "gcc" "src/CMakeFiles/presat.dir/allsat/projection.cpp.o.d"
+  "/root/repo/src/allsat/solution_graph.cpp" "src/CMakeFiles/presat.dir/allsat/solution_graph.cpp.o" "gcc" "src/CMakeFiles/presat.dir/allsat/solution_graph.cpp.o.d"
+  "/root/repo/src/allsat/success_driven.cpp" "src/CMakeFiles/presat.dir/allsat/success_driven.cpp.o" "gcc" "src/CMakeFiles/presat.dir/allsat/success_driven.cpp.o.d"
+  "/root/repo/src/base/biguint.cpp" "src/CMakeFiles/presat.dir/base/biguint.cpp.o" "gcc" "src/CMakeFiles/presat.dir/base/biguint.cpp.o.d"
+  "/root/repo/src/base/dyadic.cpp" "src/CMakeFiles/presat.dir/base/dyadic.cpp.o" "gcc" "src/CMakeFiles/presat.dir/base/dyadic.cpp.o.d"
+  "/root/repo/src/base/log.cpp" "src/CMakeFiles/presat.dir/base/log.cpp.o" "gcc" "src/CMakeFiles/presat.dir/base/log.cpp.o.d"
+  "/root/repo/src/bdd/bdd.cpp" "src/CMakeFiles/presat.dir/bdd/bdd.cpp.o" "gcc" "src/CMakeFiles/presat.dir/bdd/bdd.cpp.o.d"
+  "/root/repo/src/bdd/bdd_algos.cpp" "src/CMakeFiles/presat.dir/bdd/bdd_algos.cpp.o" "gcc" "src/CMakeFiles/presat.dir/bdd/bdd_algos.cpp.o.d"
+  "/root/repo/src/circuit/bench_io.cpp" "src/CMakeFiles/presat.dir/circuit/bench_io.cpp.o" "gcc" "src/CMakeFiles/presat.dir/circuit/bench_io.cpp.o.d"
+  "/root/repo/src/circuit/from_cnf.cpp" "src/CMakeFiles/presat.dir/circuit/from_cnf.cpp.o" "gcc" "src/CMakeFiles/presat.dir/circuit/from_cnf.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/presat.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/presat.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/simulator.cpp" "src/CMakeFiles/presat.dir/circuit/simulator.cpp.o" "gcc" "src/CMakeFiles/presat.dir/circuit/simulator.cpp.o.d"
+  "/root/repo/src/circuit/strash.cpp" "src/CMakeFiles/presat.dir/circuit/strash.cpp.o" "gcc" "src/CMakeFiles/presat.dir/circuit/strash.cpp.o.d"
+  "/root/repo/src/circuit/ternary.cpp" "src/CMakeFiles/presat.dir/circuit/ternary.cpp.o" "gcc" "src/CMakeFiles/presat.dir/circuit/ternary.cpp.o.d"
+  "/root/repo/src/circuit/tseitin.cpp" "src/CMakeFiles/presat.dir/circuit/tseitin.cpp.o" "gcc" "src/CMakeFiles/presat.dir/circuit/tseitin.cpp.o.d"
+  "/root/repo/src/circuit/unroll.cpp" "src/CMakeFiles/presat.dir/circuit/unroll.cpp.o" "gcc" "src/CMakeFiles/presat.dir/circuit/unroll.cpp.o.d"
+  "/root/repo/src/cnf/cnf.cpp" "src/CMakeFiles/presat.dir/cnf/cnf.cpp.o" "gcc" "src/CMakeFiles/presat.dir/cnf/cnf.cpp.o.d"
+  "/root/repo/src/cnf/dimacs.cpp" "src/CMakeFiles/presat.dir/cnf/dimacs.cpp.o" "gcc" "src/CMakeFiles/presat.dir/cnf/dimacs.cpp.o.d"
+  "/root/repo/src/cnf/simplify.cpp" "src/CMakeFiles/presat.dir/cnf/simplify.cpp.o" "gcc" "src/CMakeFiles/presat.dir/cnf/simplify.cpp.o.d"
+  "/root/repo/src/gen/generators.cpp" "src/CMakeFiles/presat.dir/gen/generators.cpp.o" "gcc" "src/CMakeFiles/presat.dir/gen/generators.cpp.o.d"
+  "/root/repo/src/gen/iscas.cpp" "src/CMakeFiles/presat.dir/gen/iscas.cpp.o" "gcc" "src/CMakeFiles/presat.dir/gen/iscas.cpp.o.d"
+  "/root/repo/src/gen/random_circuit.cpp" "src/CMakeFiles/presat.dir/gen/random_circuit.cpp.o" "gcc" "src/CMakeFiles/presat.dir/gen/random_circuit.cpp.o.d"
+  "/root/repo/src/preimage/bdd_preimage.cpp" "src/CMakeFiles/presat.dir/preimage/bdd_preimage.cpp.o" "gcc" "src/CMakeFiles/presat.dir/preimage/bdd_preimage.cpp.o.d"
+  "/root/repo/src/preimage/bmc.cpp" "src/CMakeFiles/presat.dir/preimage/bmc.cpp.o" "gcc" "src/CMakeFiles/presat.dir/preimage/bmc.cpp.o.d"
+  "/root/repo/src/preimage/image.cpp" "src/CMakeFiles/presat.dir/preimage/image.cpp.o" "gcc" "src/CMakeFiles/presat.dir/preimage/image.cpp.o.d"
+  "/root/repo/src/preimage/preimage.cpp" "src/CMakeFiles/presat.dir/preimage/preimage.cpp.o" "gcc" "src/CMakeFiles/presat.dir/preimage/preimage.cpp.o.d"
+  "/root/repo/src/preimage/reachability.cpp" "src/CMakeFiles/presat.dir/preimage/reachability.cpp.o" "gcc" "src/CMakeFiles/presat.dir/preimage/reachability.cpp.o.d"
+  "/root/repo/src/preimage/safety.cpp" "src/CMakeFiles/presat.dir/preimage/safety.cpp.o" "gcc" "src/CMakeFiles/presat.dir/preimage/safety.cpp.o.d"
+  "/root/repo/src/preimage/target.cpp" "src/CMakeFiles/presat.dir/preimage/target.cpp.o" "gcc" "src/CMakeFiles/presat.dir/preimage/target.cpp.o.d"
+  "/root/repo/src/preimage/transition_system.cpp" "src/CMakeFiles/presat.dir/preimage/transition_system.cpp.o" "gcc" "src/CMakeFiles/presat.dir/preimage/transition_system.cpp.o.d"
+  "/root/repo/src/sat/dpll.cpp" "src/CMakeFiles/presat.dir/sat/dpll.cpp.o" "gcc" "src/CMakeFiles/presat.dir/sat/dpll.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/CMakeFiles/presat.dir/sat/solver.cpp.o" "gcc" "src/CMakeFiles/presat.dir/sat/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allsat_test.dir/allsat_test.cpp.o"
+  "CMakeFiles/allsat_test.dir/allsat_test.cpp.o.d"
+  "allsat_test"
+  "allsat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allsat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

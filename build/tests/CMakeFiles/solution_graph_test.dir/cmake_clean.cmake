@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solution_graph_test.dir/solution_graph_test.cpp.o"
+  "CMakeFiles/solution_graph_test.dir/solution_graph_test.cpp.o.d"
+  "solution_graph_test"
+  "solution_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solution_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

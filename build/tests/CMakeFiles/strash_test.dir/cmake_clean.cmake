@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strash_test.dir/strash_test.cpp.o"
+  "CMakeFiles/strash_test.dir/strash_test.cpp.o.d"
+  "strash_test"
+  "strash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

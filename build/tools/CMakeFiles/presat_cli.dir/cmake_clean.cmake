@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presat_cli.dir/presat_cli.cpp.o"
+  "CMakeFiles/presat_cli.dir/presat_cli.cpp.o.d"
+  "presat_cli"
+  "presat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
