@@ -38,6 +38,8 @@ Netlist parityTree(int stateBits) {
   return nl;
 }
 
+std::string jsonlPath;  // set from argv[1]; empty disables trajectory output
+
 void learningRow(const char* name, const Netlist& nl, const NodeCube& objectives) {
   CircuitAllSatProblem p;
   p.netlist = &nl;
@@ -53,26 +55,33 @@ void learningRow(const char* name, const Netlist& nl, const NodeCube& objectives
     std::printf("ABLATION DISAGREEMENT on %s\n", name);
     std::exit(1);
   }
-  std::printf("%-14s %12s | %10llu %10llu %9.3f | %10llu %10llu %9.3f | %8llu\n", name,
-              withL.summary.mintermCount.toDecimal().c_str(),
+  std::printf("%-14s %12s | %10llu %10llu %9.3f | %10llu %10llu %9.3f | %8llu %8llu %9llu\n",
+              name, withL.summary.mintermCount.toDecimal().c_str(),
               static_cast<unsigned long long>(withL.summary.stats.decisions),
               static_cast<unsigned long long>(withL.summary.stats.graphNodes),
               withL.summary.stats.seconds * 1e3,
               static_cast<unsigned long long>(without.summary.stats.decisions),
               static_cast<unsigned long long>(without.summary.stats.graphNodes),
               without.summary.stats.seconds * 1e3,
-              static_cast<unsigned long long>(withL.summary.stats.memoHits));
+              static_cast<unsigned long long>(withL.summary.stats.memoHits),
+              static_cast<unsigned long long>(withL.summary.stats.memoEntries),
+              static_cast<unsigned long long>(withL.summary.stats.memoBytes));
+  if (!jsonlPath.empty()) {
+    appendMetricsJsonl(jsonlPath, "fig3a", name, withL.summary.metrics);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional argv[1]: JSONL trajectory file — one metrics line per fig3a run.
+  if (argc > 1) jsonlPath = argv[1];
   std::printf(
       "Figure 3a: success-driven learning ablation\n"
-      "%-14s %12s | %32s | %32s | %8s\n"
-      "%-14s %12s | %10s %10s %9s | %10s %10s %9s | %8s\n",
-      "", "", "learning ON", "learning OFF", "", "circuit", "solutions", "decisions", "graph",
-      "ms", "decisions", "graph", "ms", "hits");
+      "%-14s %12s | %32s | %32s | %8s %8s %9s\n"
+      "%-14s %12s | %10s %10s %9s | %10s %10s %9s | %8s %8s %9s\n",
+      "", "", "learning ON", "learning OFF", "", "", "", "circuit", "solutions", "decisions",
+      "graph", "ms", "decisions", "graph", "ms", "hits", "entries", "memoB");
 
   for (int bits : {8, 12, 16}) {
     Netlist nl = parityTree(bits);
@@ -114,6 +123,10 @@ int main() {
                 lifted.stateCount.toDecimal().c_str(),
                 static_cast<unsigned long long>(lifted.stats.satCalls), lifted.seconds * 1e3,
                 calls, plain.seconds * 1e3);
+    if (!jsonlPath.empty()) {
+      appendMetricsJsonl(jsonlPath, "fig3b", c.name + "/lifted", lifted.metrics);
+      appendMetricsJsonl(jsonlPath, "fig3b", c.name + "/plain", plain.metrics);
+    }
   }
   return 0;
 }

@@ -100,4 +100,20 @@ inline std::string fmtMs(double seconds) {
   return buf;
 }
 
+// Appends one compact-JSON line per run to `path` (JSONL), tagging the
+// metrics with bench/case labels so rows from different benches can be
+// concatenated and post-processed together. Returns false if the file could
+// not be opened (benches keep running; trajectory output is best-effort).
+inline bool appendMetricsJsonl(const std::string& path, const std::string& bench,
+                               const std::string& caseName, Metrics metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) return false;
+  metrics.setLabel("bench", bench);
+  metrics.setLabel("case", caseName);
+  std::string line = metrics.toJson(0);
+  std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace presat::benchutil

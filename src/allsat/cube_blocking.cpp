@@ -18,14 +18,27 @@ AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projecti
   }
 
   Solver solver;
+  solver.setConflictBudget(options.conflictBudget);
   bool consistent = solver.addCnf(cnf);
   bool maybeOverlapping = false;
 
   while (consistent) {
     lbool status = solver.solve();
     ++result.stats.satCalls;
-    PRESAT_CHECK(!status.isUndef()) << "unbudgeted solve returned UNDEF";
+    if (status.isUndef()) {
+      // Conflict budget exhausted mid-call: the cubes found so far are a
+      // valid partial answer, so return them instead of aborting.
+      result.complete = false;
+      break;
+    }
     if (status.isFalse()) break;
+    // The cap is checked after the solve so that exact exhaustion at
+    // maxCubes still reports complete: this SAT call proves at least one
+    // uncovered solution remains.
+    if (options.maxCubes != 0 && result.cubes.size() >= options.maxCubes) {
+      result.complete = false;
+      break;
+    }
 
     LitVec cube;
     if (options.liftModels && lifter) {
@@ -54,10 +67,6 @@ AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projecti
     result.stats.blockingClauses += 1;
     result.stats.blockingLiterals += blocking.size();
 
-    if (options.maxCubes != 0 && result.cubes.size() >= options.maxCubes) {
-      result.complete = false;
-      break;
-    }
     consistent = solver.addClause(blocking);
   }
 
@@ -73,7 +82,12 @@ AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projecti
   result.stats.conflicts = solver.stats().conflicts;
   result.stats.decisions = solver.stats().decisions;
   result.stats.propagations = solver.stats().propagations;
+  result.stats.restarts = solver.stats().restarts;
+  result.stats.reduceDBs = solver.stats().reduceDBs;
+  result.stats.deletedClauses = solver.stats().deletedClauses;
   result.stats.seconds = timer.seconds();
+  result.metrics.setLabel("engine", "cube-blocking");
+  exportStatsToMetrics(result.stats, result.metrics);
   return result;
 }
 

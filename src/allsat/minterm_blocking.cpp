@@ -11,13 +11,26 @@ AllSatResult mintermBlockingAllSat(const Cnf& cnf, const std::vector<Var>& proje
   Timer timer;
   AllSatResult result;
   Solver solver;
+  solver.setConflictBudget(options.conflictBudget);
   bool consistent = solver.addCnf(cnf);
 
   while (consistent) {
     lbool status = solver.solve();
     ++result.stats.satCalls;
-    PRESAT_CHECK(!status.isUndef()) << "unbudgeted solve returned UNDEF";
+    if (status.isUndef()) {
+      // Conflict budget exhausted mid-call: the cubes found so far are a
+      // valid partial answer, so return them instead of aborting.
+      result.complete = false;
+      break;
+    }
     if (status.isFalse()) break;
+    // The cap is checked after the solve so that exact exhaustion at
+    // maxCubes still reports complete: this SAT call proves at least one
+    // uncovered solution remains.
+    if (options.maxCubes != 0 && result.cubes.size() >= options.maxCubes) {
+      result.complete = false;
+      break;
+    }
 
     LitVec blocking;
     LitVec projectedCube;
@@ -34,10 +47,6 @@ AllSatResult mintermBlockingAllSat(const Cnf& cnf, const std::vector<Var>& proje
     result.stats.blockingClauses += 1;
     result.stats.blockingLiterals += blocking.size();
 
-    if (options.maxCubes != 0 && result.cubes.size() >= options.maxCubes) {
-      result.complete = false;
-      break;
-    }
     consistent = solver.addClause(blocking);
   }
 
@@ -45,7 +54,12 @@ AllSatResult mintermBlockingAllSat(const Cnf& cnf, const std::vector<Var>& proje
   result.stats.conflicts = solver.stats().conflicts;
   result.stats.decisions = solver.stats().decisions;
   result.stats.propagations = solver.stats().propagations;
+  result.stats.restarts = solver.stats().restarts;
+  result.stats.reduceDBs = solver.stats().reduceDBs;
+  result.stats.deletedClauses = solver.stats().deletedClauses;
   result.stats.seconds = timer.seconds();
+  result.metrics.setLabel("engine", "minterm-blocking");
+  exportStatsToMetrics(result.stats, result.metrics);
   return result;
 }
 

@@ -5,6 +5,26 @@
 
 namespace presat {
 
+void exportStatsToMetrics(const AllSatStats& stats, Metrics& m) {
+  m.setCounter("sat.calls", stats.satCalls);
+  m.setCounter("sat.conflicts", stats.conflicts);
+  m.setCounter("sat.decisions", stats.decisions);
+  m.setCounter("sat.propagations", stats.propagations);
+  m.setCounter("sat.restarts", stats.restarts);
+  m.setCounter("sat.reduce_dbs", stats.reduceDBs);
+  m.setCounter("sat.deleted_clauses", stats.deletedClauses);
+  m.setCounter("blocking.clauses", stats.blockingClauses);
+  m.setCounter("blocking.literals", stats.blockingLiterals);
+  m.setCounter("memo.hits", stats.memoHits);
+  m.setCounter("memo.misses", stats.memoMisses);
+  m.setCounter("memo.evictions", stats.memoEvictions);
+  m.setCounter("memo.entries", stats.memoEntries);
+  m.setCounter("memo.bytes", stats.memoBytes);
+  m.setCounter("graph.nodes", stats.graphNodes);
+  m.setCounter("graph.edges", stats.graphEdges);
+  m.setGauge("time.seconds", stats.seconds);
+}
+
 BigUint countDisjointCubeMinterms(const std::vector<LitVec>& cubes, int numProjectionVars) {
   BigUint total(0);
   for (const LitVec& cube : cubes) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "base/biguint.hpp"
+#include "base/metrics.hpp"
 #include "base/types.hpp"
 #include "cnf/cnf.hpp"
 
@@ -24,14 +25,24 @@ struct AllSatStats {
   uint64_t conflicts = 0;         // CDCL conflicts (blocking engines)
   uint64_t decisions = 0;
   uint64_t propagations = 0;
+  uint64_t restarts = 0;          // CDCL restarts (blocking engines)
+  uint64_t reduceDBs = 0;         // learnt-DB reductions (blocking engines)
+  uint64_t deletedClauses = 0;    // learnt clauses deleted by reduceDB
   uint64_t blockingClauses = 0;   // clauses added to block found solutions
   uint64_t blockingLiterals = 0;  // total literals across blocking clauses
   uint64_t memoHits = 0;          // success-driven learning cache hits
+  uint64_t memoMisses = 0;        // subproblems solved for the first time
+  uint64_t memoEvictions = 0;     // entries dropped by the table bound
   uint64_t memoEntries = 0;
+  uint64_t memoBytes = 0;         // approximate resident size of the memo
   uint64_t graphNodes = 0;        // solution graph size
   uint64_t graphEdges = 0;
   double seconds = 0.0;
 };
+
+// Serializes the shared stats block into `m` under the canonical counter
+// names used by presat_cli --stats json and the BENCH_*.json files.
+void exportStatsToMetrics(const AllSatStats& stats, Metrics& m);
 
 struct AllSatResult {
   // True iff enumeration ran to completion (false when a solution/time cap
@@ -45,6 +56,9 @@ struct AllSatResult {
   // Exact number of projected minterms in the union of `cubes`.
   BigUint mintermCount;
   AllSatStats stats;
+  // Uniform observability export (counters/gauges/histograms) — see
+  // base/metrics.hpp for the JSON schema.
+  Metrics metrics;
 };
 
 // Which unjustified gate the success-driven engine branches on next.
@@ -59,8 +73,21 @@ struct AllSatOptions {
   uint64_t maxCubes = 0;  // 0 = unlimited
   // Blocking engines: lift models to cubes before blocking.
   bool liftModels = true;
+  // Blocking engines: per-SAT-call conflict budget (0 = none). When a call
+  // exhausts its budget, the engine returns the cubes found so far with
+  // complete = false instead of aborting.
+  uint64_t conflictBudget = 0;
   // Success-driven engine: enable the learning cache (ablation knob).
   bool successLearning = true;
+  // Success-driven engine: bound on learned-subproblem memo entries
+  // (0 = unbounded). When the table fills, entries not touched since the
+  // previous sweep are evicted (generational second-chance); evicted
+  // subproblems are simply re-solved, so results stay exact.
+  size_t maxMemoEntries = 1u << 20;
+  // Success-driven engine: cross-check every hashed memo probe against the
+  // exact subproblem key. Catches 128-bit signature collisions; costs the
+  // old O(cone log cone) key build per probe, so debug/test use only.
+  bool memoCheckExact = false;
   // Success-driven engine: frontier-gate selection policy.
   BranchOrder branchOrder = BranchOrder::kLowestGateFirst;
 };

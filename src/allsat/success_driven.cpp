@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "base/log.hpp"
+#include "base/metrics.hpp"
+#include "base/rng.hpp"
 #include "base/timer.hpp"
 #include "bdd/bdd.hpp"
 #include "circuit/ternary.hpp"
@@ -12,6 +14,29 @@
 namespace presat {
 
 namespace {
+
+// 128-bit Zobrist signature of a subproblem. Two independent 64-bit lanes:
+// the collision probability of two *distinct* subproblems among N memo
+// entries is bounded by N^2 / 2^129 (birthday bound over a 128-bit space) —
+// at the 2^20-entry default table bound that is < 2^-89, far below the
+// hardware soft-error rate. AllSatOptions::memoCheckExact turns on a
+// cross-check against the exact key for debug/test runs.
+struct Sig128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  void flip(const Sig128& k) {
+    lo ^= k.lo;
+    hi ^= k.hi;
+  }
+  bool operator==(const Sig128&) const = default;
+};
+
+struct Sig128Hash {
+  size_t operator()(const Sig128& s) const noexcept {
+    return static_cast<size_t>(s.lo ^ (s.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
 
 // One backward-justification search with success-driven learning.
 class Engine {
@@ -22,7 +47,8 @@ class Engine {
         fanouts_(nl_.fanouts()),
         value_(nl_.numNodes(), l_Undef),
         inFrontier_(nl_.numNodes(), 0),
-        projIndex_(nl_.numNodes(), -1) {
+        projIndex_(nl_.numNodes(), -1),
+        visitStamp_(nl_.numNodes(), 0) {
     std::vector<NodeId> order = nl_.topologicalOrder();
     topoPos_.resize(nl_.numNodes());
     for (size_t i = 0; i < order.size(); ++i) topoPos_[order[i]] = static_cast<uint32_t>(i);
@@ -32,6 +58,9 @@ class Engine {
           << "projection entries must be source nodes";
       projIndex_[src] = static_cast<int>(i);
     }
+    // Unconditional: assign()/undoTo() maintain frontierSig_ even with
+    // learning off, so the ablation path stays identical modulo the memo.
+    initZobrist();
     // Constants carry their value from the start and never need
     // justification.
     for (NodeId id = 0; id < nl_.numNodes(); ++id) {
@@ -62,19 +91,34 @@ class Engine {
     graph_.setRoot(root, std::move(rootLits));
 
     result.graph = std::move(graph_);
+    stats_.memoEntries = memo_.size();
+    stats_.memoBytes = memoBytes();
     result.summary.stats = stats_;
-    result.summary.stats.memoEntries = memo_.size();
     result.summary.stats.graphNodes = result.graph.numNodes();
     result.summary.stats.graphEdges = result.graph.numLiveEdges();
-    result.summary.cubes = result.graph.enumerateCubes(options_.maxCubes);
-    result.summary.complete =
-        options_.maxCubes == 0 || result.graph.countPaths() <= BigUint(options_.maxCubes);
+    // One path beyond the cap decides completeness without the full
+    // path-count dynamic program over the graph.
+    if (options_.maxCubes == 0) {
+      result.summary.cubes = result.graph.enumerateCubes(0);
+      result.summary.complete = true;
+    } else {
+      uint64_t probe =
+          options_.maxCubes == UINT64_MAX ? options_.maxCubes : options_.maxCubes + 1;
+      result.summary.cubes = result.graph.enumerateCubes(probe);
+      result.summary.complete = result.summary.cubes.size() <= options_.maxCubes;
+      if (!result.summary.complete) result.summary.cubes.pop_back();
+    }
     {
       BddManager mgr(static_cast<int>(numProjection()));
       BddRef u = result.graph.toBdd(mgr);
       result.summary.mintermCount = mgr.satCount(u);
     }
     result.summary.stats.seconds = timer.seconds();
+    metrics_.setLabel("engine", "success-driven");
+    exportStatsToMetrics(result.summary.stats, metrics_);
+    metrics_.setCounter("sig.cone_nodes", sigConeNodes_);
+    metrics_.setCounter("sig.bytes", sigConeNodes_ * sizeof(Sig128));
+    result.summary.metrics = std::move(metrics_);
     return result;
   }
 
@@ -83,6 +127,11 @@ class Engine {
   struct Event {
     EventKind kind;
     NodeId node;
+  };
+
+  struct MemoEntry {
+    int child;     // graph node index or a SolutionGraph terminal
+    uint32_t gen;  // eviction generation of the last touch
   };
 
   size_t numProjection() const {
@@ -106,6 +155,7 @@ class Engine {
     if (isCombinational(nl_.type(n))) {
       inFrontier_[n] = 1;
       frontier_.insert({topoPos_[n], n});
+      frontierSig_.flip(zFrontier_[n]);
       pending_.push_back(n);
     }
     for (NodeId fo : fanouts_[n]) {
@@ -117,6 +167,7 @@ class Engine {
   void removeFromFrontier(NodeId g) {
     inFrontier_[g] = 0;
     frontier_.erase({topoPos_[g], g});
+    frontierSig_.flip(zFrontier_[g]);
     trail_.push_back({EventKind::kFrontierRemove, g});
   }
 
@@ -243,11 +294,13 @@ class Engine {
         if (inFrontier_[e.node]) {
           inFrontier_[e.node] = 0;
           frontier_.erase({topoPos_[e.node], e.node});
+          frontierSig_.flip(zFrontier_[e.node]);
         }
         value_[e.node] = l_Undef;
       } else {
         inFrontier_[e.node] = 1;
         frontier_.insert({topoPos_[e.node], e.node});
+        frontierSig_.flip(zFrontier_[e.node]);
       }
     }
   }
@@ -301,11 +354,66 @@ class Engine {
   }
 
   // --- success-driven learning -----------------------------------------------------
+  //
+  // The subproblem at a search node is determined by the justification
+  // frontier plus the assignment restricted to its transitive fanin cone
+  // (backward-only assignment makes this exact — see the header comment).
+  // The memo key is a 128-bit Zobrist signature of that state:
+  //
+  //  * the frontier-membership component is maintained INCREMENTALLY — every
+  //    frontier insert/erase in assign()/removeFromFrontier()/undoTo() XORs
+  //    the gate's precomputed key into frontierSig_, so it costs O(1) per
+  //    event and nothing at signature time;
+  //  * the cone-assignment component is accumulated by an XOR walk over the
+  //    frontier's fanin cone. It cannot be maintained purely incrementally:
+  //    when a gate is justified, cone nodes may silently leave every live
+  //    cone (detecting that would need per-node cone reference counts), so
+  //    the walk re-derives membership. Unlike the former exact key, the walk
+  //    is allocation-free and sort-free (XOR commutes), turning the former
+  //    O(cone log cone) + heap-allocated std::string per search node into a
+  //    flat O(cone) scan.
 
-  // Canonical key of the remaining subproblem: the justification frontier and
-  // the assignment restricted to its transitive fanin cone. Backward-only
-  // assignment makes this exact (see header comment).
-  std::string signature() {
+  void initZobrist() {
+    // Deterministic keys: the engine must behave identically across runs.
+    Rng rng(0xc0ffee5d00d1e5ull);
+    zAssign_.resize(nl_.numNodes() * 2);
+    zFrontier_.resize(nl_.numNodes());
+    for (size_t i = 0; i < zAssign_.size(); ++i) zAssign_[i] = {rng.next(), rng.next()};
+    for (size_t i = 0; i < zFrontier_.size(); ++i) zFrontier_[i] = {rng.next(), rng.next()};
+  }
+
+  // Hashed signature of (frontier, cone assignment) at the current state.
+  Sig128 hashedSignature() {
+    if (++stamp_ == 0) {  // stamp wrapped: reset the epoch array once
+      std::fill(visitStamp_.begin(), visitStamp_.end(), 0u);
+      stamp_ = 1;
+    }
+    Sig128 sig = frontierSig_;
+    for (const auto& [pos, g] : frontier_) {
+      (void)pos;
+      scratchStack_.push_back(g);
+    }
+    uint64_t coneNodes = 0;
+    while (!scratchStack_.empty()) {
+      NodeId n = scratchStack_.back();
+      scratchStack_.pop_back();
+      if (visitStamp_[n] == stamp_) continue;
+      visitStamp_[n] = stamp_;
+      ++coneNodes;
+      lbool v = value_[n];
+      if (!v.isUndef()) sig.flip(zAssign_[n * 2 + (v.isTrue() ? 1 : 0)]);
+      if (isCombinational(nl_.type(n))) {
+        for (NodeId f : nl_.fanins(n)) scratchStack_.push_back(f);
+      }
+    }
+    sigConeNodes_ += coneNodes;
+    return sig;
+  }
+
+  // The former exact key — frontier + cone assignment serialized into a
+  // canonical byte string. Kept as the collision oracle behind
+  // AllSatOptions::memoCheckExact.
+  std::string exactKey() {
     scratchCone_.clear();
     scratchMark_.assign(nl_.numNodes(), false);
     for (const auto& [pos, g] : frontier_) {
@@ -334,19 +442,60 @@ class Engine {
     return key;
   }
 
+  uint64_t memoBytes() const {
+    // Entry payload plus the typical two-pointer unordered_map overhead
+    // (bucket slot + node link). An estimate, but a stable one: it scales
+    // linearly in entries, which is what the table bound limits.
+    constexpr uint64_t kPerEntry =
+        sizeof(std::pair<const Sig128, MemoEntry>) + 2 * sizeof(void*);
+    return memo_.size() * kPerEntry;
+  }
+
+  // Frees space in a full memo: drops every entry not touched since the
+  // previous sweep, falling back to dropping an arbitrary half when the
+  // working set itself fills the table (guarantees forward progress).
+  void evictMemo() {
+    size_t before = memo_.size();
+    for (auto it = memo_.begin(); it != memo_.end();) {
+      if (it->second.gen != memoGen_) {
+        if (options_.memoCheckExact) exactKeys_.erase(it->first);
+        it = memo_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (memo_.size() > before / 2) {
+      size_t target = before / 2;
+      for (auto it = memo_.begin(); it != memo_.end() && memo_.size() > target;) {
+        if (options_.memoCheckExact) exactKeys_.erase(it->first);
+        it = memo_.erase(it);
+      }
+    }
+    stats_.memoEvictions += before - memo_.size();
+    ++memoGen_;
+  }
+
   // --- search -------------------------------------------------------------------------
 
   int solveState() {
     if (frontier_.empty()) return SolutionGraph::kSuccess;
-    std::string key;
+    Sig128 key;
     if (options_.successLearning) {
-      key = signature();
+      key = hashedSignature();
       auto it = memo_.find(key);
       if (it != memo_.end()) {
         ++stats_.memoHits;
-        return it->second;
+        it->second.gen = memoGen_;
+        if (options_.memoCheckExact) {
+          auto exact = exactKeys_.find(key);
+          PRESAT_CHECK(exact != exactKeys_.end() && exact->second == exactKey())
+              << "hashed memo collision: 128-bit signature matched a different subproblem";
+        }
+        return it->second.child;
       }
+      ++stats_.memoMisses;
     }
+    metrics_.histogram("frontier.size").record(frontier_.size());
 
     NodeId branchNode = kNoNode;
     bool firstValue = false;
@@ -379,7 +528,11 @@ class Engine {
     } else {
       index = graph_.addNode(node);
     }
-    if (options_.successLearning) memo_.emplace(std::move(key), index);
+    if (options_.successLearning) {
+      if (options_.maxMemoEntries != 0 && memo_.size() >= options_.maxMemoEntries) evictMemo();
+      memo_.emplace(key, MemoEntry{index, memoGen_});
+      if (options_.memoCheckExact) exactKeys_.emplace(key, exactKey());
+    }
     return index;
   }
 
@@ -398,13 +551,29 @@ class Engine {
   LitVec* curNewProj_ = nullptr;
   std::vector<lbool> ins_;
 
-  std::unordered_map<std::string, int> memo_;
+  // Zobrist tables: zAssign_[2n + v] keys "node n assigned value v",
+  // zFrontier_[n] keys "node n is an unjustified frontier gate".
+  std::vector<Sig128> zAssign_;
+  std::vector<Sig128> zFrontier_;
+  Sig128 frontierSig_;  // XOR over zFrontier_ of the current frontier set
+
+  std::unordered_map<Sig128, MemoEntry, Sig128Hash> memo_;
+  std::unordered_map<Sig128, std::string, Sig128Hash> exactKeys_;  // memoCheckExact only
+  uint32_t memoGen_ = 0;
+  uint64_t sigConeNodes_ = 0;
+
   SolutionGraph graph_;
   AllSatStats stats_;
+  Metrics metrics_;
 
-  // signature() scratch
-  std::vector<NodeId> scratchCone_;
+  // signature scratch: epoch-stamped visit marks (no O(numNodes) clear per
+  // signature) and a reusable DFS stack.
+  std::vector<uint32_t> visitStamp_;
+  uint32_t stamp_ = 0;
   std::vector<NodeId> scratchStack_;
+
+  // exactKey() scratch (memoCheckExact only)
+  std::vector<NodeId> scratchCone_;
   std::vector<bool> scratchMark_;
 };
 

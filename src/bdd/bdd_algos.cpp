@@ -22,7 +22,9 @@ BddRef BddManager::exists(BddRef f, const std::vector<Var>& vars) {
     if (isConstant(g)) return g;
     auto it = memo.find(g);
     if (it != memo.end()) return it->second;
-    const Node& n = node(g);
+    // Copy by value: the recursive calls below allocate (bddOr/mkNode), which
+    // can grow the node pool and invalidate references into it.
+    const Node n = node(g);
     BddRef lo = self(self, n.lo);
     BddRef hi = self(self, n.hi);
     BddRef result = quantified[static_cast<size_t>(n.var)] ? bddOr(lo, hi)
@@ -89,7 +91,8 @@ BddRef BddManager::composeVector(BddRef f, const std::vector<BddRef>& substituti
     if (isConstant(g)) return g;
     auto it = memo.find(g);
     if (it != memo.end()) return it->second;
-    const Node& n = node(g);
+    // Copy by value: ite() in the recursion can reallocate the node pool.
+    const Node n = node(g);
     BddRef lo = self(self, n.lo);
     BddRef hi = self(self, n.hi);
     BddRef replacement = substitution[static_cast<size_t>(n.var)];

@@ -1,5 +1,6 @@
 #include "cnf/dimacs.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 
@@ -31,9 +32,12 @@ DimacsFile parseDimacs(std::istream& in) {
       continue;
     }
     if (tok == "p") {
+      PRESAT_CHECK(declaredVars < 0) << "duplicate 'p cnf' header";
       std::string fmt;
       PRESAT_CHECK((ls >> fmt) && fmt == "cnf") << "expected 'p cnf' header";
       PRESAT_CHECK(ls >> declaredVars >> declaredClauses) << "bad 'p cnf' header";
+      PRESAT_CHECK(declaredVars > 0) << "non-positive variable count in 'p cnf' header";
+      PRESAT_CHECK(declaredClauses >= 0) << "negative clause count in 'p cnf' header";
       file.cnf = Cnf(declaredVars);
       continue;
     }
@@ -47,10 +51,14 @@ DimacsFile parseDimacs(std::istream& in) {
         file.cnf.addClause(current);
         current.clear();
       } else {
-        Lit l = Lit::fromDimacs(static_cast<int32_t>(v));
-        PRESAT_CHECK(l.var() < declaredVars)
+        PRESAT_CHECK(declaredVars >= 0) << "clause before 'p cnf' header";
+        // Range-check before the int32 narrowing: |LONG_MIN| overflows and a
+        // wrapped literal could silently alias a valid variable.
+        PRESAT_CHECK(v >= -static_cast<long>(INT32_MAX) && v <= INT32_MAX &&
+                     v >= -static_cast<long>(declaredVars) &&
+                     v <= static_cast<long>(declaredVars))
             << "literal " << v << " exceeds declared variable count " << declaredVars;
-        current.push_back(l);
+        current.push_back(Lit::fromDimacs(static_cast<int32_t>(v)));
       }
     }
   }

@@ -133,6 +133,7 @@ PreimageResult fromAllSat(AllSatResult&& r, int numStateBits) {
   result.stateCount = std::move(r.mintermCount);
   result.complete = r.complete;
   result.stats = r.stats;
+  result.metrics = std::move(r.metrics);
   result.seconds = r.stats.seconds;
   return result;
 }
@@ -189,9 +190,15 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
         result.stats.decisions += sub.summary.stats.decisions;
         result.stats.conflicts += sub.summary.stats.conflicts;
         result.stats.memoHits += sub.summary.stats.memoHits;
+        result.stats.memoMisses += sub.summary.stats.memoMisses;
+        result.stats.memoEvictions += sub.summary.stats.memoEvictions;
         result.stats.memoEntries += sub.summary.stats.memoEntries;
+        result.stats.memoBytes += sub.summary.stats.memoBytes;
         result.stats.graphNodes += sub.summary.stats.graphNodes;
         result.stats.graphEdges += sub.summary.stats.graphEdges;
+        // Histograms merge across sub-runs; the counter totals are rewritten
+        // from the accumulated stats below.
+        result.metrics.merge(sub.summary.metrics);
         result.graphs.push_back(std::move(sub.graph));
       }
       // Exact union count straight from the graphs (never enumerates paths).
@@ -201,6 +208,8 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
       result.stateCount = mgr.satCount(u);
       result.seconds = timer.seconds();
       result.stats.seconds = result.seconds;
+      result.metrics.setLabel("engine", "success-driven");
+      exportStatsToMetrics(result.stats, result.metrics);
       return result;
     }
     case PreimageMethod::kBdd: {
@@ -212,6 +221,9 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
       result.stateCount = transition.countStates(pre);
       result.seconds = timer.seconds();
       result.bddNodes = transition.manager().numNodes();
+      result.metrics.setLabel("engine", "bdd");
+      result.metrics.setCounter("bdd.nodes", result.bddNodes);
+      result.metrics.setGauge("time.seconds", result.seconds);
       return result;
     }
     case PreimageMethod::kBddRelational: {
@@ -227,6 +239,9 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
       result.stateCount = std::move(count);
       result.seconds = timer.seconds();
       result.bddNodes = transition.manager().numNodes();
+      result.metrics.setLabel("engine", "bdd-relational");
+      result.metrics.setCounter("bdd.nodes", result.bddNodes);
+      result.metrics.setGauge("time.seconds", result.seconds);
       return result;
     }
   }

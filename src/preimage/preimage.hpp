@@ -53,6 +53,9 @@ struct PreimageResult {
   BigUint stateCount;   // exact number of states in the union
   bool complete = true;
   AllSatStats stats;    // zero-initialized for the BDD engine
+  // Observability export of `stats` (plus engine-specific histograms, merged
+  // across per-target-cube sub-runs for the success-driven engine).
+  Metrics metrics;
   double seconds = 0.0;
   size_t bddNodes = 0;  // BDD engine only: manager size after the query
   // Success-driven engine only: one solution graph per target cube.

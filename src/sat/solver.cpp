@@ -483,6 +483,7 @@ Lit Solver::pickBranchLit() {
 void Solver::reduceDB() {
   // Collect learnt clauses, keep the most active half (always keep binaries
   // and locked clauses).
+  ++stats_.reduceDBs;
   std::vector<InternalClause*> learnts;
   for (auto& c : clauses_) {
     if (c->learnt) learnts.push_back(c.get());
@@ -599,8 +600,13 @@ lbool Solver::solve(const LitVec& assumptions) {
   conflictCore_.clear();
   if (!ok_) return l_False;
   assumptions_ = assumptions;
-  if (maxLearnts_ <= 0)
-    maxLearnts_ = std::max<double>(static_cast<double>(numOriginal_) / 3.0, 1000.0);
+  // Recomputed on every call: the limit tracks the current original-clause
+  // count (which grows under incremental use, e.g. blocking-clause all-SAT)
+  // and the per-restart growth below stays confined to this call. Carrying
+  // the grown limit across the hundreds of solve() calls an enumeration
+  // makes would effectively disable reduceDB and let the learnt database
+  // grow without bound.
+  maxLearnts_ = std::max<double>(static_cast<double>(numOriginal_) / 3.0, 1000.0);
   budgetLimit_ = conflictBudget_ == 0 ? 0 : stats_.conflicts + conflictBudget_;
 
   lbool status = l_Undef;

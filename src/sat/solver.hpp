@@ -25,6 +25,7 @@ struct SolverStats {
   uint64_t restarts = 0;
   uint64_t learntClauses = 0;
   uint64_t deletedClauses = 0;
+  uint64_t reduceDBs = 0;
   uint64_t minimizedLits = 0;
 };
 

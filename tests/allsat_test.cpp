@@ -361,6 +361,10 @@ TEST(SuccessDriven, BranchOrdersAgreeOnTheUnion) {
     CircuitAllSatProblem p = problemFor(nl, objectives);
     AllSatOptions low;
     AllSatOptions high;
+    // Cross-check every hashed memo probe against the exact subproblem key
+    // while fuzzing: any 128-bit signature collision aborts the test.
+    low.memoCheckExact = true;
+    high.memoCheckExact = true;
     high.branchOrder = BranchOrder::kHighestGateFirst;
     SuccessDrivenResult a = successDrivenAllSat(p, low);
     SuccessDrivenResult b = successDrivenAllSat(p, high);
@@ -368,6 +372,149 @@ TEST(SuccessDriven, BranchOrdersAgreeOnTheUnion) {
     BddManager mgr(static_cast<int>(p.projectionSources.size()));
     EXPECT_EQ(cubesToBdd(mgr, a.summary.cubes), cubesToBdd(mgr, b.summary.cubes));
   }
+}
+
+// Stopping exactly at maxCubes must still report complete: the engines now
+// decide completeness from the next SAT call (or the next graph path), not
+// from having reached the cap.
+TEST(MintermBlocking, ExactCapReportsComplete) {
+  Cnf cnf(3);  // unconstrained: exactly 8 solutions
+  AllSatOptions opts;
+  opts.maxCubes = 8;
+  AllSatResult r = mintermBlockingAllSat(cnf, {0, 1, 2}, opts);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.cubes.size(), 8u);
+  opts.maxCubes = 7;
+  AllSatResult capped = mintermBlockingAllSat(cnf, {0, 1, 2}, opts);
+  EXPECT_FALSE(capped.complete);
+  EXPECT_EQ(capped.cubes.size(), 7u);
+}
+
+TEST(CubeBlockingNoLift, ExactCapReportsComplete) {
+  Cnf cnf(3);
+  AllSatOptions opts;
+  opts.liftModels = false;
+  opts.maxCubes = 8;
+  AllSatResult r = cubeBlockingAllSat(cnf, {0, 1, 2}, {}, opts);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.cubes.size(), 8u);
+  opts.maxCubes = 7;
+  AllSatResult capped = cubeBlockingAllSat(cnf, {0, 1, 2}, {}, opts);
+  EXPECT_FALSE(capped.complete);
+  EXPECT_EQ(capped.cubes.size(), 7u);
+}
+
+TEST(SuccessDriven, ExactCapReportsComplete) {
+  Netlist nl = makeParityTree(8);  // 128 solution paths
+  CircuitAllSatProblem p = problemFor(nl, {{nl.outputs()[0], false}});
+  AllSatOptions opts;
+  opts.maxCubes = 128;
+  SuccessDrivenResult r = successDrivenAllSat(p, opts);
+  EXPECT_TRUE(r.summary.complete);
+  EXPECT_EQ(r.summary.cubes.size(), 128u);
+  opts.maxCubes = 127;
+  SuccessDrivenResult capped = successDrivenAllSat(p, opts);
+  EXPECT_FALSE(capped.summary.complete);
+  EXPECT_EQ(capped.summary.cubes.size(), 127u);
+}
+
+// A per-call conflict budget that trips mid-enumeration must yield a partial
+// result with complete = false — not an abort.
+TEST(MintermBlocking, ConflictBudgetReturnsPartialResult) {
+  Cnf php = testutil::pigeonhole(7);  // far too hard for a 5-conflict budget
+  std::vector<Var> projection{0, 1, 2};
+  AllSatOptions opts;
+  opts.conflictBudget = 5;
+  AllSatResult r = mintermBlockingAllSat(php, projection, opts);
+  EXPECT_FALSE(r.complete);
+  EXPECT_TRUE(r.cubes.empty());
+  EXPECT_EQ(r.stats.satCalls, 1u);
+}
+
+TEST(CubeBlockingNoLift, ConflictBudgetReturnsPartialResult) {
+  Cnf php = testutil::pigeonhole(7);
+  std::vector<Var> projection{0, 1, 2};
+  AllSatOptions opts;
+  opts.liftModels = false;
+  opts.conflictBudget = 5;
+  AllSatResult r = cubeBlockingAllSat(php, projection, {}, opts);
+  EXPECT_FALSE(r.complete);
+  EXPECT_TRUE(r.cubes.empty());
+}
+
+// A tiny memo bound forces evictions; evicted subproblems are re-solved, so
+// the answer must not change. The exact-key cross-check stays on throughout.
+TEST(SuccessDriven, BoundedMemoEvictsAndStaysExact) {
+  Netlist nl = makeParityTree(12);
+  CircuitAllSatProblem p = problemFor(nl, {{nl.outputs()[0], false}});
+  SuccessDrivenResult unbounded = successDrivenAllSat(p);
+  AllSatOptions opts;
+  opts.maxMemoEntries = 8;
+  opts.memoCheckExact = true;
+  SuccessDrivenResult bounded = successDrivenAllSat(p, opts);
+  EXPECT_EQ(bounded.summary.mintermCount, unbounded.summary.mintermCount);
+  EXPECT_GT(bounded.summary.stats.memoEvictions, 0u);
+  EXPECT_LE(bounded.summary.stats.memoEntries, 8u);
+  // The bound costs hits (evicted entries are re-solved) but never exactness.
+  BddManager mgr(static_cast<int>(p.projectionSources.size()));
+  EXPECT_EQ(cubesToBdd(mgr, bounded.summary.cubes), cubesToBdd(mgr, unbounded.summary.cubes));
+}
+
+// Hashed memoization must agree with brute force across random circuits with
+// the collision cross-check enabled.
+TEST(SuccessDriven, HashedMemoMatchesBruteForce) {
+  Rng rng(331);
+  for (int iter = 0; iter < 25; ++iter) {
+    RandomCircuitParams params;
+    params.seed = rng.next();
+    params.numInputs = 2;
+    params.numDffs = 5;
+    params.numGates = static_cast<int>(rng.range(10, 40));
+    Netlist nl = makeRandomSequential(params);
+    NodeCube objectives{{nl.dffData(nl.dffs()[0]), rng.flip()},
+                        {nl.dffData(nl.dffs()[2]), rng.flip()}};
+    CircuitAllSatProblem p = problemFor(nl, objectives);
+    AllSatOptions opts;
+    opts.memoCheckExact = true;
+    SuccessDrivenResult r = successDrivenAllSat(p, opts);
+    std::set<uint64_t> expected = bruteForceCircuit(nl, objectives, p.projectionSources);
+    EXPECT_EQ(cubesToMinterms(r.summary.cubes, p.projectionSources.size()), expected)
+        << "iter " << iter;
+  }
+}
+
+// Every engine must export the uniform metrics block consistent with its
+// typed stats.
+TEST(AllSatMetrics, EnginesExportConsistentMetrics) {
+  Cnf cnf(3);
+  cnf.addBinary(mkLit(0), mkLit(1));
+  AllSatResult m = mintermBlockingAllSat(cnf, {0, 1, 2});
+  EXPECT_EQ(m.metrics.label("engine"), "minterm-blocking");
+  EXPECT_EQ(m.metrics.counter("sat.calls"), m.stats.satCalls);
+  EXPECT_EQ(m.metrics.counter("blocking.clauses"), m.stats.blockingClauses);
+
+  AllSatOptions noLift;
+  noLift.liftModels = false;
+  AllSatResult c = cubeBlockingAllSat(cnf, {0, 1, 2}, {}, noLift);
+  EXPECT_EQ(c.metrics.label("engine"), "cube-blocking");
+  EXPECT_EQ(c.metrics.counter("sat.calls"), c.stats.satCalls);
+
+  Netlist nl = makeParityTree(8);
+  CircuitAllSatProblem p = problemFor(nl, {{nl.outputs()[0], false}});
+  SuccessDrivenResult sd = successDrivenAllSat(p);
+  const Metrics& sm = sd.summary.metrics;
+  EXPECT_EQ(sm.label("engine"), "success-driven");
+  EXPECT_EQ(sm.counter("memo.hits"), sd.summary.stats.memoHits);
+  EXPECT_EQ(sm.counter("memo.misses"), sd.summary.stats.memoMisses);
+  EXPECT_EQ(sm.counter("memo.entries"), sd.summary.stats.memoEntries);
+  EXPECT_GT(sm.counter("memo.bytes"), 0u);
+  const Histogram* h = sm.findHistogram("frontier.size");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), sd.summary.stats.memoMisses);
+  // The JSON export must carry the counters.
+  std::string json = sm.toJson();
+  EXPECT_NE(json.find("\"memo.hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"frontier.size\""), std::string::npos);
 }
 
 }  // namespace

@@ -185,5 +185,46 @@ TEST(SimplifyProperty, PreservesModels) {
   }
 }
 
+// Malformed DIMACS must abort with a clear message rather than flow a bad
+// header or literal into Cnf construction.
+TEST(DimacsDeath, RejectsNegativeVarCount) {
+  EXPECT_DEATH(parseDimacsString("p cnf -3 1\n1 0\n"), "non-positive variable count");
+}
+
+TEST(DimacsDeath, RejectsZeroVarCount) {
+  EXPECT_DEATH(parseDimacsString("p cnf 0 0\n"), "non-positive variable count");
+}
+
+TEST(DimacsDeath, RejectsNegativeClauseCount) {
+  EXPECT_DEATH(parseDimacsString("p cnf 3 -1\n1 0\n"), "negative clause count");
+}
+
+TEST(DimacsDeath, RejectsGarbageHeader) {
+  EXPECT_DEATH(parseDimacsString("p cnf three two\n"), "bad 'p cnf' header");
+}
+
+TEST(DimacsDeath, RejectsDuplicateHeader) {
+  EXPECT_DEATH(parseDimacsString("p cnf 2 1\np cnf 2 1\n1 0\n"), "duplicate 'p cnf' header");
+}
+
+TEST(DimacsDeath, RejectsOversizedLiteral) {
+  EXPECT_DEATH(parseDimacsString("p cnf 2 1\n7 0\n"), "exceeds declared variable count");
+  // A literal past INT32 range must not wrap into a valid variable.
+  EXPECT_DEATH(parseDimacsString("p cnf 2 1\n-99999999999 0\n"),
+               "exceeds declared variable count");
+}
+
+TEST(DimacsDeath, RejectsClauseBeforeHeader) {
+  EXPECT_DEATH(parseDimacsString("1 2 0\np cnf 2 1\n1 2 0\n"), "clause before 'p cnf' header");
+}
+
+TEST(DimacsDeath, RejectsUnterminatedClause) {
+  EXPECT_DEATH(parseDimacsString("p cnf 2 1\n1 2\n"), "unterminated clause");
+}
+
+TEST(DimacsDeath, RejectsClauseCountMismatch) {
+  EXPECT_DEATH(parseDimacsString("p cnf 2 2\n1 2 0\n"), "clause count mismatch");
+}
+
 }  // namespace
 }  // namespace presat

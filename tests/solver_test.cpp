@@ -304,5 +304,45 @@ TEST(SolverProperty, AssumptionsMatchUnitCopies) {
   }
 }
 
+// Regression: the learnt-DB limit used to be initialized once and then grown
+// on every restart of every incremental call, so after a few dozen calls the
+// limit outran the database and reduceDB never fired again — learnt clauses
+// accumulated without bound across a long enumeration run. The limit is now
+// recomputed per solve() call. The workload is a hard satisfiable 3-SAT
+// instance queried under many random assumption sets: its learnts are never
+// satisfied at level 0, so only reduceDB can keep the database bounded.
+TEST(SolverRegression, ReduceDbKeepsFiringAcrossIncrementalSolves) {
+  Rng rng(404);
+  const int vars = 150;
+  Solver s;
+  for (int i = 0; i < vars; ++i) s.newVar();
+  int added = 0;
+  while (added < static_cast<int>(vars * 4.0)) {
+    Clause c;
+    while (c.size() < 3) {
+      Lit l = mkLit(static_cast<Var>(rng.below(vars)), rng.flip());
+      bool dup = false;
+      for (Lit e : c) dup = dup || e.var() == l.var();
+      if (!dup) c.push_back(l);
+    }
+    ASSERT_TRUE(s.addClause(c));
+    ++added;
+  }
+  for (int q = 0; q < 100; ++q) {
+    LitVec assumptions;
+    for (int k = 0; k < 12; ++k) {
+      assumptions.push_back(mkLit(static_cast<Var>(rng.below(vars)), rng.flip()));
+    }
+    ASSERT_FALSE(s.solve(assumptions).isUndef());
+  }
+  EXPECT_GT(s.stats().conflicts, 1000u);  // the workload must actually be hard
+  EXPECT_GE(s.stats().reduceDBs, 1u);
+  EXPECT_GT(s.stats().deletedClauses, 0u);
+  // The per-call limit is max(numOriginal/3, 1000) = 1000 here (plus modest
+  // in-call growth). Without the fix the database holds every conflict's
+  // clause — far above this bound.
+  EXPECT_LT(s.numLearnts(), 1500u);
+}
+
 }  // namespace
 }  // namespace presat

@@ -2,8 +2,8 @@
 //
 // Usage:
 //   presat_cli info    <file.bench>
-//   presat_cli allsat  <file.cnf>  [--method minterm|cube|sd] [--max N]
-//   presat_cli preimage <file.bench> --target CUBE [--method NAME]
+//   presat_cli allsat  <file.cnf>  [--method minterm|cube|sd] [--max N] [--stats json]
+//   presat_cli preimage <file.bench> --target CUBE [--method NAME] [--stats json]
 //   presat_cli image    <file.bench> --from CUBE [--method minterm|bdd]
 //   presat_cli reach    <file.bench> --target CUBE [--depth N] [--method NAME]
 //   presat_cli safety   <file.bench> --init CUBE --bad CUBE [--method NAME]
@@ -41,7 +41,8 @@ namespace {
                "usage:\n"
                "  presat_cli info     <file.bench>\n"
                "  presat_cli allsat   <file.cnf>   [--method minterm|cube|sd] [--max N]\n"
-               "  presat_cli preimage <file.bench> --target CUBE [--method NAME]\n"
+               "                                   [--stats json]\n"
+               "  presat_cli preimage <file.bench> --target CUBE [--method NAME] [--stats json]\n"
                "  presat_cli image    <file.bench> --from CUBE [--method minterm|bdd]\n"
                "  presat_cli reach    <file.bench> --target CUBE [--depth N] [--method NAME]\n"
                "  presat_cli safety   <file.bench> --init CUBE --bad CUBE [--method NAME]\n"
@@ -177,6 +178,9 @@ int cmdAllsat(const Args& args) {
   for (const LitVec& cube : result.cubes) {
     std::printf("  %s\n", cubeToString(cube, static_cast<int>(projection.size())).c_str());
   }
+  if (args.flag("stats") == "json") {
+    std::printf("%s\n", result.metrics.toJson().c_str());
+  }
   return 0;
 }
 
@@ -191,6 +195,9 @@ int cmdPreimage(const Args& args) {
               r.seconds * 1e3);
   for (const LitVec& cube : r.states.cubes) {
     std::printf("  %s\n", cubeToString(cube, system.numStateBits()).c_str());
+  }
+  if (args.flag("stats") == "json") {
+    std::printf("%s\n", r.metrics.toJson().c_str());
   }
   return 0;
 }
