@@ -2,6 +2,7 @@
 
 #include "base/log.hpp"
 #include "base/timer.hpp"
+#include "check/audit_solver.hpp"
 #include "sat/solver.hpp"
 
 namespace presat {
@@ -68,6 +69,9 @@ AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projecti
     result.stats.blockingLiterals += blocking.size();
 
     consistent = solver.addClause(blocking);
+    // Each blocking clause mutates the watch/trail structures the next solve
+    // depends on — at full audit depth, re-validate the solver every round.
+    PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(auditSolver(solver)));
   }
 
   // Lifted cubes from successive iterations can overlap earlier cubes, so the

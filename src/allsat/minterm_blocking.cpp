@@ -2,6 +2,7 @@
 
 #include "base/log.hpp"
 #include "base/timer.hpp"
+#include "check/audit_solver.hpp"
 #include "sat/solver.hpp"
 
 namespace presat {
@@ -48,6 +49,9 @@ AllSatResult mintermBlockingAllSat(const Cnf& cnf, const std::vector<Var>& proje
     result.stats.blockingLiterals += blocking.size();
 
     consistent = solver.addClause(blocking);
+    // Each blocking clause mutates the watch/trail structures the next solve
+    // depends on — at full audit depth, re-validate the solver every round.
+    PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(auditSolver(solver)));
   }
 
   result.mintermCount = countDisjointCubeMinterms(result.cubes, static_cast<int>(projection.size()));

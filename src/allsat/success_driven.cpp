@@ -9,6 +9,7 @@
 #include "base/rng.hpp"
 #include "base/timer.hpp"
 #include "bdd/bdd.hpp"
+#include "check/audit_solution_graph.hpp"
 #include "circuit/ternary.hpp"
 
 namespace presat {
@@ -583,7 +584,21 @@ SuccessDrivenResult successDrivenAllSat(const CircuitAllSatProblem& problem,
                                         const AllSatOptions& options) {
   PRESAT_CHECK(problem.netlist != nullptr);
   Engine engine(problem, options);
-  return engine.run();
+  SuccessDrivenResult result = engine.run();
+  // cheap = structural DAG invariants only; full additionally replays every
+  // sampled cube through a SAT check against the original circuit problem.
+  PRESAT_AUDIT_CHEAP({
+    SolutionGraphAuditOptions auditOptions;
+    auditOptions.maxCubeSatChecks = 0;
+    if constexpr (kAuditLevel == AuditLevel::kFull) {
+      auditOptions.problem = &problem;
+      auditOptions.maxCubeSatChecks = 256;
+    } else {
+      auditOptions.numProjectionVars = static_cast<int>(problem.projectionSources.size());
+    }
+    PRESAT_CHECK_AUDIT(auditSolutionGraph(result.graph, auditOptions));
+  });
+  return result;
 }
 
 }  // namespace presat

@@ -1,0 +1,26 @@
+#include "base/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace presat {
+
+const char* auditLevelName(AuditLevel level) {
+  switch (level) {
+    case AuditLevel::kOff: return "off";
+    case AuditLevel::kCheap: return "cheap";
+    case AuditLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+void checkFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[presat] CHECK failed at %s:%d: %s", file, line, expr);
+  if (!message.empty()) std::fprintf(stderr, " — %s", message.c_str());
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace presat

@@ -1,0 +1,102 @@
+// Invariant checking: the PRESAT_CHECK macro family and the audit levels.
+//
+// This header is the single home of runtime invariant checks — the repo-rule
+// linter (tools/lint.py) rejects naked `assert` everywhere else.
+//
+//  * PRESAT_CHECK(expr)  — always on, also in release builds: a violated
+//    invariant in a solver silently produces wrong models, which is far worse
+//    than the cost of the branch.
+//  * PRESAT_DCHECK(expr) — compiles out in NDEBUG builds; used on hot paths.
+//  * PRESAT_AUDIT_CHEAP(stmt) / PRESAT_AUDIT_FULL(stmt) — run `stmt` only
+//    when the compiled audit level (the PRESAT_AUDIT CMake option) admits it.
+//    These gate the deep structural validators in src/check/: `cheap` keeps
+//    linear-time structure scans, `full` adds the semantic cross-checks
+//    (BDD count agreement, per-cube SAT probes) used by the sanitize CI lane
+//    and the fuzz-style tests.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+// 0 = off, 1 = cheap, 2 = full. Set by the PRESAT_AUDIT CMake option; the
+// default keeps cheap audits on so plain builds still self-check structure.
+#ifndef PRESAT_AUDIT_LEVEL
+#define PRESAT_AUDIT_LEVEL 1
+#endif
+
+namespace presat {
+
+enum class AuditLevel : int { kOff = 0, kCheap = 1, kFull = 2 };
+
+// The level this binary was compiled with.
+constexpr AuditLevel kAuditLevel = static_cast<AuditLevel>(PRESAT_AUDIT_LEVEL);
+
+constexpr bool auditEnabled(AuditLevel level) {
+  return PRESAT_AUDIT_LEVEL >= static_cast<int>(level);
+}
+
+const char* auditLevelName(AuditLevel level);
+
+[[noreturn]] void checkFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace detail {
+
+// Accumulates the streamed message for a failing check, then aborts.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { checkFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace presat
+
+#define PRESAT_CHECK(expr)                                       \
+  if (expr) {                                                    \
+  } else                                                         \
+    ::presat::detail::CheckMessage(__FILE__, __LINE__, #expr)
+
+#ifdef NDEBUG
+#define PRESAT_DCHECK(expr) \
+  if (true) {               \
+  } else                    \
+    ::presat::detail::CheckMessage(__FILE__, __LINE__, #expr)
+#else
+#define PRESAT_DCHECK(expr) PRESAT_CHECK(expr)
+#endif
+
+#if PRESAT_AUDIT_LEVEL >= 1
+#define PRESAT_AUDIT_CHEAP(stmt) \
+  do {                           \
+    stmt;                        \
+  } while (0)
+#else
+#define PRESAT_AUDIT_CHEAP(stmt) \
+  do {                           \
+  } while (0)
+#endif
+
+#if PRESAT_AUDIT_LEVEL >= 2
+#define PRESAT_AUDIT_FULL(stmt) \
+  do {                          \
+    stmt;                       \
+  } while (0)
+#else
+#define PRESAT_AUDIT_FULL(stmt) \
+  do {                          \
+  } while (0)
+#endif

@@ -1,20 +1,8 @@
 #include "base/log.hpp"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include "base/types.hpp"
 
 namespace presat {
-
-void checkFailed(const char* file, int line, const char* expr,
-                 const std::string& message) {
-  std::fprintf(stderr, "[presat] CHECK failed at %s:%d: %s", file, line, expr);
-  if (!message.empty()) std::fprintf(stderr, " — %s", message.c_str());
-  std::fprintf(stderr, "\n");
-  std::fflush(stderr);
-  std::abort();
-}
 
 std::string toString(Lit l) {
   if (l == kUndefLit) return "<undef>";

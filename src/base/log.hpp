@@ -1,54 +1,19 @@
-// Minimal assertion / logging support.
+// Diagnostic string helpers for the core literal types.
 //
-// PRESAT_CHECK is an always-on invariant check (also in release builds): a
-// violated invariant in a solver silently produces wrong models, which is far
-// worse than the cost of the branch. PRESAT_DCHECK compiles out in NDEBUG
-// builds and is used on hot paths.
+// The invariant-check macros (PRESAT_CHECK / PRESAT_DCHECK and the audit
+// gating) live in base/check.hpp; this header re-exports them so existing
+// includes keep working, and adds the toString formatting used in check
+// messages.
 #pragma once
 
-#include <sstream>
 #include <string>
+
+#include "base/check.hpp"
+#include "base/types.hpp"
 
 namespace presat {
 
-[[noreturn]] void checkFailed(const char* file, int line, const char* expr,
-                              const std::string& message);
+std::string toString(Lit l);
+std::string toString(const LitVec& lits);
 
-namespace detail {
-
-// Accumulates the streamed message for a failing check, then aborts.
-class CheckMessage {
- public:
-  CheckMessage(const char* file, int line, const char* expr)
-      : file_(file), line_(line), expr_(expr) {}
-  [[noreturn]] ~CheckMessage() { checkFailed(file_, line_, expr_, stream_.str()); }
-
-  template <typename T>
-  CheckMessage& operator<<(const T& value) {
-    stream_ << value;
-    return *this;
-  }
-
- private:
-  const char* file_;
-  int line_;
-  const char* expr_;
-  std::ostringstream stream_;
-};
-
-}  // namespace detail
 }  // namespace presat
-
-#define PRESAT_CHECK(expr)                                       \
-  if (expr) {                                                    \
-  } else                                                         \
-    ::presat::detail::CheckMessage(__FILE__, __LINE__, #expr)
-
-#ifdef NDEBUG
-#define PRESAT_DCHECK(expr) \
-  if (true) {               \
-  } else                    \
-    ::presat::detail::CheckMessage(__FILE__, __LINE__, #expr)
-#else
-#define PRESAT_DCHECK(expr) PRESAT_CHECK(expr)
-#endif

@@ -21,6 +21,9 @@
 
 namespace presat {
 
+class AuditResult;
+enum class BddCorruption : int;
+
 using BddRef = uint32_t;
 
 class BddManager {
@@ -130,6 +133,11 @@ class BddManager {
   std::vector<Node> nodes_;
   std::unordered_map<UniqueKey, BddRef, UniqueKeyHash> unique_;
   std::unordered_map<IteKey, BddRef, IteKeyHash> iteCache_;
+
+  // Deep structural validation (src/check/audit_bdd.cpp) and its test-only
+  // corruption hook need access to the node table and caches.
+  friend AuditResult auditBdd(const BddManager& mgr);
+  friend void corruptBddForTest(BddManager& mgr, BddCorruption kind);
 
   friend class BddAlgoScratch;
 };

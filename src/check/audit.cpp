@@ -1,0 +1,27 @@
+#include "check/audit.hpp"
+
+namespace presat {
+
+bool AuditResult::has(std::string_view invariant) const {
+  for (const AuditIssue& issue : issues_) {
+    if (issue.invariant == invariant) return true;
+  }
+  return false;
+}
+
+std::string AuditResult::toString() const {
+  std::string out;
+  for (const AuditIssue& issue : issues_) {
+    if (!out.empty()) out += "\n";
+    out += issue.invariant;
+    out += ": ";
+    out += issue.detail;
+  }
+  return out;
+}
+
+void AuditResult::merge(AuditResult other) {
+  for (AuditIssue& issue : other.issues_) issues_.push_back(std::move(issue));
+}
+
+}  // namespace presat

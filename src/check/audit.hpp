@@ -1,0 +1,55 @@
+// Common result type of the deep structural validators in src/check/.
+//
+// Each auditor walks one core structure (CDCL solver, solution graph,
+// netlist, BDD manager) and reports every violated invariant as a named
+// diagnostic instead of aborting at the first hit — callers decide whether a
+// violation is fatal (PRESAT_CHECK_AUDIT), a test expectation (the corruption
+// tests match on the invariant name), or a CLI exit code (presat_cli audit).
+//
+// Invariant names are stable dotted paths ("solver.watch.pair",
+// "graph.acyclic", ...) — tests and the CLI match on them, so renaming one is
+// a breaking change.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace presat {
+
+struct AuditIssue {
+  std::string invariant;  // stable dotted name, e.g. "solver.watch.pair"
+  std::string detail;     // human-readable specifics (ids, counts, literals)
+};
+
+class AuditResult {
+ public:
+  void fail(std::string invariant, std::string detail) {
+    issues_.push_back({std::move(invariant), std::move(detail)});
+  }
+
+  bool ok() const { return issues_.empty(); }
+  const std::vector<AuditIssue>& issues() const { return issues_; }
+  bool has(std::string_view invariant) const;
+
+  // All issues, one "invariant: detail" line each (empty string when ok).
+  std::string toString() const;
+
+  // Folds `other`'s issues into this result (used by composite audits).
+  void merge(AuditResult other);
+
+ private:
+  std::vector<AuditIssue> issues_;
+};
+
+}  // namespace presat
+
+// Aborts via checkFailed with every diagnostic when the audit found issues.
+#define PRESAT_CHECK_AUDIT(call)                                            \
+  do {                                                                      \
+    const ::presat::AuditResult presatAuditResult_ = (call);                \
+    PRESAT_CHECK(presatAuditResult_.ok())                                   \
+        << "audit failed:\n" << presatAuditResult_.toString();              \
+  } while (0)

@@ -1,0 +1,121 @@
+#include "check/audit_bdd.hpp"
+
+#include <string>
+
+#include "bdd/bdd.hpp"
+
+namespace presat {
+
+namespace {
+
+std::string refStr(BddRef f) { return "@" + std::to_string(f); }
+
+}  // namespace
+
+AuditResult auditBdd(const BddManager& mgr) {
+  AuditResult r;
+  const size_t n = mgr.nodes_.size();
+  const Var terminalVar = static_cast<Var>(mgr.numVars_);
+
+  // -- terminals ------------------------------------------------------------
+  if (n < 2) {
+    r.fail("bdd.terminal", "node table has " + std::to_string(n) + " entries (need both terminals)");
+    return r;
+  }
+  for (BddRef t : {BddManager::kFalse, BddManager::kTrue}) {
+    const BddManager::Node& node = mgr.nodes_[t];
+    if (node.var != terminalVar || node.lo != t || node.hi != t) {
+      r.fail("bdd.terminal", "terminal " + refStr(t) + " is not self-referential with var == numVars");
+    }
+  }
+
+  // -- interior nodes: ordering + reduction --------------------------------
+  for (BddRef f = 2; f < n; ++f) {
+    const BddManager::Node& node = mgr.nodes_[f];
+    if (node.var < 0 || node.var >= terminalVar) {
+      r.fail("bdd.ordering", "node " + refStr(f) + " has variable " + std::to_string(node.var) +
+                                 " outside [0, " + std::to_string(mgr.numVars_) + ")");
+      continue;
+    }
+    if (node.lo >= n || node.hi >= n) {
+      r.fail("bdd.ordering", "node " + refStr(f) + " has a child out of range");
+      continue;
+    }
+    if (node.lo == node.hi) {
+      r.fail("bdd.reduced", "node " + refStr(f) + " on x" + std::to_string(node.var) +
+                                " has lo == hi == " + refStr(node.lo));
+    }
+    for (BddRef child : {node.lo, node.hi}) {
+      if (mgr.nodes_[child].var <= node.var) {
+        r.fail("bdd.ordering", "node " + refStr(f) + " on x" + std::to_string(node.var) +
+                                   " points at child " + refStr(child) + " on x" +
+                                   std::to_string(mgr.nodes_[child].var) +
+                                   " — variable order must strictly increase");
+      }
+    }
+  }
+
+  // -- unique table vs node array ------------------------------------------
+  if (n != mgr.unique_.size() + 2) {
+    r.fail("bdd.unique.balance",
+           std::to_string(n) + " nodes vs " + std::to_string(mgr.unique_.size()) +
+               " unique-table entries (expected nodes == entries + 2 terminals)");
+  }
+  for (const auto& [key, ref] : mgr.unique_) {
+    if (ref < 2 || ref >= n) {
+      r.fail("bdd.unique.canonical",
+             "unique-table entry maps to invalid ref " + refStr(ref));
+      continue;
+    }
+    const BddManager::Node& node = mgr.nodes_[ref];
+    if (node.var != key.var || node.lo != key.lo || node.hi != key.hi) {
+      r.fail("bdd.unique.canonical",
+             "unique-table key (" + std::to_string(key.var) + ", " + refStr(key.lo) + ", " +
+                 refStr(key.hi) + ") maps to node " + refStr(ref) + " with a different triple");
+    }
+  }
+  for (BddRef f = 2; f < n; ++f) {
+    const BddManager::Node& node = mgr.nodes_[f];
+    auto it = mgr.unique_.find({node.var, node.lo, node.hi});
+    if (it == mgr.unique_.end()) {
+      r.fail("bdd.unique.canonical", "node " + refStr(f) + " is missing from the unique table");
+    } else if (it->second != f) {
+      r.fail("bdd.unique.canonical", "nodes " + refStr(f) + " and " + refStr(it->second) +
+                                         " share the same (var, lo, hi) triple");
+    }
+  }
+
+  // -- ITE cache ------------------------------------------------------------
+  for (const auto& [key, ref] : mgr.iteCache_) {
+    if (key.f >= n || key.g >= n || key.h >= n || ref >= n) {
+      r.fail("bdd.cache.range", "ITE cache entry references a ref beyond the node table");
+    }
+  }
+
+  return r;
+}
+
+void corruptBddForTest(BddManager& mgr, BddCorruption kind) {
+  switch (kind) {
+    case BddCorruption::kOrderViolation: {
+      for (BddRef f = 2; f < mgr.nodes_.size(); ++f) {
+        // Point lo back at the node itself: same variable, order violated.
+        mgr.nodes_[f].lo = f;
+        return;
+      }
+      PRESAT_CHECK(false) << "corruptBddForTest: no interior node";
+    }
+    case BddCorruption::kRedundantNode:
+      // Bypasses mkNode's reduction rule; also unbalances the unique table.
+      mgr.nodes_.push_back({0, BddManager::kTrue, BddManager::kTrue});
+      return;
+    case BddCorruption::kUniqueTableDrift: {
+      PRESAT_CHECK(!mgr.unique_.empty()) << "corruptBddForTest: empty unique table";
+      mgr.unique_.erase(mgr.unique_.begin());
+      return;
+    }
+  }
+  PRESAT_CHECK(false) << "corruptBddForTest: unknown corruption kind";
+}
+
+}  // namespace presat

@@ -1,0 +1,280 @@
+#include "check/audit_solution_graph.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "allsat/projection.hpp"
+#include "allsat/solution_graph.hpp"
+#include "allsat/success_driven.hpp"
+#include "base/log.hpp"
+#include "bdd/bdd.hpp"
+#include "circuit/tseitin.hpp"
+#include "sat/solver.hpp"
+
+namespace presat {
+
+namespace {
+
+constexpr int kSuccess = SolutionGraph::kSuccess;
+constexpr int kFail = SolutionGraph::kFail;
+
+uint64_t nextRandom(uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+// Checks one branch's literal list in isolation: duplicate projected vars and
+// index-space range.
+void checkBranchLits(AuditResult& r, const LitVec& lits, int projWidth,
+                     const std::string& where) {
+  std::vector<Var> vars;
+  for (Lit l : lits) {
+    if (l.var() < 0 || (projWidth >= 0 && l.var() >= projWidth)) {
+      r.fail("graph.branch.lits", where + " literal " + toString(l) +
+                                      " outside the projected index space [0, " +
+                                      std::to_string(projWidth) + ")");
+      continue;
+    }
+    vars.push_back(l.var());
+  }
+  std::sort(vars.begin(), vars.end());
+  if (std::adjacent_find(vars.begin(), vars.end()) != vars.end()) {
+    r.fail("graph.branch.lits",
+           where + " assigns the same projected variable more than once: " + toString(lits));
+  }
+}
+
+}  // namespace
+
+AuditResult auditSolutionGraph(const SolutionGraph& g,
+                               const SolutionGraphAuditOptions& opt) {
+  AuditResult r;
+  const int n = static_cast<int>(g.numNodes());
+  const auto validChild = [n](int c) { return c == kSuccess || c == kFail || (c >= 0 && c < n); };
+
+  // -- child ranges ---------------------------------------------------------
+  bool rangesOk = true;
+  if (!validChild(g.root().child)) {
+    r.fail("graph.child-range", "root child " + std::to_string(g.root().child) +
+                                    " out of range (numNodes=" + std::to_string(n) + ")");
+    rangesOk = false;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int b = 0; b < 2; ++b) {
+      const int child = g.node(i).branch[b].child;
+      if (!validChild(child)) {
+        r.fail("graph.child-range", "node " + std::to_string(i) + " branch " +
+                                        std::to_string(b) + " child " + std::to_string(child) +
+                                        " out of range (numNodes=" + std::to_string(n) + ")");
+        rangesOk = false;
+      }
+    }
+  }
+  if (!rangesOk) return r;  // traversal below would index out of bounds
+
+  // -- dead FAIL-only interior nodes ---------------------------------------
+  for (int i = 0; i < n; ++i) {
+    if (g.node(i).branch[0].child == kFail && g.node(i).branch[1].child == kFail) {
+      r.fail("graph.dead-node",
+             "node " + std::to_string(i) + " (decision d" +
+                 std::to_string(g.node(i).decisionId) +
+                 ") has both branches FAIL — the engine collapses those to FAIL");
+    }
+  }
+
+  // -- acyclicity (general iterative DFS over every stored node) -----------
+  // Colors: 0 = unvisited, 1 = on the current DFS path, 2 = done. The
+  // post-order doubles as a children-before-parents order for the DAG passes
+  // below.
+  std::vector<uint8_t> color(static_cast<size_t>(n), 0);
+  std::vector<int> postorder;
+  postorder.reserve(static_cast<size_t>(n));
+  bool acyclic = true;
+  for (int start = 0; start < n && acyclic; ++start) {
+    if (color[static_cast<size_t>(start)] != 0) continue;
+    std::vector<std::pair<int, int>> stack;  // (node, next branch to explore)
+    stack.emplace_back(start, 0);
+    color[static_cast<size_t>(start)] = 1;
+    while (!stack.empty() && acyclic) {
+      auto& [node, nextBranch] = stack.back();
+      if (nextBranch == 2) {
+        color[static_cast<size_t>(node)] = 2;
+        postorder.push_back(node);
+        stack.pop_back();
+        continue;
+      }
+      const int child = g.node(node).branch[nextBranch++].child;
+      if (child < 0) continue;
+      uint8_t& c = color[static_cast<size_t>(child)];
+      if (c == 1) {
+        r.fail("graph.acyclic", "cycle through node " + std::to_string(child) +
+                                    " reached from node " + std::to_string(node));
+        acyclic = false;
+      } else if (c == 0) {
+        c = 1;
+        stack.emplace_back(child, 0);
+      }
+    }
+  }
+
+  // -- projection width -----------------------------------------------------
+  int projWidth = opt.numProjectionVars;
+  if (opt.problem != nullptr) {
+    projWidth = static_cast<int>(opt.problem->projectionSources.size());
+  }
+  if (projWidth < 0) {
+    // Infer an upper bound so the range check and the BDD cross-check still
+    // have a consistent variable universe.
+    Var maxVar = -1;
+    for (Lit l : g.root().newLits) maxVar = std::max(maxVar, l.var());
+    for (int i = 0; i < n; ++i) {
+      for (const auto& b : g.node(i).branch) {
+        for (Lit l : b.newLits) maxVar = std::max(maxVar, l.var());
+      }
+    }
+    projWidth = static_cast<int>(maxVar) + 1;
+  }
+
+  // -- per-branch literal hygiene ------------------------------------------
+  checkBranchLits(r, g.root().newLits, projWidth, "root branch");
+  for (int i = 0; i < n; ++i) {
+    for (int b = 0; b < 2; ++b) {
+      checkBranchLits(r, g.node(i).branch[b].newLits, projWidth,
+                      "node " + std::to_string(i) + " branch " + std::to_string(b));
+    }
+  }
+
+  if (!acyclic) return r;  // the DAG passes below assume a valid postorder
+
+  // -- exact path-level variable-repeat check ------------------------------
+  // belowVars[i] = union of projected vars assigned on any live (SUCCESS-
+  // reaching) branch at or below node i. A non-empty intersection between a
+  // branch's own literals and belowVars of its child witnesses a real
+  // root-to-SUCCESS path assigning a variable twice — without enumerating
+  // paths.
+  std::vector<char> reaches(static_cast<size_t>(n), 0);
+  std::vector<std::vector<bool>> belowVars(
+      static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(std::max(projWidth, 0)), false));
+  const auto childReaches = [&](int child) {
+    if (child == kSuccess) return true;
+    if (child == kFail) return false;
+    return reaches[static_cast<size_t>(child)] != 0;
+  };
+  const auto checkRepeat = [&](const LitVec& lits, int child, const std::string& where) {
+    if (child < 0 || !childReaches(child)) return;
+    for (Lit l : lits) {
+      if (l.var() >= 0 && l.var() < projWidth && belowVars[static_cast<size_t>(child)][static_cast<size_t>(l.var())]) {
+        r.fail("graph.path.repeat",
+               where + " assigns " + toString(l) +
+                   " which is assigned again on a live path below node " + std::to_string(child));
+      }
+    }
+  };
+  for (int node : postorder) {
+    auto& below = belowVars[static_cast<size_t>(node)];
+    for (int b = 0; b < 2; ++b) {
+      const SolutionGraph::Branch& branch = g.node(node).branch[b];
+      if (!childReaches(branch.child)) continue;
+      reaches[static_cast<size_t>(node)] = 1;
+      checkRepeat(branch.newLits, branch.child,
+                  "node " + std::to_string(node) + " branch " + std::to_string(b));
+      for (Lit l : branch.newLits) {
+        if (l.var() >= 0 && l.var() < projWidth) below[static_cast<size_t>(l.var())] = true;
+      }
+      if (branch.child >= 0) {
+        const auto& childBelow = belowVars[static_cast<size_t>(branch.child)];
+        for (size_t v = 0; v < childBelow.size(); ++v) {
+          if (childBelow[v]) below[v] = true;
+        }
+      }
+    }
+  }
+  checkRepeat(g.root().newLits, g.root().child, "root branch");
+
+  // The semantic passes below feed enumerated cubes into BddManager::cube
+  // and the SAT encoder, both of which CHECK on contradictory cubes — any
+  // structural violation above makes those crash-prone, so stop here.
+  if (!r.ok()) return r;
+
+  // -- enumerated cubes vs the graph's own BDD semantics -------------------
+  if (opt.maxEnumeratedCubes > 0 && projWidth >= 0) {
+    std::vector<LitVec> cubes = g.enumerateCubes(opt.maxEnumeratedCubes + 1);
+    if (cubes.size() <= opt.maxEnumeratedCubes) {  // skip when truncated
+      BddManager mgr(projWidth);
+      const BddRef fromGraph = g.toBdd(mgr);
+      const BddRef fromCubes = cubesToBdd(mgr, cubes);
+      if (!BddManager::equal(fromGraph, fromCubes)) {
+        r.fail("graph.count.cubes-vs-bdd",
+               "union of " + std::to_string(cubes.size()) + " enumerated cubes (" +
+                   mgr.satCount(fromCubes).toDecimal() + " minterms) disagrees with the graph BDD (" +
+                   mgr.satCount(fromGraph).toDecimal() + " minterms)");
+      }
+    }
+  }
+
+  // -- per-cube soundness against the original circuit problem -------------
+  // A cube promises: for EVERY completion of the unassigned projection
+  // sources there is an input assignment satisfying the objectives. The SAT
+  // check below tests the cube itself plus a few random completions; ternary
+  // simulation cannot express the inner existential over the inputs.
+  if (opt.problem != nullptr && opt.problem->netlist != nullptr && opt.maxCubeSatChecks > 0) {
+    const CircuitAllSatProblem& p = *opt.problem;
+    std::vector<NodeId> roots;
+    for (const NodeAssign& obj : p.objectives) roots.push_back(obj.first);
+    const CircuitEncoding enc = encodeCircuit(*p.netlist, roots);
+    Solver solver;
+    solver.addCnf(enc.cnf);
+    bool objectivesSat = solver.okay();
+    for (const NodeAssign& obj : p.objectives) {
+      if (!solver.addClause({enc.litOf(obj.first, obj.second)})) {
+        objectivesSat = false;
+        break;
+      }
+    }
+    const std::vector<LitVec> cubes = g.enumerateCubes(opt.maxCubeSatChecks);
+    if (!objectivesSat) {
+      if (!cubes.empty()) {
+        r.fail("graph.cube.unsat",
+               "objectives are unsatisfiable but the graph enumerates " +
+                   std::to_string(cubes.size()) + " cube(s)");
+      }
+      return r;
+    }
+    uint64_t rng = opt.randomSeed;
+    for (const LitVec& cube : cubes) {
+      LitVec base;
+      std::vector<bool> fixed(p.projectionSources.size(), false);
+      for (Lit l : cube) {
+        if (l.var() < 0 || static_cast<size_t>(l.var()) >= p.projectionSources.size()) continue;
+        fixed[static_cast<size_t>(l.var())] = true;
+        const NodeId src = p.projectionSources[static_cast<size_t>(l.var())];
+        if (enc.isEncoded(src)) base.push_back(enc.litOf(src, !l.sign()));
+      }
+      for (int attempt = 0; attempt <= opt.completionsPerCube; ++attempt) {
+        LitVec assumptions = base;
+        if (attempt > 0) {
+          // Random completion of the projection sources left free by the
+          // cube — the universal side of the cube's guarantee.
+          for (size_t j = 0; j < p.projectionSources.size(); ++j) {
+            if (fixed[j] || !enc.isEncoded(p.projectionSources[j])) continue;
+            assumptions.push_back(enc.litOf(p.projectionSources[j], (nextRandom(rng) & 1) != 0));
+          }
+        }
+        if (!solver.solve(assumptions).isTrue()) {
+          r.fail("graph.cube.unsat",
+                 "cube " + toString(cube) +
+                     (attempt == 0 ? " admits no satisfying input assignment"
+                                   : " fails under a random completion of the free sources"));
+          break;
+        }
+      }
+    }
+  }
+
+  return r;
+}
+
+}  // namespace presat

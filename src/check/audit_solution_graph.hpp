@@ -1,0 +1,61 @@
+// Deep structural + semantic validation of a SolutionGraph.
+//
+// Structural invariants (always checked):
+//
+//   graph.child-range   every branch child is kSuccess, kFail, or a valid
+//                       node index
+//   graph.acyclic       the child relation is a DAG (general DFS — does not
+//                       assume the engine's children-before-parents layout)
+//   graph.dead-node     no stored node has both branches kFail (the engine
+//                       collapses those to kFail at the parent)
+//   graph.branch.lits   no branch assigns the same projected variable twice;
+//                       literals are within the projected index space when
+//                       its size is known
+//   graph.path.repeat   no root-to-SUCCESS path assigns a projected variable
+//                       twice (exact polynomial check over the DAG via
+//                       per-node below-variable sets — never enumerates)
+//
+// Semantic invariants (need the projection width / original problem):
+//
+//   graph.count.cubes-vs-bdd  the union of the enumerated path cubes equals
+//                       the graph's own BDD semantics (skipped when the cube
+//                       enumeration cap truncates)
+//   graph.cube.unsat    every sampled path cube is sound for the original
+//                       circuit problem: the cube's source assignments (plus
+//                       random completions of the unassigned projection
+//                       sources) admit an input assignment satisfying the
+//                       objectives — checked by SAT on the Tseitin encoding.
+//                       Cubes promise ∀state ∃input, so plain ternary
+//                       simulation is NOT sufficient here.
+#pragma once
+
+#include <cstdint>
+
+#include "check/audit.hpp"
+
+namespace presat {
+
+class SolutionGraph;
+struct CircuitAllSatProblem;
+
+struct SolutionGraphAuditOptions {
+  // Enables graph.cube.unsat and fixes the projection width. May be null:
+  // structural checks still run, semantic ones are skipped.
+  const CircuitAllSatProblem* problem = nullptr;
+  // Projection width when `problem` is null (-1 = infer an upper bound from
+  // the literals, which still enables graph.count.cubes-vs-bdd).
+  int numProjectionVars = -1;
+  // Cap on cubes enumerated for the BDD cross-check (0 disables it; the
+  // check is skipped, not failed, when the cap truncates).
+  uint64_t maxEnumeratedCubes = 4096;
+  // Cap on per-cube SAT soundness checks (0 disables graph.cube.unsat).
+  uint64_t maxCubeSatChecks = 256;
+  // Random minterm completions tested per sampled cube (the ∀state part).
+  int completionsPerCube = 2;
+  uint64_t randomSeed = 0x9e3779b97f4a7c15ull;
+};
+
+AuditResult auditSolutionGraph(const SolutionGraph& graph,
+                               const SolutionGraphAuditOptions& options = {});
+
+}  // namespace presat

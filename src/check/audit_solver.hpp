@@ -1,0 +1,48 @@
+// Deep structural validation of the CDCL solver.
+//
+// Checks the invariants the incremental blocking-clause enumeration leans on
+// across hundreds of re-solves:
+//
+//   solver.watch.pair     every clause of size >= 2 is watched on exactly its
+//                         first two literals, once each, and no other watcher
+//                         references it
+//   solver.watch.dangling a watch list entry points at a clause that is not
+//                         in the database
+//   solver.trail.assign   trail literals agree with assigns_; a variable is
+//                         assigned iff it is on the trail, exactly once
+//   solver.trail.level    per-variable decision levels match the trail
+//                         segments delimited by trailLim_; qhead_ in range
+//   solver.reason.implied reason clauses imply their variable: lits[0] is the
+//                         implied literal (true), all others false at levels
+//                         not above the implied literal's
+//   solver.learnt.count   numLearnts/numOriginal agree with the clause
+//                         database and with SolverStats
+//   solver.heap.order     decision-heap index map and max-heap property;
+//                         every unassigned decision variable is present
+//
+// Valid at decision level 0 (between solve() calls) — exactly where the
+// all-SAT engines and tests call it.
+#pragma once
+
+#include "check/audit.hpp"
+
+namespace presat {
+
+class Solver;
+
+AuditResult auditSolver(const Solver& solver);
+
+// Test-only corruption hooks: deliberately violate one audited invariant so
+// the corruption tests can prove the matching diagnostic fires. Each kind
+// requires the corresponding structure to be non-trivial (e.g. a clause of
+// size >= 3 for kSwapWatchedLiteral) and CHECK-fails otherwise.
+enum class SolverCorruption : int {
+  kSwapWatchedLiteral,  // reorder a clause's literals without moving watches
+  kDropWatcher,         // remove one watch list entry
+  kLearntCountDrift,    // learnt-clause counter disagrees with the database
+  kTrailLevelSkew,      // level_ entry inconsistent with the trail structure
+  kReasonFirstLiteral,  // reason clause whose lits[0] is not the implied literal
+};
+void corruptSolverForTest(Solver& solver, SolverCorruption kind);
+
+}  // namespace presat

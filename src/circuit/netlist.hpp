@@ -19,6 +19,10 @@
 
 namespace presat {
 
+class AuditResult;
+struct NetlistAuditOptions;
+enum class NetlistCorruption : int;
+
 using NodeId = uint32_t;
 constexpr NodeId kNoNode = static_cast<NodeId>(-1);
 
@@ -115,6 +119,11 @@ class Netlist {
   void validate() const;
 
  private:
+  // Deep structural validation (src/check/audit_netlist.cpp) also inspects
+  // the name index; the corruption hook needs write access.
+  friend AuditResult auditNetlist(const Netlist& netlist, const NetlistAuditOptions& options);
+  friend void corruptNetlistForTest(Netlist& netlist, NetlistCorruption kind);
+
   NodeId addNode(GateNode node);
 
   std::vector<GateNode> nodes_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/log.hpp"
+#include "check/audit_netlist.hpp"
 
 namespace presat {
 
@@ -253,6 +254,14 @@ class Sweeper {
 
 }  // namespace
 
-SweepResult strashSweep(const Netlist& input) { return Sweeper(input).run(); }
+SweepResult strashSweep(const Netlist& input) {
+  SweepResult result = Sweeper(input).run();
+  // The sweep's canonicity guarantees (no BUFs, no constant fanins, no
+  // structural duplicates, no dangling logic) are what the signature-based
+  // memoization downstream relies on — audit them on every sweep.
+  PRESAT_AUDIT_CHEAP(
+      PRESAT_CHECK_AUDIT(auditNetlist(result.netlist, {.expectStrashed = true})));
+  return result;
+}
 
 }  // namespace presat

@@ -61,6 +61,17 @@ DimacsFile parseDimacs(std::istream& in) {
         current.push_back(Lit::fromDimacs(static_cast<int32_t>(v)));
       }
     }
+    if (!ls.eof()) {
+      // Integer extraction stopped mid-line: the rest is not clause data.
+      // A lone '%' is the SATLIB end-of-file marker; anything else means the
+      // input is not DIMACS at all (e.g. a .bench netlist), and silently
+      // skipping it would "parse" garbage into an empty formula.
+      ls.clear();
+      std::string bad;
+      ls >> bad;
+      if (bad == "%") break;
+      PRESAT_CHECK(false) << "unparsable DIMACS line: '" << line << "'";
+    }
   }
   PRESAT_CHECK(current.empty()) << "unterminated clause at end of DIMACS input";
   if (declaredClauses >= 0) {

@@ -3,17 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
-#include "base/log.hpp"
+#include "base/check.hpp"
+#include "sat/solver_internal.hpp"
 
 namespace presat {
-
-// Clause as stored inside the solver. lits[0] and lits[1] are the watched
-// literals; for a reason clause, lits[0] is the implied literal.
-struct Solver::InternalClause {
-  LitVec lits;
-  double activity = 0.0;
-  bool learnt = false;
-};
 
 namespace {
 

@@ -13,10 +13,14 @@
 #include <memory>
 #include <vector>
 
+#include "base/check.hpp"
 #include "base/types.hpp"
 #include "cnf/cnf.hpp"
 
 namespace presat {
+
+class AuditResult;
+enum class SolverCorruption : int;
 
 struct SolverStats {
   uint64_t decisions = 0;
@@ -53,9 +57,19 @@ class Solver {
   lbool solve() { return solve({}); }
   lbool solve(const LitVec& assumptions);
 
-  // Model of the last successful solve; indexed by variable.
+  // Model of the last successful solve; indexed by variable. Variables
+  // excluded from decisions (setDecisionVar(v, false)) that the search never
+  // assigned stay l_Undef in model(); modelValue() refuses to read those
+  // instead of silently treating them as false.
   const std::vector<lbool>& model() const { return model_; }
-  bool modelValue(Var v) const { return model_[static_cast<size_t>(v)].isTrue(); }
+  bool modelValue(Var v) const {
+    PRESAT_CHECK(v >= 0 && static_cast<size_t>(v) < model_.size())
+        << "modelValue(x" << v << ") without a model (last solve did not return l_True?)";
+    lbool value = model_[static_cast<size_t>(v)];
+    PRESAT_CHECK(!value.isUndef())
+        << "modelValue(x" << v << ") read an unassigned model entry";
+    return value.isTrue();
+  }
   bool modelValue(Lit l) const { return modelValue(l.var()) != l.sign(); }
 
   // Subset of the assumptions responsible for UNSAT (valid after solve()
@@ -89,6 +103,11 @@ class Solver {
     InternalClause* clause;
     Lit blocker;
   };
+
+  // Deep structural validation (src/check/audit_solver.cpp) and its
+  // test-only corruption hooks need read/write access to the internals.
+  friend AuditResult auditSolver(const Solver& solver);
+  friend void corruptSolverForTest(Solver& solver, SolverCorruption kind);
 
   // -- trail / assignment
   void newDecisionLevel() { trailLim_.push_back(static_cast<int>(trail_.size())); }

@@ -1,0 +1,18 @@
+// Solver-internal clause representation, shared between the solver core and
+// the structural auditor (src/check/audit_solver.cpp). Not part of the public
+// solver API — include only from those two translation units.
+#pragma once
+
+#include "sat/solver.hpp"
+
+namespace presat {
+
+// Clause as stored inside the solver. lits[0] and lits[1] are the watched
+// literals; for a reason clause, lits[0] is the implied literal.
+struct Solver::InternalClause {
+  LitVec lits;
+  double activity = 0.0;
+  bool learnt = false;
+};
+
+}  // namespace presat

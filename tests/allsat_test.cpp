@@ -11,6 +11,7 @@
 #include "allsat/success_driven.hpp"
 #include "base/rng.hpp"
 #include "bdd/bdd.hpp"
+#include "check/audit_solution_graph.hpp"
 #include "circuit/simulator.hpp"
 #include "gen/generators.hpp"
 #include "gen/iscas.hpp"
@@ -183,6 +184,15 @@ CircuitAllSatProblem problemFor(const Netlist& nl, NodeCube objectives) {
   return p;
 }
 
+// Full structural + semantic audit of a solution graph against the problem it
+// was built from — every fuzz iteration below runs through this.
+void expectGraphAuditOk(const SolutionGraph& graph, const CircuitAllSatProblem& p) {
+  SolutionGraphAuditOptions options;
+  options.problem = &p;
+  AuditResult audit = auditSolutionGraph(graph, options);
+  EXPECT_TRUE(audit.ok()) << audit.toString();
+}
+
 TEST(SuccessDriven, TrivialObjectiveOnSource) {
   Netlist nl = makeCounter(3);
   CircuitAllSatProblem p = problemFor(nl, {{nl.dffs()[0], true}});
@@ -254,6 +264,7 @@ TEST_P(SuccessDrivenFuzz, MatchesBruteForce) {
       EXPECT_EQ(r.summary.mintermCount.toU64(), expected.size());
       // Graph-derived counts must agree with the cube list.
       EXPECT_EQ(r.graph.countPaths().toU64(), r.summary.cubes.size());
+      expectGraphAuditOk(r.graph, p);
     }
   }
 }
@@ -368,6 +379,8 @@ TEST(SuccessDriven, BranchOrdersAgreeOnTheUnion) {
     high.branchOrder = BranchOrder::kHighestGateFirst;
     SuccessDrivenResult a = successDrivenAllSat(p, low);
     SuccessDrivenResult b = successDrivenAllSat(p, high);
+    expectGraphAuditOk(a.graph, p);
+    expectGraphAuditOk(b.graph, p);
     EXPECT_EQ(a.summary.mintermCount, b.summary.mintermCount) << "iter " << iter;
     BddManager mgr(static_cast<int>(p.projectionSources.size()));
     EXPECT_EQ(cubesToBdd(mgr, a.summary.cubes), cubesToBdd(mgr, b.summary.cubes));
@@ -452,6 +465,7 @@ TEST(SuccessDriven, BoundedMemoEvictsAndStaysExact) {
   opts.maxMemoEntries = 8;
   opts.memoCheckExact = true;
   SuccessDrivenResult bounded = successDrivenAllSat(p, opts);
+  expectGraphAuditOk(bounded.graph, p);
   EXPECT_EQ(bounded.summary.mintermCount, unbounded.summary.mintermCount);
   EXPECT_GT(bounded.summary.stats.memoEvictions, 0u);
   EXPECT_LE(bounded.summary.stats.memoEntries, 8u);
@@ -477,6 +491,7 @@ TEST(SuccessDriven, HashedMemoMatchesBruteForce) {
     AllSatOptions opts;
     opts.memoCheckExact = true;
     SuccessDrivenResult r = successDrivenAllSat(p, opts);
+    expectGraphAuditOk(r.graph, p);
     std::set<uint64_t> expected = bruteForceCircuit(nl, objectives, p.projectionSources);
     EXPECT_EQ(cubesToMinterms(r.summary.cubes, p.projectionSources.size()), expected)
         << "iter " << iter;

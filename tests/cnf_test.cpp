@@ -218,6 +218,18 @@ TEST(DimacsDeath, RejectsClauseBeforeHeader) {
   EXPECT_DEATH(parseDimacsString("1 2 0\np cnf 2 1\n1 2 0\n"), "clause before 'p cnf' header");
 }
 
+TEST(DimacsDeath, RejectsNonDimacsLines) {
+  // Silently skipping unparsable lines would turn e.g. a .bench netlist into
+  // an empty (trivially SAT) formula.
+  EXPECT_DEATH(parseDimacsString("INPUT(G0)\nOUTPUT(G1)\n"), "unparsable DIMACS line");
+  EXPECT_DEATH(parseDimacsString("p cnf 2 1\n1 2 0 junk\n"), "unparsable DIMACS line");
+}
+
+TEST(Dimacs, AcceptsSatlibPercentTerminator) {
+  DimacsFile f = parseDimacsString("p cnf 2 1\n1 2 0\n%\n0\n");
+  EXPECT_EQ(f.cnf.numClauses(), 1u);
+}
+
 TEST(DimacsDeath, RejectsUnterminatedClause) {
   EXPECT_DEATH(parseDimacsString("p cnf 2 1\n1 2\n"), "unterminated clause");
 }

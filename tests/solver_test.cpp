@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "base/rng.hpp"
+#include "check/audit_solver.hpp"
 #include "cnf/cnf.hpp"
 #include "cnf/dimacs.hpp"
 #include "sat/dpll.hpp"
@@ -184,6 +185,24 @@ TEST(Solver, NonDecisionVarStaysUnassignedWhenIrrelevant) {
   EXPECT_TRUE(s.model()[static_cast<size_t>(b)].isUndef());
 }
 
+// modelValue() must refuse to fabricate a value: reading before any model
+// exists, or reading an entry the search never assigned, is a caller bug.
+TEST(SolverDeathTest, ModelValueBeforeSolveAborts) {
+  Solver s;
+  Var v = s.newVar();
+  EXPECT_DEATH((void)s.modelValue(v), "without a model");
+}
+
+TEST(SolverDeathTest, ModelValueOnUnassignedEntryAborts) {
+  Solver s;
+  Var a = s.newVar();
+  Var b = s.newVar();
+  s.addClause({mkLit(a)});
+  s.setDecisionVar(b, false);
+  ASSERT_TRUE(s.solve().isTrue());
+  EXPECT_DEATH((void)s.modelValue(b), "unassigned model entry");
+}
+
 // The central correctness test: the CDCL solver and the reference DPLL agree
 // on SAT/UNSAT across thousands of random instances around the phase
 // transition.
@@ -199,6 +218,11 @@ TEST_P(SolverFuzz, AgreesWithDpll) {
     Solver s;
     bool loaded = s.addCnf(cnf);
     bool actual = loaded && s.solve().isTrue();
+    {
+      // Deep structural audit of the solver state after every solve.
+      AuditResult audit = auditSolver(s);
+      ASSERT_TRUE(audit.ok()) << audit.toString();
+    }
     ASSERT_EQ(actual, expected) << "seed-group " << GetParam() << " iter " << iter << "\n"
                                 << toDimacsString(cnf);
     if (actual) {
@@ -269,6 +293,10 @@ TEST(SolverStress, ManyIncrementalBlocksStayConsistent) {
     ASSERT_LE(++models, 512);
     // addClause may detect UNSAT immediately once the last model is blocked.
     if (!incremental.addClause(block)) break;
+    // The enumeration loop is exactly where watch/trail corruption would
+    // accumulate — deep-audit the solver after every blocking clause.
+    AuditResult audit = auditSolver(incremental);
+    ASSERT_TRUE(audit.ok()) << "after model " << models << ":\n" << audit.toString();
   }
   Solver fresh;
   fresh.addCnf(accumulated);

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Shape-check the JSON stats block emitted by `presat_cli ... --stats json`.
+
+Reads the CLI's full stdout on stdin (human-readable lines followed by one
+JSON object), extracts the JSON, and validates its shape instead of grepping
+for a single key:
+
+  * `labels` is an object of string -> string and contains "engine"
+    (== --engine when given)
+  * `counters` is a non-empty object of string -> non-negative integer and
+    contains every --counter KEY
+  * `gauges`, when present, is an object of string -> number
+  * `histograms`, when present: each entry has integer count/sum/max, a
+    numeric mean, and monotone `buckets` of {le, n}
+
+Usage: presat_cli allsat x.cnf --stats json | check_stats_json.py \
+           --engine success-driven --counter memo.hits --counter sat.conflicts
+Exit status: 0 on a well-shaped block, 1 otherwise (with a reason on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(reason: str) -> "None":
+    print(f"check_stats_json.py: FAIL: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--engine", help="expected labels.engine value")
+    parser.add_argument("--counter", action="append", default=[],
+                        help="counter key that must be present (repeatable)")
+    args = parser.parse_args()
+
+    text = sys.stdin.read()
+    start = text.find("\n{")
+    if start == -1 and text.startswith("{"):
+        start = -1  # JSON-only stdout
+    if start == -1 and not text.startswith("{"):
+        fail("no JSON object found on stdin")
+    payload = text if text.startswith("{") else text[start + 1:]
+
+    try:
+        stats = json.loads(payload)
+    except json.JSONDecodeError as e:
+        fail(f"stats block is not valid JSON: {e}")
+
+    if not isinstance(stats, dict):
+        fail("top level is not an object")
+
+    labels = stats.get("labels")
+    if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in labels.items()):
+        fail("labels must be an object of string -> string")
+    if "engine" not in labels:
+        fail("labels.engine is missing")
+    if args.engine is not None and labels["engine"] != args.engine:
+        fail(f"labels.engine is {labels['engine']!r}, expected {args.engine!r}")
+
+    counters = stats.get("counters")
+    if not isinstance(counters, dict) or not counters:
+        fail("counters must be a non-empty object")
+    for key, value in counters.items():
+        if not isinstance(key, str) or not isinstance(value, int) or isinstance(value, bool):
+            fail(f"counter {key!r} must map a string to an integer")
+        if value < 0:
+            fail(f"counter {key!r} is negative ({value})")
+    for key in args.counter:
+        if key not in counters:
+            fail(f"required counter {key!r} is missing")
+
+    gauges = stats.get("gauges", {})
+    if not isinstance(gauges, dict) or not all(
+            isinstance(k, str) and isinstance(v, (int, float)) and not isinstance(v, bool)
+            for k, v in gauges.items()):
+        fail("gauges must be an object of string -> number")
+
+    histograms = stats.get("histograms", {})
+    if not isinstance(histograms, dict):
+        fail("histograms must be an object")
+    for name, h in histograms.items():
+        if not isinstance(h, dict):
+            fail(f"histogram {name!r} must be an object")
+        for field in ("count", "sum", "max"):
+            if not isinstance(h.get(field), int) or isinstance(h.get(field), bool):
+                fail(f"histogram {name!r}.{field} must be an integer")
+        if not isinstance(h.get("mean"), (int, float)):
+            fail(f"histogram {name!r}.mean must be a number")
+        buckets = h.get("buckets")
+        if not isinstance(buckets, list):
+            fail(f"histogram {name!r}.buckets must be a list")
+        last_le = None
+        for b in buckets:
+            if not isinstance(b, dict) or "le" not in b or "n" not in b:
+                fail(f"histogram {name!r} bucket must be {{le, n}}")
+            if last_le is not None and b["le"] <= last_le:
+                fail(f"histogram {name!r} bucket thresholds must increase")
+            last_le = b["le"]
+
+    print(f"check_stats_json.py: OK ({len(counters)} counters, "
+          f"{len(gauges)} gauges, {len(histograms)} histograms)")
+
+
+if __name__ == "__main__":
+    main()

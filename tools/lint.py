@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Repo-rule linter for presat — the rules clang-tidy cannot express.
+
+Rules (each has a stable id used in the report):
+
+  naked-assert      no `assert(...)` outside src/base/check.hpp; use
+                    PRESAT_CHECK / PRESAT_DCHECK so failures report through
+                    the common abort path (and stay on in release builds
+                    where intended)
+  iostream-in-src   no `#include <iostream>` under src/ — the library must
+                    not touch global streams (tools/ and tests/ may)
+  pragma-once       every header starts its preprocessor life with
+                    `#pragma once`
+  using-namespace   no top-level `using namespace` in headers (injects into
+                    every includer)
+  narrowing-size    no `int x = expr.size()`-style narrowing in headers
+                    without an explicit static_cast
+
+Usage: tools/lint.py [paths...]   (defaults to src tools tests)
+Exit status: 0 clean, 1 findings, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+HEADER_SUFFIXES = {".hpp", ".h"}
+SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
+
+# assert( not preceded by an identifier character (excludes static_assert,
+# PRESAT_CHECK's own mention in comments is filtered by the string/comment
+# stripper below).
+NAKED_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
+IOSTREAM = re.compile(r'#\s*include\s*<iostream>')
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s+\w")
+# `int x = <expr>.size()` (or .count()) with no cast in between.
+NARROWING_SIZE = re.compile(
+    r"\bint\s+\w+\s*=\s*[^;=]*\.\s*(?:size|count)\s*\(\s*\)\s*;")
+STATIC_CAST = re.compile(r"static_cast\s*<")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join("\n" if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path, findings: list[str]) -> None:
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    raw = path.read_text(encoding="utf-8")
+    code = strip_comments_and_strings(raw)
+    lines = code.splitlines()
+    is_header = path.suffix in HEADER_SUFFIXES
+    in_src = rel.startswith("src/")
+
+    def report(rule: str, lineno: int, message: str) -> None:
+        findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    if rel != "src/base/check.hpp":
+        for lineno, line in enumerate(lines, 1):
+            if NAKED_ASSERT.search(line):
+                report("naked-assert", lineno,
+                       "use PRESAT_CHECK / PRESAT_DCHECK instead of assert()")
+
+    if in_src:
+        for lineno, line in enumerate(lines, 1):
+            if IOSTREAM.search(line):
+                report("iostream-in-src", lineno,
+                       "the library must not include <iostream>")
+
+    if is_header:
+        first_directive = next(
+            (line.strip() for line in lines if line.strip().startswith("#")), "")
+        if first_directive != "#pragma once":
+            report("pragma-once", 1,
+                   "header's first preprocessor directive must be #pragma once")
+
+        for lineno, line in enumerate(lines, 1):
+            if USING_NAMESPACE.search(line):
+                report("using-namespace", lineno,
+                       "no top-level `using namespace` in headers")
+            if NARROWING_SIZE.search(line) and not STATIC_CAST.search(line):
+                report("narrowing-size", lineno,
+                       "narrowing size_t -> int in a header needs an explicit static_cast")
+
+
+def main(argv: list[str]) -> int:
+    roots = [REPO_ROOT / a for a in (argv or ["src", "tools", "tests"])]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(p for p in sorted(root.rglob("*")) if p.suffix in SOURCE_SUFFIXES)
+        else:
+            print(f"lint.py: no such path: {root}", file=sys.stderr)
+            return 2
+
+    findings: list[str] = []
+    for path in files:
+        lint_file(path, findings)
+
+    for f in findings:
+        print(f)
+    print(f"lint.py: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,28 +8,44 @@
 //   presat_cli reach    <file.bench> --target CUBE [--depth N] [--method NAME]
 //   presat_cli safety   <file.bench> --init CUBE --bad CUBE [--method NAME]
 //   presat_cli bmc      <file.bench> --init CUBE --target CUBE [--depth N]
+//   presat_cli audit    <file.cnf> | --gen SPEC [--target CUBE]
 //
 // CUBE is a string over the state bits, LSB (state bit 0) first, using
 // '0', '1', and 'x'/'-' for don't-care, e.g. --target 1x0x. Preimage METHOD
 // names are those printed by the tool (minterm-blocking, cube-blocking,
 // cube-blocking-lifted, success-driven, bdd, bdd-relational).
+//
+// `audit` is the enumeration cross-checker: it runs every engine on the same
+// instance, validates the per-engine invariants (disjoint minterms, sound
+// cubes, well-formed solution graphs), and checks that all engines agree on
+// the solution set. Exit 0 = all invariants hold; exit 1 prints each violated
+// invariant by name. SPEC is one of counter:N, gray:N, lfsr:N, shift:N,
+// arbiter:N, accum:N, traffic, lock.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "allsat/cube_blocking.hpp"
 #include "allsat/lifting.hpp"
 #include "allsat/minterm_blocking.hpp"
 #include "allsat/success_driven.hpp"
+#include "bdd/bdd.hpp"
+#include "check/audit.hpp"
+#include "check/audit_bdd.hpp"
+#include "check/audit_netlist.hpp"
+#include "check/audit_solution_graph.hpp"
 #include "circuit/bench_io.hpp"
 #include "circuit/from_cnf.hpp"
 #include "cnf/dimacs.hpp"
+#include "gen/generators.hpp"
 #include "preimage/bmc.hpp"
 #include "preimage/image.hpp"
 #include "preimage/reachability.hpp"
 #include "preimage/safety.hpp"
+#include "sat/solver.hpp"
 
 using namespace presat;
 
@@ -47,7 +63,9 @@ namespace {
                "  presat_cli reach    <file.bench> --target CUBE [--depth N] [--method NAME]\n"
                "  presat_cli safety   <file.bench> --init CUBE --bad CUBE [--method NAME]\n"
                "  presat_cli bmc      <file.bench> --init CUBE --target CUBE [--depth N]\n"
-               "\nCUBE: one char per state bit (bit 0 first): 0, 1, x/- for don't-care.\n");
+               "  presat_cli audit    <file.cnf> | --gen SPEC [--target CUBE]\n"
+               "\nCUBE: one char per state bit (bit 0 first): 0, 1, x/- for don't-care.\n"
+               "SPEC: counter:N gray:N lfsr:N shift:N arbiter:N accum:N traffic lock\n");
   std::exit(2);
 }
 
@@ -275,12 +293,188 @@ int cmdBmc(const Args& args) {
   return 0;
 }
 
+// --- audit: enumeration cross-checker ---------------------------------------
+
+Netlist makeGeneratorCircuit(const std::string& spec) {
+  std::string name = spec;
+  int n = 0;
+  if (size_t colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    n = std::atoi(spec.c_str() + colon + 1);
+  }
+  if (name == "counter") return makeCounter(n);
+  if (name == "gray") return makeGrayCounter(n);
+  if (name == "lfsr") return makeLfsr(n);
+  if (name == "shift") return makeShiftRegister(n);
+  if (name == "arbiter") return makeRoundRobinArbiter(n);
+  if (name == "accum") return makeAccumulator(n);
+  if (name == "traffic") return makeTrafficLight();
+  if (name == "lock") return makeCombinationLock({1, 2, 3}, 2);
+  usage(("unknown generator spec: " + spec).c_str());
+}
+
+struct EngineRun {
+  std::string name;
+  std::vector<LitVec> cubes;
+  BigUint count;
+  bool complete = true;
+};
+
+// Engine-agreement checks over runs of the same instance: every engine must
+// produce the same solution-set union (compared canonically as BDDs in one
+// shared manager) and the same exact count as the first run.
+void crossCheckRuns(AuditResult& audit, const std::vector<EngineRun>& runs, int width) {
+  BddManager mgr(width);
+  std::vector<BddRef> unions;
+  for (const EngineRun& run : runs) unions.push_back(cubesToBdd(mgr, run.cubes));
+  for (size_t i = 1; i < runs.size(); ++i) {
+    if (!runs[i].complete || !runs[0].complete) continue;  // capped runs are lower bounds
+    if (runs[i].count != runs[0].count) {
+      audit.fail("audit.count.agree", runs[i].name + " counted " + runs[i].count.toDecimal() +
+                                          " solutions but " + runs[0].name + " counted " +
+                                          runs[0].count.toDecimal());
+    }
+    if (!BddManager::equal(unions[i], unions[0])) {
+      audit.fail("audit.union.agree",
+                 runs[i].name + " and " + runs[0].name + " enumerate different solution sets");
+    }
+  }
+  audit.merge(auditBdd(mgr));
+}
+
+int finishAudit(const AuditResult& audit, const std::string& what) {
+  if (!audit.ok()) {
+    std::fprintf(stderr, "audit FAILED on %s:\n%s\n", what.c_str(), audit.toString().c_str());
+    return 1;
+  }
+  std::printf("audit OK: %s\n", what.c_str());
+  return 0;
+}
+
+// CNF mode: the three CNF-capable engines, plus per-cube SAT soundness.
+int cmdAuditCnf(AuditResult& audit, const Args& args) {
+  DimacsFile file = parseDimacsFile(args.positional[0]);
+  std::vector<Var> projection;
+  if (file.projection) {
+    projection = *file.projection;
+  } else {
+    for (Var v = 0; v < file.cnf.numVars(); ++v) projection.push_back(v);
+  }
+  const bool fullProjection = projection.size() == static_cast<size_t>(file.cnf.numVars());
+  const int width = static_cast<int>(projection.size());
+
+  std::vector<EngineRun> runs;
+  {
+    AllSatResult r = mintermBlockingAllSat(file.cnf, projection, {});
+    if (!cubesPairwiseDisjoint(r.cubes)) {
+      audit.fail("audit.minterm.disjoint",
+                 "minterm-blocking produced overlapping cubes on " + args.positional[0]);
+    }
+    runs.push_back({"minterm-blocking", std::move(r.cubes), std::move(r.mintermCount), r.complete});
+  }
+  {
+    const Cnf& cnf = file.cnf;
+    AllSatOptions options;
+    ModelLifter lifter;
+    if (fullProjection) {
+      lifter = [&cnf](const std::vector<lbool>& m) { return shrinkModelToImplicant(cnf, m); };
+    } else {
+      options.liftModels = false;  // implicant lifting needs the full scope
+    }
+    AllSatResult r = cubeBlockingAllSat(cnf, projection, lifter, options);
+    runs.push_back({"cube-blocking", std::move(r.cubes), std::move(r.mintermCount), r.complete});
+  }
+  {
+    CnfCircuit circuit = cnfToCircuit(file.cnf);
+    audit.merge(auditNetlist(circuit.netlist));
+    CircuitAllSatProblem problem;
+    problem.netlist = &circuit.netlist;
+    problem.objectives = {{circuit.root, true}};
+    for (Var v : projection) {
+      problem.projectionSources.push_back(circuit.varNode[static_cast<size_t>(v)]);
+    }
+    SuccessDrivenResult sd = successDrivenAllSat(problem, {});
+    SolutionGraphAuditOptions graphOptions;
+    graphOptions.problem = &problem;
+    audit.merge(auditSolutionGraph(sd.graph, graphOptions));
+    runs.push_back({"success-driven", std::move(sd.summary.cubes),
+                    std::move(sd.summary.mintermCount), sd.summary.complete});
+  }
+
+  // Every enumerated cube must itself be satisfiable in the original CNF
+  // (capped per engine; the union check above covers exactness).
+  constexpr size_t kMaxCubeChecks = 256;
+  for (const EngineRun& run : runs) {
+    Solver solver;
+    solver.addCnf(file.cnf);
+    for (size_t i = 0; i < run.cubes.size() && i < kMaxCubeChecks; ++i) {
+      LitVec assumptions;
+      for (Lit l : run.cubes[i]) {
+        assumptions.push_back(mkLit(projection[static_cast<size_t>(l.var())], l.sign()));
+      }
+      if (!solver.solve(assumptions).isTrue()) {
+        audit.fail("audit.cube.sat", run.name + " cube " + cubeToString(run.cubes[i], width) +
+                                         " is unsatisfiable in the original CNF");
+      }
+    }
+  }
+
+  crossCheckRuns(audit, runs, width);
+  return finishAudit(audit, args.positional[0] + " (" + std::to_string(runs.size()) + " engines)");
+}
+
+// Circuit mode: all six preimage engines on a generated benchmark, with the
+// BDD baselines serving as the semantic oracle for the SAT-based ones.
+int cmdAuditCircuit(AuditResult& audit, const Args& args) {
+  const std::string spec = args.flag("gen");
+  Netlist nl = makeGeneratorCircuit(spec);
+  audit.merge(auditNetlist(nl));
+  TransitionSystem system(nl);
+  const int width = system.numStateBits();
+
+  std::string targetText = args.flag("target");
+  if (targetText.empty()) {
+    targetText = "1" + std::string(static_cast<size_t>(width > 0 ? width - 1 : 0), 'x');
+  }
+  StateSet target = parseCube(targetText, width);
+
+  std::vector<EngineRun> runs;
+  for (PreimageMethod method : kAllPreimageMethods) {
+    PreimageResult r = computePreimage(system, target, method);
+    if (method == PreimageMethod::kMintermBlocking && !cubesPairwiseDisjoint(r.states.cubes)) {
+      audit.fail("audit.minterm.disjoint",
+                 "minterm-blocking produced overlapping preimage cubes on " + spec);
+    }
+    if (method == PreimageMethod::kSuccessDriven) {
+      for (const SolutionGraph& graph : r.graphs) {
+        SolutionGraphAuditOptions graphOptions;
+        graphOptions.numProjectionVars = width;
+        audit.merge(auditSolutionGraph(graph, graphOptions));
+      }
+    }
+    runs.push_back({preimageMethodName(method), std::move(r.states.cubes),
+                    std::move(r.stateCount), r.complete});
+  }
+
+  crossCheckRuns(audit, runs, width);
+  return finishAudit(audit, spec + " target=" + targetText + " (" +
+                                std::to_string(runs.size()) + " engines)");
+}
+
+int cmdAudit(const Args& args) {
+  AuditResult audit;
+  if (!args.flag("gen").empty()) return cmdAuditCircuit(audit, args);
+  if (args.positional.empty()) usage("audit needs a .cnf file or --gen SPEC");
+  return cmdAuditCnf(audit, args);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) usage();
   std::string command = argv[1];
   Args args = parseArgs(argc, argv, 2);
+  if (command == "audit") return cmdAudit(args);
   if (args.positional.empty()) usage("missing input file");
   if (command == "info") return cmdInfo(args);
   if (command == "allsat") return cmdAllsat(args);
