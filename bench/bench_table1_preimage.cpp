@@ -7,14 +7,27 @@
 // solutions; lifted cube blocking tracks the cube count; the success-driven
 // solver tracks the (much smaller) solution-graph size; the BDD engine is
 // fast on small state spaces but carries the transition-function build cost.
+//
+// The two par columns run the success-driven engine through the
+// cube-and-conquer path (src/parallel/) at 1 and 8 workers; their ratio is
+// the achieved parallel speedup (1.0 on a single-core host — the work is
+// identical by the determinism contract, only the scheduling differs).
+//
+// Usage: bench_table1_preimage [out.jsonl] [seed]
+//   out.jsonl  append one metrics line per engine run (trajectory format)
+//   seed       CDCL decision seed threaded into every SAT engine run
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
 
 using namespace presat;
 using namespace presat::benchutil;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string jsonlPath = argc > 1 ? argv[1] : "";
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0;
+
   std::vector<BenchCase> suite = standardSuite();
   // Minterm enumeration is capped: past this many solutions the baseline is
   // reported as timed out at the cap (the blow-up IS the result).
@@ -22,26 +35,42 @@ int main() {
 
   std::printf(
       "Table 1: one-step preimage (complete enumeration)\n"
-      "%-12s %5s %4s %6s | %12s | %9s %11s | %9s %11s | %9s %11s %9s | %11s %9s\n",
+      "%-12s %5s %4s %6s | %12s | %9s %11s | %9s %11s | %9s %11s %9s | %11s %9s | %9s %9s %6s\n",
       "circuit", "dffs", "pi", "gates", "pre-states", "mt-cubes", "mt-ms", "cb-cubes", "cb-ms",
-      "sd-cubes", "sd-ms", "sd-graph", "bdd-ms", "bdd-nodes");
+      "sd-cubes", "sd-ms", "sd-graph", "bdd-ms", "bdd-nodes", "par1-ms", "par8-ms", "spdup");
 
   for (BenchCase& c : suite) {
     TransitionSystem system(c.netlist);
 
     PreimageOptions mintermOpts;
     mintermOpts.allsat.maxCubes = kMintermCap;
+    mintermOpts.allsat.randomSeed = seed;
     PreimageResult minterm =
         computePreimage(system, c.target, PreimageMethod::kMintermBlocking, mintermOpts);
 
+    PreimageOptions seeded;
+    seeded.allsat.randomSeed = seed;
     PreimageResult cube =
-        computePreimage(system, c.target, PreimageMethod::kCubeBlockingLifted);
-    PreimageResult sd = computePreimage(system, c.target, PreimageMethod::kSuccessDriven);
+        computePreimage(system, c.target, PreimageMethod::kCubeBlockingLifted, seeded);
+    PreimageResult sd =
+        computePreimage(system, c.target, PreimageMethod::kSuccessDriven, seeded);
     PreimageResult bdd = computePreimage(system, c.target, PreimageMethod::kBdd);
 
-    // Sanity: complete engines must agree (minterm may be capped).
+    PreimageOptions par1 = seeded;
+    par1.allsat.parallel.jobs = 1;
+    PreimageResult sdPar1 =
+        computePreimage(system, c.target, PreimageMethod::kSuccessDriven, par1);
+    PreimageOptions par8 = seeded;
+    par8.allsat.parallel.jobs = 8;
+    PreimageResult sdPar8 =
+        computePreimage(system, c.target, PreimageMethod::kSuccessDriven, par8);
+
+    // Sanity: complete engines must agree (minterm may be capped), and the
+    // parallel runs must agree with the serial engine AND each other.
     if (cube.stateCount != sd.stateCount || sd.stateCount != bdd.stateCount ||
-        (minterm.complete && minterm.stateCount != sd.stateCount)) {
+        (minterm.complete && minterm.stateCount != sd.stateCount) ||
+        sdPar1.stateCount != sd.stateCount || sdPar8.stateCount != sd.stateCount ||
+        sdPar1.states.cubes != sdPar8.states.cubes) {
       std::printf("ENGINE DISAGREEMENT on %s\n", c.name.c_str());
       return 1;
     }
@@ -53,17 +82,30 @@ int main() {
       std::snprintf(mtCubes, sizeof(mtCubes), ">%llu",
                     static_cast<unsigned long long>(kMintermCap));
     }
+    double speedup = sdPar8.seconds > 0 ? sdPar1.seconds / sdPar8.seconds : 0.0;
     std::printf(
-        "%-12s %5d %4d %6zu | %12s | %9s %11s | %9zu %11s | %9zu %11s %9llu | %11s %9zu\n",
+        "%-12s %5d %4d %6zu | %12s | %9s %11s | %9zu %11s | %9zu %11s %9llu | %11s %9zu | "
+        "%9s %9s %5.2fx\n",
         c.name.c_str(), system.numStateBits(), system.numInputs(), c.netlist.numGates(),
         sd.stateCount.toDecimal().c_str(), mtCubes, fmtMs(minterm.seconds).c_str(),
         cube.states.cubes.size(), fmtMs(cube.seconds).c_str(), sd.states.cubes.size(),
         fmtMs(sd.seconds).c_str(), static_cast<unsigned long long>(sd.stats.graphNodes),
-        fmtMs(bdd.seconds).c_str(), bdd.bddNodes);
+        fmtMs(bdd.seconds).c_str(), bdd.bddNodes, fmtMs(sdPar1.seconds).c_str(),
+        fmtMs(sdPar8.seconds).c_str(), speedup);
+
+    if (!jsonlPath.empty()) {
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/minterm", minterm.metrics);
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/cube-lifted", cube.metrics);
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/sd", sd.metrics);
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/sd-par1", sdPar1.metrics);
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/sd-par8", sdPar8.metrics);
+    }
   }
   std::printf(
       "\nmt = minterm blocking (capped at %llu), cb = lifted cube blocking, "
-      "sd = success-driven, bdd = symbolic baseline\n",
-      static_cast<unsigned long long>(20000));
+      "sd = success-driven, bdd = symbolic baseline,\n"
+      "par1/par8 = cube-and-conquer success-driven at 1/8 workers "
+      "(spdup = par1/par8 wall time)\n",
+      static_cast<unsigned long long>(kMintermCap));
   return 0;
 }

@@ -20,6 +20,7 @@ AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projecti
 
   Solver solver;
   solver.setConflictBudget(options.conflictBudget);
+  if (options.randomSeed != 0) solver.setRandomSeed(options.randomSeed);
   bool consistent = solver.addCnf(cnf);
   bool maybeOverlapping = false;
 

@@ -13,6 +13,7 @@ AllSatResult mintermBlockingAllSat(const Cnf& cnf, const std::vector<Var>& proje
   AllSatResult result;
   Solver solver;
   solver.setConflictBudget(options.conflictBudget);
+  if (options.randomSeed != 0) solver.setRandomSeed(options.randomSeed);
   bool consistent = solver.addCnf(cnf);
 
   while (consistent) {

@@ -15,6 +15,7 @@
 #include "base/metrics.hpp"
 #include "base/types.hpp"
 #include "cnf/cnf.hpp"
+#include "parallel/options.hpp"
 
 namespace presat {
 
@@ -90,6 +91,15 @@ struct AllSatOptions {
   bool memoCheckExact = false;
   // Success-driven engine: frontier-gate selection policy.
   BranchOrder branchOrder = BranchOrder::kLowestGateFirst;
+  // Blocking engines: CDCL decision seed (Solver::setRandomSeed). 0 keeps the
+  // solver's built-in default. Results are independent of the seed; it exists
+  // for reproducible diversification runs (benches, fuzzing).
+  uint64_t randomSeed = 0;
+  // Cube-and-conquer parallel enumeration (src/parallel/). jobs == 0 keeps
+  // the serial engines; jobs >= 1 partitions the projected space into
+  // disjoint guiding cubes and solves them on a worker pool. The result is
+  // bit-identical for every jobs >= 1 (see parallel/options.hpp).
+  ParallelOptions parallel;
 };
 
 // Sum of 2^(numProjectionVars - |cube|) over all cubes. Exact for disjoint

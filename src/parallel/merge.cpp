@@ -1,0 +1,182 @@
+#include "parallel/merge.hpp"
+
+#include <string>
+#include <utility>
+
+#include "base/log.hpp"
+#include "bdd/bdd.hpp"
+
+namespace presat {
+
+void accumulateShardStats(AllSatStats& total, const AllSatStats& shard) {
+  total.satCalls += shard.satCalls;
+  total.conflicts += shard.conflicts;
+  total.decisions += shard.decisions;
+  total.propagations += shard.propagations;
+  total.restarts += shard.restarts;
+  total.reduceDBs += shard.reduceDBs;
+  total.deletedClauses += shard.deletedClauses;
+  total.blockingClauses += shard.blockingClauses;
+  total.blockingLiterals += shard.blockingLiterals;
+  total.memoHits += shard.memoHits;
+  total.memoMisses += shard.memoMisses;
+  total.memoEvictions += shard.memoEvictions;
+  total.memoEntries += shard.memoEntries;
+  total.memoBytes += shard.memoBytes;
+  total.graphNodes += shard.graphNodes;
+  total.graphEdges += shard.graphEdges;
+}
+
+AllSatResult mergeShardSummaries(std::vector<ShardOutcome>& shards) {
+  AllSatResult merged;
+  size_t totalCubes = 0;
+  for (const ShardOutcome& shard : shards) totalCubes += shard.result.cubes.size();
+  merged.cubes.reserve(totalCubes);
+  for (ShardOutcome& shard : shards) {
+    for (LitVec& cube : shard.result.cubes) merged.cubes.push_back(std::move(cube));
+    shard.result.cubes.clear();
+    // Disjoint shards: the union count is the sum of the shard counts.
+    merged.mintermCount += shard.result.mintermCount;
+    merged.complete = merged.complete && shard.result.complete;
+    accumulateShardStats(merged.stats, shard.result.stats);
+    merged.metrics.merge(shard.result.metrics);
+  }
+  return merged;
+}
+
+SolutionGraph mergeSolutionGraphs(const std::vector<ShardOutcome>& shards,
+                                  const std::vector<Var>& splitVars) {
+  PRESAT_CHECK(shards.size() == (static_cast<size_t>(1) << splitVars.size()))
+      << "shard count does not match the split plan";
+  SolutionGraph merged;
+
+  // Import every shard's nodes up front (shard order), remembering the index
+  // offset; terminals need no translation.
+  std::vector<int> offset(shards.size(), 0);
+  auto translate = [](int child, int base) {
+    return child >= 0 ? child + base : child;
+  };
+  for (size_t i = 0; i < shards.size(); ++i) {
+    offset[i] = static_cast<int>(merged.numNodes());
+    PRESAT_CHECK(shards[i].hasGraph) << "graph merge on a shard without a solution graph";
+    const SolutionGraph& g = shards[i].graph;
+    for (size_t n = 0; n < g.numNodes(); ++n) {
+      SolutionGraph::Node node = g.node(static_cast<int>(n));
+      node.branch[0].child = translate(node.branch[0].child, offset[i]);
+      node.branch[1].child = translate(node.branch[1].child, offset[i]);
+      merged.addNode(node);
+    }
+  }
+
+  // Recursive tree over the shard-index range: depth d (root = 0) splits on
+  // bit |splitVars|-1-d, so a depth-first visit reaches the leaves in shard
+  // order; branch[0] is polarity 0. Subtrees whose shards all failed
+  // collapse to kFail instead of materializing dead decision nodes (the
+  // graph.dead-node invariant the auditor enforces).
+  auto build = [&](auto&& self, size_t lo, size_t hi) -> SolutionGraph::Branch {
+    if (hi - lo == 1) {
+      const ShardOutcome& shard = shards[lo];
+      const SolutionGraph::Branch& root = shard.graph.root();
+      SolutionGraph::Branch leaf;
+      leaf.child = translate(root.child, offset[lo]);
+      if (leaf.child != SolutionGraph::kFail) leaf.newLits = root.newLits;
+      return leaf;
+    }
+    size_t mid = lo + (hi - lo) / 2;
+    // A range of 2^(bit+1) shards splits on splitVars[bit]: the root of the
+    // full 2^k range branches on the highest split variable, index k-1.
+    size_t bit = 0;
+    while ((static_cast<size_t>(1) << (bit + 1)) < hi - lo) ++bit;
+    SolutionGraph::Node node;
+    node.decisionId = static_cast<uint32_t>(splitVars[bit]);
+    node.branch[0] = self(self, lo, mid);
+    node.branch[1] = self(self, mid, hi);
+    if (node.branch[0].child == SolutionGraph::kFail &&
+        node.branch[1].child == SolutionGraph::kFail) {
+      return SolutionGraph::Branch{};  // child = kFail
+    }
+    return SolutionGraph::Branch{merged.addNode(node), {}};
+  };
+
+  SolutionGraph::Branch top = build(build, 0, shards.size());
+  merged.setRoot(top.child, std::move(top.newLits));
+  return merged;
+}
+
+AuditResult auditShardPartition(const std::vector<ShardOutcome>& shards,
+                                int numProjectionVars) {
+  AuditResult audit;
+  BddManager mgr(numProjectionVars);
+
+  std::vector<BddRef> guides;
+  std::vector<BddRef> unions;
+  guides.reserve(shards.size());
+  unions.reserve(shards.size());
+  for (const ShardOutcome& shard : shards) {
+    guides.push_back(mgr.cube(shard.guide));
+    unions.push_back(cubesToBdd(mgr, shard.result.cubes));
+  }
+
+  for (size_t i = 0; i < shards.size(); ++i) {
+    // Every shard cube must stay inside its guiding cube — sum-of-counts and
+    // concatenation both silently overcount if one leaks.
+    if (mgr.bddAnd(unions[i], mgr.bddNot(guides[i])) != BddManager::kFalse) {
+      audit.fail("parallel.shard.guide",
+                 "shard " + std::to_string(i) + " enumerated solutions outside its guiding cube");
+    }
+    for (size_t j = i + 1; j < shards.size(); ++j) {
+      if (mgr.bddAnd(guides[i], guides[j]) != BddManager::kFalse) {
+        audit.fail("parallel.guide.disjoint", "guiding cubes " + std::to_string(i) + " and " +
+                                                  std::to_string(j) + " overlap");
+      }
+      if (mgr.bddAnd(unions[i], unions[j]) != BddManager::kFalse) {
+        audit.fail("parallel.shard.disjoint", "shards " + std::to_string(i) + " and " +
+                                                  std::to_string(j) +
+                                                  " enumerated overlapping solution sets");
+      }
+    }
+  }
+  return audit;
+}
+
+void corruptShardsForTest(std::vector<ShardOutcome>& shards, ShardCorruption kind) {
+  // Find a donor shard with at least one cube; the generator-suite fixtures
+  // in the tests guarantee one exists.
+  size_t donor = shards.size();
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (!shards[i].result.cubes.empty()) {
+      donor = i;
+      break;
+    }
+  }
+  PRESAT_CHECK(donor < shards.size()) << "corruption hook needs a shard with cubes";
+
+  switch (kind) {
+    case ShardCorruption::kForeignCube: {
+      size_t victim = (donor + 1) % shards.size();
+      PRESAT_CHECK(victim != donor) << "corruption hook needs at least two shards";
+      shards[victim].result.cubes.push_back(shards[donor].result.cubes.front());
+      break;
+    }
+    case ShardCorruption::kGuideEscape: {
+      LitVec& cube = shards[donor].result.cubes.front();
+      LitVec stripped;
+      for (Lit l : cube) {
+        bool isGuideVar = false;
+        for (Lit g : shards[donor].guide) {
+          if (g.var() == l.var()) {
+            isGuideVar = true;
+            break;
+          }
+        }
+        if (!isGuideVar) stripped.push_back(l);
+      }
+      PRESAT_CHECK(stripped.size() < cube.size())
+          << "corruption hook found no guide literal to strip";
+      cube = std::move(stripped);
+      break;
+    }
+  }
+}
+
+}  // namespace presat

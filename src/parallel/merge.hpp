@@ -1,0 +1,70 @@
+// Deterministic merge of per-subcube enumeration results.
+//
+// Each shard solved the original problem restricted to one guiding cube of
+// the split plan (parallel/cube_splitter.hpp). Because the guiding cubes are
+// pairwise disjoint and jointly exhaustive, merging is pure bookkeeping with
+// no blocking-clause interference between shards:
+//
+//  * cube lists concatenate in shard-index order (the union stays exact, and
+//    shard counts ADD because no two shards share a minterm);
+//  * solution graphs attach under a fresh binary decision tree over the split
+//    variables — the tree routes each guiding cube's region to its shard's
+//    subgraph, so the merged graph has the same path-cube semantics as the
+//    concatenation.
+//
+// Everything here is keyed by shard INDEX, never by completion order, so the
+// merged result is bit-identical for any worker count or schedule. The
+// auditor cross-checks the disjointness assumption through the BDD oracle
+// (invariants parallel.guide.disjoint / parallel.shard.guide /
+// parallel.shard.disjoint) — it exists because the sum-of-counts shortcut is
+// silently wrong the moment a shard leaks outside its guiding cube.
+#pragma once
+
+#include <vector>
+
+#include "allsat/projection.hpp"
+#include "allsat/solution_graph.hpp"
+#include "check/audit.hpp"
+
+namespace presat {
+
+// One subcube's solve, in shard-index order.
+struct ShardOutcome {
+  LitVec guide;        // guiding cube, projected index space
+  AllSatResult result; // sub-enumeration over the same projection scope
+  SolutionGraph graph; // success-driven shards only
+  bool hasGraph = false;
+};
+
+// Sums `shard` into `total` (counters only; seconds is owned by the caller's
+// wall-clock timer).
+void accumulateShardStats(AllSatStats& total, const AllSatStats& shard);
+
+// Concatenates shard cube lists and adds counts/stats in shard order.
+// `complete` ANDs across shards; metrics merge (the caller re-exports the
+// accumulated stats afterwards). Sound only for disjoint shards.
+AllSatResult mergeShardSummaries(std::vector<ShardOutcome>& shards);
+
+// Merges the shard solution graphs under a decision tree over `splitVars`
+// (the split plan's variables; shards.size() == 2^|splitVars|). Shard i's
+// subgraph is attached at the leaf whose path assigns splitVars[j] = bit j
+// of i, and subtrees whose shards all failed collapse to the FAIL terminal,
+// mirroring the serial engine's dead-branch collapse.
+SolutionGraph mergeSolutionGraphs(const std::vector<ShardOutcome>& shards,
+                                  const std::vector<Var>& splitVars);
+
+// BDD cross-check of the disjoint-partition contract:
+//   parallel.guide.disjoint  guiding cubes are pairwise disjoint
+//   parallel.shard.guide     every shard cube stays inside its guiding cube
+//   parallel.shard.disjoint  no two shards' solution sets intersect
+AuditResult auditShardPartition(const std::vector<ShardOutcome>& shards,
+                                int numProjectionVars);
+
+// Test-only corruption hook for the partition auditor (tests/check_test.cpp).
+enum class ShardCorruption : int {
+  kForeignCube,  // copies a shard's cube into another shard (overlap)
+  kGuideEscape,  // strips the guide literals from a shard cube
+};
+void corruptShardsForTest(std::vector<ShardOutcome>& shards, ShardCorruption kind);
+
+}  // namespace presat

@@ -1,0 +1,29 @@
+// Knobs of the cube-and-conquer parallel enumeration layer (src/parallel/).
+//
+// This header is dependency-free on purpose: `ParallelOptions` is embedded in
+// `AllSatOptions` (allsat/projection.hpp), which every engine consumes, while
+// the machinery that interprets it (splitter, worker pool, merge) lives in
+// the rest of src/parallel/ and depends on the allsat layer.
+#pragma once
+
+namespace presat {
+
+struct ParallelOptions {
+  // 0 = serial engines, untouched. >= 1 routes enumeration through the
+  // cube-and-conquer layer with this many worker threads. The RESULT is
+  // independent of the value (see splitDepth); only wall-clock changes.
+  int jobs = 0;
+  // The search space is partitioned into 2^splitDepth disjoint guiding cubes.
+  // -1 = auto (kDefaultSplitDepth, clamped to the projection width). The
+  // depth deliberately does NOT scale with `jobs`: the subproblem set, and
+  // therefore the merged result, is identical for jobs=1 and jobs=8.
+  int splitDepth = -1;
+
+  // Auto split depth: 16 subcubes — enough slack for 8-way work stealing
+  // without fragmenting small instances.
+  static constexpr int kDefaultSplitDepth = 4;
+
+  bool enabled() const { return jobs > 0; }
+};
+
+}  // namespace presat

@@ -1,0 +1,190 @@
+#include "parallel/parallel_allsat.hpp"
+
+#include <utility>
+
+#include "allsat/minterm_blocking.hpp"
+#include "base/log.hpp"
+#include "base/timer.hpp"
+#include "bdd/bdd.hpp"
+#include "check/audit_solution_graph.hpp"
+#include "parallel/cube_splitter.hpp"
+#include "parallel/merge.hpp"
+#include "parallel/worker_pool.hpp"
+
+namespace presat {
+
+namespace {
+
+// Distinct per-shard solver seeds, derived from the user seed and the shard
+// INDEX (never the worker), so the stream a subproblem sees is schedule-
+// independent.
+uint64_t shardSeed(uint64_t baseSeed, size_t shard) {
+  uint64_t base = baseSeed != 0 ? baseSeed : 0x5eedc0deb1a5edull;
+  return base + 0x9e3779b97f4a7c15ull * (shard + 1);
+}
+
+// Per-shard options: serial inner engines (no recursive splitting), shard-
+// indexed solver seed.
+AllSatOptions shardOptions(const AllSatOptions& options, size_t shard) {
+  AllSatOptions inner = options;
+  inner.parallel = ParallelOptions{};
+  inner.randomSeed = shardSeed(options.randomSeed, shard);
+  return inner;
+}
+
+void exportParallelMetrics(const WorkerPool& pool, size_t numShards, double cpuSeconds,
+                           Metrics& m) {
+  pool.exportMetrics(m);
+  m.setCounter("parallel.shards", numShards);
+  // Sum of per-shard solve time: cpu_seconds / time.seconds is the achieved
+  // parallel speedup.
+  m.setGauge("parallel.cpu_seconds", cpuSeconds);
+}
+
+}  // namespace
+
+SuccessDrivenResult parallelSuccessDrivenAllSat(const CircuitAllSatProblem& problem,
+                                                const AllSatOptions& options) {
+  PRESAT_CHECK(problem.netlist != nullptr);
+  PRESAT_CHECK(options.parallel.enabled()) << "parallel engine called with jobs == 0";
+  Timer timer;
+
+  SplitPlan plan = planCircuitSplit(problem, options.parallel.splitDepth);
+  std::vector<ShardOutcome> shards(plan.cubes.size());
+
+  WorkerPool pool(options.parallel.jobs);
+  pool.run(plan.cubes.size(), [&](size_t i, int /*worker*/) {
+    // Workers read the shared netlist and write only their own shard slot.
+    CircuitAllSatProblem sub = problem;
+    for (Lit l : plan.cubes[i]) {
+      sub.objectives.emplace_back(problem.projectionSources[static_cast<size_t>(l.var())],
+                                  !l.sign());
+    }
+    SuccessDrivenResult r = successDrivenAllSat(sub, shardOptions(options, i));
+    shards[i].guide = plan.cubes[i];
+    shards[i].result = std::move(r.summary);
+    shards[i].graph = std::move(r.graph);
+    shards[i].hasGraph = true;
+  });
+
+  PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(
+      auditShardPartition(shards, static_cast<int>(problem.projectionSources.size()))));
+
+  SuccessDrivenResult result;
+  result.graph = mergeSolutionGraphs(shards, plan.splitVars);
+
+  double cpuSeconds = 0.0;
+  for (ShardOutcome& shard : shards) cpuSeconds += shard.result.stats.seconds;
+  AllSatResult merged = mergeShardSummaries(shards);
+  result.summary.mintermCount = std::move(merged.mintermCount);
+  result.summary.stats = merged.stats;
+  result.summary.stats.graphNodes = result.graph.numNodes();
+  result.summary.stats.graphEdges = result.graph.numLiveEdges();
+  result.summary.metrics = std::move(merged.metrics);
+
+  // Same enumeration-cap semantics as the serial engine: the merged graph is
+  // always complete; one probe path past the cap decides the flag.
+  if (options.maxCubes == 0) {
+    result.summary.cubes = result.graph.enumerateCubes(0);
+    result.summary.complete = true;
+  } else {
+    uint64_t probe = options.maxCubes == UINT64_MAX ? options.maxCubes : options.maxCubes + 1;
+    result.summary.cubes = result.graph.enumerateCubes(probe);
+    result.summary.complete = result.summary.cubes.size() <= options.maxCubes;
+    if (!result.summary.complete) result.summary.cubes.pop_back();
+  }
+
+  result.summary.stats.seconds = timer.seconds();
+  result.summary.metrics.setLabel("engine", "success-driven");
+  exportStatsToMetrics(result.summary.stats, result.summary.metrics);
+  exportParallelMetrics(pool, shards.size(), cpuSeconds, result.summary.metrics);
+
+  PRESAT_AUDIT_CHEAP({
+    SolutionGraphAuditOptions auditOptions;
+    auditOptions.maxCubeSatChecks = 0;
+    auditOptions.numProjectionVars = static_cast<int>(problem.projectionSources.size());
+    PRESAT_CHECK_AUDIT(auditSolutionGraph(result.graph, auditOptions));
+  });
+  return result;
+}
+
+AllSatResult parallelCnfAllSat(const Cnf& cnf, const std::vector<Var>& projection,
+                               ParallelCnfEngine engine, const ModelLifter& lifter,
+                               const AllSatOptions& options) {
+  PRESAT_CHECK(options.parallel.enabled()) << "parallel engine called with jobs == 0";
+  Timer timer;
+
+  SplitPlan plan = planCnfSplit(cnf, projection, options.parallel.splitDepth);
+  std::vector<ShardOutcome> shards(plan.cubes.size());
+
+  WorkerPool pool(options.parallel.jobs);
+  pool.run(plan.cubes.size(), [&](size_t i, int /*worker*/) {
+    const LitVec& guide = plan.cubes[i];
+    // Guide literals in the original variable space.
+    LitVec guideOrig;
+    guideOrig.reserve(guide.size());
+    for (Lit l : guide) {
+      guideOrig.push_back(mkLit(projection[static_cast<size_t>(l.var())], l.sign()));
+    }
+
+    Cnf sub = cnf;
+    for (Lit l : guideOrig) sub.addUnit(l);
+
+    AllSatResult r;
+    if (engine == ParallelCnfEngine::kMintermBlocking) {
+      r = mintermBlockingAllSat(sub, projection, shardOptions(options, i));
+    } else {
+      // The shard lifter keeps the guide literals in every lifted cube: the
+      // base lifter may drop them as unnecessary for the ORIGINAL formula,
+      // but dropping one would let the cube escape this shard's region and
+      // double-count against its neighbor.
+      ModelLifter shardLifter;
+      if (lifter) {
+        shardLifter = [&lifter, &guideOrig](const std::vector<lbool>& model) {
+          LitVec cube = lifter(model);
+          for (Lit g : guideOrig) {
+            bool present = false;
+            for (Lit l : cube) {
+              if (l.var() == g.var()) {
+                present = true;
+                break;
+              }
+            }
+            if (!present) cube.push_back(g);
+          }
+          return cube;
+        };
+      }
+      r = cubeBlockingAllSat(sub, projection, shardLifter, shardOptions(options, i));
+    }
+    shards[i].guide = guide;
+    shards[i].result = std::move(r);
+  });
+
+  PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(
+      auditShardPartition(shards, static_cast<int>(projection.size()))));
+
+  double cpuSeconds = 0.0;
+  for (ShardOutcome& shard : shards) cpuSeconds += shard.result.stats.seconds;
+  AllSatResult result = mergeShardSummaries(shards);
+
+  // maxCubes is a GLOBAL cap but each shard enforced it locally, so the
+  // concatenation can exceed it. Trim to the cap (shard order keeps this
+  // deterministic) and recount: the kept prefix may overlap under lifting.
+  if (options.maxCubes != 0 && result.cubes.size() > options.maxCubes) {
+    result.cubes.resize(options.maxCubes);
+    result.complete = false;
+    result.mintermCount =
+        countCubeUnionMinterms(result.cubes, static_cast<int>(projection.size()));
+  }
+
+  result.stats.seconds = timer.seconds();
+  result.metrics.setLabel(
+      "engine", engine == ParallelCnfEngine::kMintermBlocking ? "minterm-blocking"
+                                                              : "cube-blocking");
+  exportStatsToMetrics(result.stats, result.metrics);
+  exportParallelMetrics(pool, shards.size(), cpuSeconds, result.metrics);
+  return result;
+}
+
+}  // namespace presat

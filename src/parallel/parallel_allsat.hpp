@@ -1,0 +1,50 @@
+// Cube-and-conquer front-end over the enumeration engines.
+//
+// The search space is partitioned into disjoint guiding cubes
+// (parallel/cube_splitter.hpp), each subproblem is solved by an independent
+// serial engine instance on a work-stealing pool (parallel/worker_pool.hpp),
+// and the per-shard answers are reassembled deterministically
+// (parallel/merge.hpp). Workers share NOTHING mutable: each owns its Solver /
+// justification engine, its CNF copy or objective list, and a private result
+// slot indexed by shard — disjointness is what removes the blocking-clause
+// interference that makes naive parallel all-SAT unsound.
+//
+// Determinism contract: the split plan depends only on the problem and
+// ParallelOptions::splitDepth — never on `jobs` — and the merge is keyed by
+// shard index, so any jobs >= 1 produces a bit-identical AllSatResult
+// (cubes, counts, graph). Only wall-clock time and the parallel.* pool
+// metrics vary with the worker count.
+#pragma once
+
+#include <vector>
+
+#include "allsat/cube_blocking.hpp"
+#include "allsat/projection.hpp"
+#include "allsat/success_driven.hpp"
+#include "cnf/cnf.hpp"
+
+namespace presat {
+
+// Parallel counterpart of successDrivenAllSat. The returned solution graph
+// is the shard graphs merged under a split-variable decision tree; summary
+// cubes are re-enumerated from the merged graph (same maxCubes semantics as
+// the serial engine).
+SuccessDrivenResult parallelSuccessDrivenAllSat(const CircuitAllSatProblem& problem,
+                                                const AllSatOptions& options);
+
+// Which serial CNF engine solves each subcube.
+enum class ParallelCnfEngine {
+  kMintermBlocking,
+  kCubeBlocking,  // honors options.liftModels + `lifter` like the serial engine
+};
+
+// Parallel counterpart of mintermBlockingAllSat / cubeBlockingAllSat. Each
+// shard solves a copy of `cnf` with its guiding cube added as unit clauses.
+// `lifter` (may be empty) is built against the ORIGINAL formula; the shards
+// wrap it so every lifted cube keeps its guide literals and stays inside the
+// shard's region of the partition.
+AllSatResult parallelCnfAllSat(const Cnf& cnf, const std::vector<Var>& projection,
+                               ParallelCnfEngine engine, const ModelLifter& lifter,
+                               const AllSatOptions& options);
+
+}  // namespace presat

@@ -1,0 +1,116 @@
+#include "parallel/worker_pool.hpp"
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/log.hpp"
+
+namespace presat {
+
+namespace {
+
+// One worker's task deque plus its privately-accumulated stats. The deque is
+// shared (owner pops front, thieves steal back) and mutex-guarded; the stats
+// are only ever written by the owning worker thread and only read after the
+// join barrier in run().
+struct WorkerShard {
+  std::mutex mutex;
+  std::deque<size_t> tasks;
+  WorkerPoolStats stats;
+};
+
+// Pops the next task for `self`: own deque first (front, LIFO-ish locality),
+// then steals from the back of a victim deque. Returns false when every
+// deque is empty — the batch is closed, so empty-everywhere means done.
+bool nextTask(std::vector<WorkerShard>& shards, size_t self, size_t& taskOut, bool& stolenOut) {
+  {
+    WorkerShard& own = shards[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    own.stats.queueDepth.record(own.tasks.size());
+    if (!own.tasks.empty()) {
+      taskOut = own.tasks.front();
+      own.tasks.pop_front();
+      stolenOut = false;
+      return true;
+    }
+  }
+  // Steal scan: probe victims in a self-offset order so idle workers do not
+  // all hammer shard 0, taking the single task with the most work left
+  // behind it (back of the deque).
+  for (size_t i = 1; i < shards.size(); ++i) {
+    WorkerShard& victim = shards[(self + i) % shards.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      taskOut = victim.tasks.back();
+      victim.tasks.pop_back();
+      stolenOut = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(int numThreads) : numThreads_(numThreads < 1 ? 1 : numThreads) {}
+
+void WorkerPool::run(size_t numTasks, const std::function<void(size_t task, int worker)>& fn) {
+  PRESAT_CHECK(fn != nullptr);
+  size_t workers = static_cast<size_t>(numThreads_);
+  std::vector<WorkerShard> shards(workers);
+  // Round-robin deal: contiguous task indices land on different workers, so
+  // the adjacent (similar-size) subcubes of one region spread out.
+  for (size_t t = 0; t < numTasks; ++t) {
+    shards[t % workers].tasks.push_back(t);
+  }
+
+  auto workerMain = [&shards, &fn](size_t self) {
+    WorkerPoolStats& stats = shards[self].stats;
+    size_t task = 0;
+    bool stolen = false;
+    while (nextTask(shards, self, task, stolen)) {
+      auto start = std::chrono::steady_clock::now();
+      fn(task, static_cast<int>(self));
+      auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+      stats.taskMicros.record(static_cast<uint64_t>(micros));
+      stats.tasksRun += 1;
+      if (stolen) stats.steals += 1;
+    }
+  };
+
+  if (workers == 1) {
+    // Single-threaded runs stay on the calling thread: no thread spawn cost,
+    // and engine PRESAT_CHECK failures surface with the caller's stack.
+    workerMain(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back(workerMain, w);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  for (WorkerShard& shard : shards) {
+    PRESAT_CHECK(shard.tasks.empty()) << "worker pool left tasks behind";
+    stats_.tasksRun += shard.stats.tasksRun;
+    stats_.steals += shard.stats.steals;
+    stats_.queueDepth.merge(shard.stats.queueDepth);
+    stats_.taskMicros.merge(shard.stats.taskMicros);
+  }
+}
+
+void WorkerPool::exportMetrics(Metrics& m) const {
+  m.setCounter("parallel.jobs", static_cast<uint64_t>(numThreads_));
+  m.setCounter("parallel.tasks", stats_.tasksRun);
+  m.setCounter("parallel.steals", stats_.steals);
+  m.histogram("parallel.queue_depth").merge(stats_.queueDepth);
+  m.histogram("parallel.task_us").merge(stats_.taskMicros);
+}
+
+}  // namespace presat

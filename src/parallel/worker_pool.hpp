@@ -1,0 +1,57 @@
+// Work-stealing worker pool for cube-and-conquer enumeration.
+//
+// Deliberately simple concurrency: one mutex-guarded deque per worker
+// (sharded, so workers do not contend on a single lock), tasks dealt
+// round-robin up front, owners pop from the front of their own deque, and an
+// idle worker steals from the BACK of a victim deque. Blocking
+// synchronization only — no lock-free structures to audit — which keeps the
+// pool trivially ThreadSanitizer-clean; a chase-lev deque is a drop-in
+// upgrade behind this interface if profiles ever show lock contention.
+//
+// The pool runs *closed* batches: run() blocks until every task finished and
+// the workers joined, so a task body may reference stack-local state of the
+// caller. Tasks receive (taskIndex, workerIndex) and must not touch shared
+// mutable state — the enumeration layer gives each task an independent
+// Solver/engine instance and a private result slot, which is what makes the
+// merged result independent of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "base/metrics.hpp"
+
+namespace presat {
+
+struct WorkerPoolStats {
+  uint64_t tasksRun = 0;
+  uint64_t steals = 0;        // tasks obtained from another worker's deque
+  Histogram queueDepth;       // own-deque depth observed at each pop attempt
+  Histogram taskMicros;       // per-task wall time, microseconds
+};
+
+class WorkerPool {
+ public:
+  // numThreads < 1 is clamped to 1.
+  explicit WorkerPool(int numThreads);
+
+  int numThreads() const { return numThreads_; }
+
+  // Runs fn(task, worker) for every task in [0, numTasks), blocking until all
+  // complete. A task that throws aborts via the PRESAT_CHECK path — engines
+  // report failure through their result slots, not exceptions.
+  void run(size_t numTasks, const std::function<void(size_t task, int worker)>& fn);
+
+  // Stats of every run() so far (aggregated across workers after each join,
+  // so reading them between runs needs no synchronization).
+  const WorkerPoolStats& stats() const { return stats_; }
+
+  // Serializes the pool stats under the parallel.* metric names.
+  void exportMetrics(Metrics& m) const;
+
+ private:
+  int numThreads_;
+  WorkerPoolStats stats_;
+};
+
+}  // namespace presat

@@ -12,6 +12,7 @@
 #include "circuit/simulator.hpp"
 #include "circuit/strash.hpp"
 #include "circuit/tseitin.hpp"
+#include "parallel/parallel_allsat.hpp"
 #include "preimage/bdd_preimage.hpp"
 
 namespace presat {
@@ -158,6 +159,12 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
   switch (method) {
     case PreimageMethod::kMintermBlocking: {
       SatProblem problem = buildSatProblem(system, target);
+      if (options.allsat.parallel.enabled()) {
+        return fromAllSat(parallelCnfAllSat(problem.enc.cnf, problem.projection,
+                                            ParallelCnfEngine::kMintermBlocking, {},
+                                            options.allsat),
+                          n);
+      }
       return fromAllSat(
           mintermBlockingAllSat(problem.enc.cnf, problem.projection, options.allsat), n);
     }
@@ -165,11 +172,22 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
       SatProblem problem = buildSatProblem(system, target);
       AllSatOptions opts = options.allsat;
       opts.liftModels = false;
+      if (opts.parallel.enabled()) {
+        return fromAllSat(parallelCnfAllSat(problem.enc.cnf, problem.projection,
+                                            ParallelCnfEngine::kCubeBlocking, {}, opts),
+                          n);
+      }
       return fromAllSat(cubeBlockingAllSat(problem.enc.cnf, problem.projection, {}, opts), n);
     }
     case PreimageMethod::kCubeBlockingLifted: {
       SatProblem problem = buildSatProblem(system, target);
       ModelLifter lifter = makeJustificationLifter(system, target, problem);
+      if (options.allsat.parallel.enabled()) {
+        return fromAllSat(parallelCnfAllSat(problem.enc.cnf, problem.projection,
+                                            ParallelCnfEngine::kCubeBlocking, lifter,
+                                            options.allsat),
+                          n);
+      }
       return fromAllSat(
           cubeBlockingAllSat(problem.enc.cnf, problem.projection, lifter, options.allsat), n);
     }
@@ -182,7 +200,9 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
         problem.netlist = &system.netlist();
         problem.projectionSources = system.stateNodes();
         for (Lit l : cube) problem.objectives.emplace_back(system.nextStateRoot(l.var()), !l.sign());
-        SuccessDrivenResult sub = successDrivenAllSat(problem, options.allsat);
+        SuccessDrivenResult sub = options.allsat.parallel.enabled()
+                                      ? parallelSuccessDrivenAllSat(problem, options.allsat)
+                                      : successDrivenAllSat(problem, options.allsat);
         result.states.cubes.insert(result.states.cubes.end(), sub.summary.cubes.begin(),
                                    sub.summary.cubes.end());
         result.complete = result.complete && sub.summary.complete;

@@ -1,10 +1,44 @@
 #include "preimage/reachability.hpp"
 
+#include <cstdio>
+#include <string>
+
 #include "base/log.hpp"
 #include "base/timer.hpp"
 #include "bdd/bdd.hpp"
 
 namespace presat {
+
+namespace {
+
+// Serializes the per-depth records and totals into `result.metrics` under
+// the stable names validated by tools/check_stats_json.py.
+void exportReachMetrics(ReachabilityResult& result, PreimageMethod method) {
+  Metrics& m = result.metrics;
+  for (const ReachabilityStep& step : result.steps) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "step.%04d.", step.depth);
+    std::string prefix(buf);
+    // Exact counts that overflow u64 degrade to a gauge (same value space
+    // the JSON consumer sees for all doubles).
+    if (step.newStates.fitsU64()) {
+      m.setCounter(prefix + "new_states", step.newStates.toU64());
+    } else {
+      m.setGauge(prefix + "new_states", step.newStates.toDouble());
+    }
+    m.setCounter(prefix + "frontier_cubes", step.frontierCubes);
+    m.setGauge(prefix + "seconds", step.seconds);
+    m.setGauge(prefix + "algebra_seconds", step.algebraSeconds);
+  }
+  m.setCounter("reach.steps", result.steps.size());
+  m.setCounter("reach.fixpoint", result.fixpoint ? 1 : 0);
+  m.setGauge("time.seconds", result.totalSeconds);
+  m.setGauge("time.preimage_seconds", result.preimageSeconds);
+  m.setGauge("time.algebra_seconds", result.algebraSeconds);
+  m.setLabel("engine", preimageMethodName(method));
+}
+
+}  // namespace
 
 ReachabilityResult backwardReach(const TransitionSystem& system, const StateSet& target,
                                  int maxDepth, PreimageMethod method,
@@ -13,24 +47,32 @@ ReachabilityResult backwardReach(const TransitionSystem& system, const StateSet&
   const int n = system.numStateBits();
   PRESAT_CHECK(target.numStateBits == n);
 
-  // Persistent manager for the set algebra between steps.
+  ReachabilityResult result;
+
+  // Persistent manager for the set algebra between steps. Every BDD
+  // operation runs inside an `algebra` span so totalSeconds decomposes into
+  // preimage time + set-algebra time (+ negligible loop overhead).
+  Timer algebra;
   BddManager mgr(n);
   BddRef reached = target.toBdd(mgr);
   BddRef frontier = reached;
+  result.algebraSeconds += algebra.seconds();
 
-  ReachabilityResult result;
   for (int depth = 1; depth <= maxDepth; ++depth) {
     if (frontier == BddManager::kFalse) {
       result.fixpoint = true;
       break;
     }
+    algebra.reset();
     StateSet frontierSet;
     frontierSet.numStateBits = n;
     frontierSet.cubes = mgr.enumerateCubes(frontier);
+    double stepAlgebra = algebra.seconds();
 
     PreimageResult pre = computePreimage(system, frontierSet, method, options);
     PRESAT_CHECK(pre.complete) << "reachability needs complete preimages";
 
+    algebra.reset();
     BddRef preBdd = pre.states.toBdd(mgr);
     BddRef fresh = mgr.bddAnd(preBdd, mgr.bddNot(reached));
     reached = mgr.bddOr(reached, preBdd);
@@ -42,15 +84,23 @@ ReachabilityResult backwardReach(const TransitionSystem& system, const StateSet&
     step.seconds = pre.seconds;
     step.stats = pre.stats;
     step.frontierCubes = frontierSet.cubes.size();
+    stepAlgebra += algebra.seconds();
+    step.algebraSeconds = stepAlgebra;
     result.steps.push_back(step);
 
+    result.preimageSeconds += pre.seconds;
+    result.algebraSeconds += stepAlgebra;
     frontier = fresh;
   }
   if (!result.fixpoint && frontier == BddManager::kFalse) result.fixpoint = true;
 
+  algebra.reset();
   result.reached.numStateBits = n;
   result.reached.cubes = mgr.enumerateCubes(reached);
+  result.algebraSeconds += algebra.seconds();
+
   result.totalSeconds = total.seconds();
+  exportReachMetrics(result, method);
   return result;
 }
 

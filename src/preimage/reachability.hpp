@@ -19,6 +19,10 @@ struct ReachabilityStep {
   BigUint newStates;       // states discovered at this depth
   BigUint totalStates;     // cumulative
   double seconds = 0.0;    // preimage time for this step
+  // BDD set-algebra time for this step (frontier enumeration, union/
+  // difference, state counting) — the inter-step cost the preimage engines
+  // don't see.
+  double algebraSeconds = 0.0;
   AllSatStats stats;       // engine stats for this step
   size_t frontierCubes = 0;
 };
@@ -27,7 +31,15 @@ struct ReachabilityResult {
   StateSet reached;
   bool fixpoint = false;  // true if closed before hitting maxDepth
   std::vector<ReachabilityStep> steps;
+  // Wall time of the whole iteration, INCLUDING the inter-step set algebra —
+  // the two components below account for where it went.
   double totalSeconds = 0.0;
+  double preimageSeconds = 0.0;  // sum of steps[i].seconds
+  double algebraSeconds = 0.0;   // set-algebra total (incl. setup/final sets)
+  // Per-depth step records plus the totals above under stable names
+  // ("step.0001.new_states", "reach.steps", "time.algebra_seconds", ...) for
+  // presat_cli reach --stats json.
+  Metrics metrics;
 };
 
 ReachabilityResult backwardReach(const TransitionSystem& system, const StateSet& target,

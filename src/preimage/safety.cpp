@@ -1,5 +1,8 @@
 #include "preimage/safety.hpp"
 
+#include <cstdio>
+#include <string>
+
 #include "base/log.hpp"
 #include "base/timer.hpp"
 #include "bdd/bdd.hpp"
@@ -131,6 +134,19 @@ SafetyResult checkSafety(const TransitionSystem& system, const StateSet& initial
     reached = mgr.bddOr(reached, preBdd);
     cumulative.push_back(snapshot(reached));
     if (mgr.bddAnd(initBdd, reached) != BddManager::kFalse) hitDepth = depth;
+
+    // Per-depth record, same schema as backwardReach's reach metrics.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "step.%04d.", depth);
+    std::string prefix(buf);
+    BigUint fresh = mgr.satCount(frontier);
+    if (fresh.fitsU64()) {
+      result.metrics.setCounter(prefix + "new_states", fresh.toU64());
+    } else {
+      result.metrics.setGauge(prefix + "new_states", fresh.toDouble());
+    }
+    result.metrics.setCounter(prefix + "frontier_cubes", frontierSet.cubes.size());
+    result.metrics.setGauge(prefix + "seconds", pre.seconds);
   }
 
   result.backwardReached = snapshot(reached);
@@ -163,6 +179,11 @@ SafetyResult checkSafety(const TransitionSystem& system, const StateSet& initial
     result.depth = depth;
   }
   result.seconds = timer.seconds();
+  result.metrics.setCounter("safety.depth", static_cast<uint64_t>(result.depth));
+  result.metrics.setCounter("safety.steps", static_cast<uint64_t>(depth));
+  result.metrics.setGauge("time.seconds", result.seconds);
+  result.metrics.setLabel("engine", preimageMethodName(options.method));
+  result.metrics.setLabel("status", safetyStatusName(result.status));
   return result;
 }
 

@@ -43,6 +43,10 @@ struct SafetyResult {
   // Backward-reachable set accumulated up to the verdict.
   StateSet backwardReached;
   double seconds = 0.0;
+  // Per-depth step records ("step.0001.new_states", "step.0001.seconds", ...)
+  // plus the verdict ("safety.depth", labels engine/status) for
+  // presat_cli safety --stats json.
+  Metrics metrics;
 };
 
 SafetyResult checkSafety(const TransitionSystem& system, const StateSet& initial,

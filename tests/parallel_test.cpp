@@ -1,0 +1,230 @@
+// Cube-and-conquer parallel enumeration tests (src/parallel/): the split
+// plan partitions the projected space, the pool runs every task exactly
+// once, and — the load-bearing contract — the merged result is bit-identical
+// for every worker count and semantically equal to the serial engines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "allsat/success_driven.hpp"
+#include "bdd/bdd.hpp"
+#include "gen/generators.hpp"
+#include "parallel/cube_splitter.hpp"
+#include "parallel/merge.hpp"
+#include "parallel/parallel_allsat.hpp"
+#include "parallel/worker_pool.hpp"
+#include "preimage/preimage.hpp"
+#include "preimage/target.hpp"
+#include "preimage/transition_system.hpp"
+
+namespace presat {
+namespace {
+
+// --- worker pool --------------------------------------------------------------
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.numThreads(), 4);
+  std::vector<std::atomic<int>> hits(101);
+  pool.run(hits.size(), [&hits](size_t task, int worker) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 4);
+    hits[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.stats().tasksRun, hits.size());
+}
+
+TEST(WorkerPool, ClampsThreadCountAndRunsInline) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.numThreads(), 1);
+  int sum = 0;
+  // workers == 1 runs on the calling thread, so unsynchronized state is fine.
+  pool.run(10, [&sum](size_t task, int) { sum += static_cast<int>(task); });
+  EXPECT_EQ(sum, 45);
+  EXPECT_EQ(pool.stats().steals, 0u);
+}
+
+TEST(WorkerPool, ExportsMetrics) {
+  WorkerPool pool(2);
+  pool.run(8, [](size_t, int) {});
+  Metrics m;
+  pool.exportMetrics(m);
+  EXPECT_EQ(m.counter("parallel.jobs"), 2u);
+  EXPECT_EQ(m.counter("parallel.tasks"), 8u);
+  ASSERT_NE(m.findHistogram("parallel.task_us"), nullptr);
+  EXPECT_EQ(m.findHistogram("parallel.task_us")->count(), 8u);
+}
+
+// --- splitter -----------------------------------------------------------------
+
+TEST(CubeSplitter, GuideCubesPartitionTheSpace) {
+  std::vector<Var> splitVars = {0, 2, 3};
+  std::vector<LitVec> cubes = enumerateGuideCubes(splitVars);
+  ASSERT_EQ(cubes.size(), 8u);
+  // Over a 4-variable projected space, every minterm lands in exactly one
+  // guiding cube — disjointness and coverage in one sweep.
+  for (uint64_t minterm = 0; minterm < 16; ++minterm) {
+    int covers = 0;
+    for (const LitVec& cube : cubes) {
+      if (cubeCoversMinterm(cube, minterm)) ++covers;
+    }
+    EXPECT_EQ(covers, 1) << "minterm " << minterm;
+  }
+}
+
+TEST(CubeSplitter, ResolvesAndClampsDepth) {
+  EXPECT_EQ(resolveSplitDepth(-1, 100), ParallelOptions::kDefaultSplitDepth);
+  EXPECT_EQ(resolveSplitDepth(-1, 2), 2);
+  EXPECT_EQ(resolveSplitDepth(6, 3), 3);
+  EXPECT_EQ(resolveSplitDepth(0, 8), 0);
+}
+
+TEST(CubeSplitter, CircuitPlanIsDeterministic) {
+  Netlist nl = makeGrayCounter(3);
+  TransitionSystem ts(nl);
+  CircuitAllSatProblem problem;
+  problem.netlist = &nl;
+  problem.projectionSources = ts.stateNodes();
+  problem.objectives = {{ts.nextStateRoot(0), true}};
+  SplitPlan a = planCircuitSplit(problem, -1);
+  SplitPlan b = planCircuitSplit(problem, -1);
+  EXPECT_EQ(a.splitVars, b.splitVars);
+  EXPECT_EQ(a.cubes, b.cubes);
+  // Auto depth clamps to the 3-bit projection: 8 subcubes.
+  EXPECT_EQ(a.splitVars.size(), 3u);
+  EXPECT_EQ(a.cubes.size(), 8u);
+}
+
+// --- end-to-end determinism and equivalence -----------------------------------
+
+std::vector<std::string> canonicalCubes(const std::vector<LitVec>& cubes, int width) {
+  std::vector<std::string> out;
+  out.reserve(cubes.size());
+  for (const LitVec& cube : cubes) {
+    std::string s(static_cast<size_t>(width), 'x');
+    for (Lit l : cube) s[static_cast<size_t>(l.var())] = l.sign() ? '0' : '1';
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// The determinism contract: --jobs N is bit-identical for every N >= 1, and
+// semantically equal to the serial engine, across the generator suite.
+TEST(ParallelPreimage, ResultIndependentOfWorkerCount) {
+  struct Fixture {
+    const char* name;
+    Netlist nl;
+  };
+  std::vector<Fixture> suite;
+  suite.push_back({"counter:4", makeCounter(4)});
+  suite.push_back({"gray:3", makeGrayCounter(3)});
+  suite.push_back({"lfsr:4", makeLfsr(4)});
+  suite.push_back({"arbiter:3", makeRoundRobinArbiter(3)});
+  suite.push_back({"traffic", makeTrafficLight()});
+  suite.push_back({"lock", makeCombinationLock({1, 2, 3}, 2)});
+
+  const PreimageMethod methods[] = {PreimageMethod::kSuccessDriven,
+                                    PreimageMethod::kMintermBlocking,
+                                    PreimageMethod::kCubeBlocking,
+                                    PreimageMethod::kCubeBlockingLifted};
+  for (const Fixture& fixture : suite) {
+    TransitionSystem ts(fixture.nl);
+    const int n = ts.numStateBits();
+    StateSet target = StateSet::fromCube(n, {mkLit(0)});
+    for (PreimageMethod method : methods) {
+      PreimageOptions serial;
+      PreimageOptions one;
+      one.allsat.parallel.jobs = 1;
+      PreimageOptions eight;
+      eight.allsat.parallel.jobs = 8;
+
+      PreimageResult rs = computePreimage(ts, target, method, serial);
+      PreimageResult r1 = computePreimage(ts, target, method, one);
+      PreimageResult r8 = computePreimage(ts, target, method, eight);
+
+      // jobs=1 vs jobs=8: bit-identical cube lists and counts.
+      EXPECT_EQ(canonicalCubes(r1.states.cubes, n), canonicalCubes(r8.states.cubes, n))
+          << fixture.name << " " << preimageMethodName(method);
+      EXPECT_EQ(r1.stateCount, r8.stateCount)
+          << fixture.name << " " << preimageMethodName(method);
+      EXPECT_EQ(r1.complete, r8.complete);
+
+      // parallel vs serial: same solution set and exact count.
+      EXPECT_TRUE(sameStates(r1.states, rs.states))
+          << fixture.name << " " << preimageMethodName(method);
+      EXPECT_EQ(r1.stateCount, rs.stateCount)
+          << fixture.name << " " << preimageMethodName(method);
+    }
+  }
+}
+
+TEST(ParallelSuccessDriven, MergedGraphMatchesSerialSemantics) {
+  Netlist nl = makeLfsr(4);
+  TransitionSystem ts(nl);
+  CircuitAllSatProblem problem;
+  problem.netlist = &nl;
+  problem.projectionSources = ts.stateNodes();
+  problem.objectives = {{ts.nextStateRoot(0), true}};
+
+  AllSatOptions options;
+  options.parallel.jobs = 3;
+  SuccessDrivenResult par = parallelSuccessDrivenAllSat(problem, options);
+  SuccessDrivenResult ser = successDrivenAllSat(problem, {});
+
+  BddManager mgr(4);
+  EXPECT_TRUE(BddManager::equal(par.graph.toBdd(mgr), ser.graph.toBdd(mgr)));
+  EXPECT_EQ(par.summary.mintermCount, ser.summary.mintermCount);
+  EXPECT_EQ(par.summary.cubes.size(), par.graph.countPaths().toU64());
+
+  // The parallel engine reports its pool alongside the engine stats.
+  EXPECT_EQ(par.summary.metrics.label("engine"), "success-driven");
+  EXPECT_EQ(par.summary.metrics.counter("parallel.shards"),
+            par.summary.metrics.counter("parallel.tasks"));
+  EXPECT_GT(par.summary.metrics.counter("parallel.shards"), 1u);
+}
+
+TEST(ParallelCnf, GlobalMaxCubesCapHolds) {
+  // 3 free variables, no constraints: 8 solutions. Each shard respects the
+  // cap locally, so only the post-merge trim enforces the global cap.
+  Cnf cnf;
+  for (int i = 0; i < 3; ++i) cnf.newVar();
+  std::vector<Var> projection = {0, 1, 2};
+  AllSatOptions options;
+  options.maxCubes = 3;
+  options.parallel.jobs = 2;
+  AllSatResult r = parallelCnfAllSat(cnf, projection, ParallelCnfEngine::kMintermBlocking, {},
+                                     options);
+  EXPECT_LE(r.cubes.size(), 3u);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.mintermCount, countCubeUnionMinterms(r.cubes, 3));
+}
+
+TEST(ParallelOptionsStruct, SerialByDefault) {
+  ParallelOptions options;
+  EXPECT_FALSE(options.enabled());
+  options.jobs = 1;
+  EXPECT_TRUE(options.enabled());
+}
+
+// Seeded runs must not change the answer, only the decision stream.
+TEST(ParallelPreimage, RandomSeedDoesNotChangeTheAnswer) {
+  Netlist nl = makeGrayCounter(4);
+  TransitionSystem ts(nl);
+  StateSet target = StateSet::fromCube(4, {mkLit(0), ~mkLit(2)});
+  PreimageOptions base;
+  PreimageOptions seeded;
+  seeded.allsat.randomSeed = 12345;
+  for (PreimageMethod method :
+       {PreimageMethod::kMintermBlocking, PreimageMethod::kCubeBlockingLifted}) {
+    PreimageResult a = computePreimage(ts, target, method, base);
+    PreimageResult b = computePreimage(ts, target, method, seeded);
+    EXPECT_TRUE(sameStates(a.states, b.states)) << preimageMethodName(method);
+    EXPECT_EQ(a.stateCount, b.stateCount) << preimageMethodName(method);
+  }
+}
+
+}  // namespace
+}  // namespace presat

@@ -3,12 +3,22 @@
 // Usage:
 //   presat_cli info    <file.bench>
 //   presat_cli allsat  <file.cnf>  [--method minterm|cube|sd] [--max N] [--stats json]
-//   presat_cli preimage <file.bench> --target CUBE [--method NAME] [--stats json]
+//   presat_cli preimage <file.bench>|--gen SPEC --target CUBE [--method NAME] [--stats json]
 //   presat_cli image    <file.bench> --from CUBE [--method minterm|bdd]
-//   presat_cli reach    <file.bench> --target CUBE [--depth N] [--method NAME]
-//   presat_cli safety   <file.bench> --init CUBE --bad CUBE [--method NAME]
+//   presat_cli reach    <file.bench>|--gen SPEC --target CUBE [--depth N] [--method NAME]
+//                                    [--stats json]
+//   presat_cli safety   <file.bench>|--gen SPEC --init CUBE --bad CUBE [--method NAME]
+//                                    [--stats json]
 //   presat_cli bmc      <file.bench> --init CUBE --target CUBE [--depth N]
 //   presat_cli audit    <file.cnf> | --gen SPEC [--target CUBE]
+//
+// The SAT-based enumeration commands (allsat, preimage, reach, safety, audit)
+// also accept:
+//   --jobs N    cube-and-conquer parallel enumeration on N workers
+//               (src/parallel/; results are bit-identical for every N >= 1)
+//   --split K   split-cube depth (2^K subcubes; default auto)
+//   --seed S    CDCL decision seed (Solver::setRandomSeed; reproducible
+//               diversification, results unchanged)
 //
 // CUBE is a string over the state bits, LSB (state bit 0) first, using
 // '0', '1', and 'x'/'-' for don't-care, e.g. --target 1x0x. Preimage METHOD
@@ -22,6 +32,7 @@
 // invariant by name. SPEC is one of counter:N, gray:N, lfsr:N, shift:N,
 // arbiter:N, accum:N, traffic, lock.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -41,6 +52,7 @@
 #include "circuit/from_cnf.hpp"
 #include "cnf/dimacs.hpp"
 #include "gen/generators.hpp"
+#include "parallel/parallel_allsat.hpp"
 #include "preimage/bmc.hpp"
 #include "preimage/image.hpp"
 #include "preimage/reachability.hpp"
@@ -58,13 +70,18 @@ namespace {
                "  presat_cli info     <file.bench>\n"
                "  presat_cli allsat   <file.cnf>   [--method minterm|cube|sd] [--max N]\n"
                "                                   [--stats json]\n"
-               "  presat_cli preimage <file.bench> --target CUBE [--method NAME] [--stats json]\n"
+               "  presat_cli preimage <file.bench>|--gen SPEC --target CUBE [--method NAME]\n"
+               "                                   [--stats json]\n"
                "  presat_cli image    <file.bench> --from CUBE [--method minterm|bdd]\n"
-               "  presat_cli reach    <file.bench> --target CUBE [--depth N] [--method NAME]\n"
-               "  presat_cli safety   <file.bench> --init CUBE --bad CUBE [--method NAME]\n"
+               "  presat_cli reach    <file.bench>|--gen SPEC --target CUBE [--depth N]\n"
+               "                                   [--method NAME] [--stats json]\n"
+               "  presat_cli safety   <file.bench>|--gen SPEC --init CUBE --bad CUBE\n"
+               "                                   [--method NAME] [--stats json]\n"
                "  presat_cli bmc      <file.bench> --init CUBE --target CUBE [--depth N]\n"
                "  presat_cli audit    <file.cnf> | --gen SPEC [--target CUBE]\n"
-               "\nCUBE: one char per state bit (bit 0 first): 0, 1, x/- for don't-care.\n"
+               "\nSAT enumeration commands also take --jobs N (parallel cube-and-conquer),\n"
+               "--split K (2^K subcubes), and --seed S (CDCL decision seed).\n"
+               "CUBE: one char per state bit (bit 0 first): 0, 1, x/- for don't-care.\n"
                "SPEC: counter:N gray:N lfsr:N shift:N arbiter:N accum:N traffic lock\n");
   std::exit(2);
 }
@@ -82,7 +99,18 @@ struct Args {
     auto it = flags.find(name);
     return it == flags.end() ? fallback : std::atoi(it->second.c_str());
   }
+  uint64_t u64Flag(const std::string& name, uint64_t fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
 };
+
+// Shared --seed/--jobs/--split handling for the SAT enumeration commands.
+void applyEngineFlags(const Args& args, AllSatOptions& options) {
+  options.randomSeed = args.u64Flag("seed", options.randomSeed);
+  options.parallel.jobs = args.intFlag("jobs", options.parallel.jobs);
+  options.parallel.splitDepth = args.intFlag("split", options.parallel.splitDepth);
+}
 
 Args parseArgs(int argc, char** argv, int start) {
   Args args;
@@ -137,6 +165,32 @@ std::string stateToString(const std::vector<bool>& state) {
   return s;
 }
 
+Netlist makeGeneratorCircuit(const std::string& spec) {
+  std::string name = spec;
+  int n = 0;
+  if (size_t colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    n = std::atoi(spec.c_str() + colon + 1);
+  }
+  if (name == "counter") return makeCounter(n);
+  if (name == "gray") return makeGrayCounter(n);
+  if (name == "lfsr") return makeLfsr(n);
+  if (name == "shift") return makeShiftRegister(n);
+  if (name == "arbiter") return makeRoundRobinArbiter(n);
+  if (name == "accum") return makeAccumulator(n);
+  if (name == "traffic") return makeTrafficLight();
+  if (name == "lock") return makeCombinationLock({1, 2, 3}, 2);
+  usage(("unknown generator spec: " + spec).c_str());
+}
+
+// The sequential commands take either a .bench file or a --gen SPEC circuit
+// (the latter keeps CI loops free of fixture files).
+Netlist loadNetlist(const Args& args) {
+  if (!args.flag("gen").empty()) return makeGeneratorCircuit(args.flag("gen"));
+  if (args.positional.empty()) usage("missing input file (or --gen SPEC)");
+  return parseBenchFile(args.positional[0]);
+}
+
 int cmdInfo(const Args& args) {
   Netlist nl = parseBenchFile(args.positional[0]);
   std::printf("nodes: %zu, gates: %zu, inputs: %zu, dffs: %zu, outputs: %zu\n", nl.numNodes(),
@@ -161,11 +215,15 @@ int cmdAllsat(const Args& args) {
   }
   AllSatOptions options;
   options.maxCubes = static_cast<uint64_t>(args.intFlag("max", 0));
+  applyEngineFlags(args, options);
   std::string method = args.flag("method", "sd");
 
   AllSatResult result;
   if (method == "minterm") {
-    result = mintermBlockingAllSat(file.cnf, projection, options);
+    result = options.parallel.enabled()
+                 ? parallelCnfAllSat(file.cnf, projection, ParallelCnfEngine::kMintermBlocking,
+                                     {}, options)
+                 : mintermBlockingAllSat(file.cnf, projection, options);
   } else if (method == "cube") {
     const Cnf& cnf = file.cnf;
     if (projection.size() != static_cast<size_t>(cnf.numVars())) {
@@ -174,14 +232,19 @@ int cmdAllsat(const Args& args) {
     ModelLifter lifter = [&cnf](const std::vector<lbool>& m) {
       return shrinkModelToImplicant(cnf, m);
     };
-    result = cubeBlockingAllSat(file.cnf, projection, lifter, options);
+    result = options.parallel.enabled()
+                 ? parallelCnfAllSat(file.cnf, projection, ParallelCnfEngine::kCubeBlocking,
+                                     lifter, options)
+                 : cubeBlockingAllSat(file.cnf, projection, lifter, options);
   } else if (method == "sd") {
     CnfCircuit circuit = cnfToCircuit(file.cnf);
     CircuitAllSatProblem problem;
     problem.netlist = &circuit.netlist;
     problem.objectives = {{circuit.root, true}};
     for (Var v : projection) problem.projectionSources.push_back(circuit.varNode[static_cast<size_t>(v)]);
-    SuccessDrivenResult sd = successDrivenAllSat(problem, options);
+    SuccessDrivenResult sd = options.parallel.enabled()
+                                 ? parallelSuccessDrivenAllSat(problem, options)
+                                 : successDrivenAllSat(problem, options);
     result = std::move(sd.summary);
     std::printf("solution graph: %llu nodes, %llu edges, %llu memo hits\n",
                 static_cast<unsigned long long>(result.stats.graphNodes),
@@ -203,11 +266,13 @@ int cmdAllsat(const Args& args) {
 }
 
 int cmdPreimage(const Args& args) {
-  Netlist nl = parseBenchFile(args.positional[0]);
+  Netlist nl = loadNetlist(args);
   TransitionSystem system(nl);
   StateSet target = parseCube(args.flag("target"), system.numStateBits());
   PreimageMethod method = parsePreimageMethod(args.flag("method", "success-driven"));
-  PreimageResult r = computePreimage(system, target, method);
+  PreimageOptions options;
+  applyEngineFlags(args, options.allsat);
+  PreimageResult r = computePreimage(system, target, method, options);
   std::printf("preimage: %s states in %zu cubes (%s, %.3f ms)\n",
               r.stateCount.toDecimal().c_str(), r.states.cubes.size(), preimageMethodName(method),
               r.seconds * 1e3);
@@ -236,29 +301,37 @@ int cmdImage(const Args& args) {
 }
 
 int cmdReach(const Args& args) {
-  Netlist nl = parseBenchFile(args.positional[0]);
+  Netlist nl = loadNetlist(args);
   TransitionSystem system(nl);
   StateSet target = parseCube(args.flag("target"), system.numStateBits());
   PreimageMethod method = parsePreimageMethod(args.flag("method", "success-driven"));
   int depth = args.intFlag("depth", 1000);
-  ReachabilityResult r = backwardReach(system, target, depth, method);
-  std::printf("%5s %14s %14s %10s\n", "depth", "new", "total", "ms");
+  PreimageOptions options;
+  applyEngineFlags(args, options.allsat);
+  ReachabilityResult r = backwardReach(system, target, depth, method, options);
+  std::printf("%5s %14s %14s %10s %10s\n", "depth", "new", "total", "pre-ms", "alg-ms");
   for (const ReachabilityStep& step : r.steps) {
-    std::printf("%5d %14s %14s %10.3f\n", step.depth, step.newStates.toDecimal().c_str(),
-                step.totalStates.toDecimal().c_str(), step.seconds * 1e3);
+    std::printf("%5d %14s %14s %10.3f %10.3f\n", step.depth, step.newStates.toDecimal().c_str(),
+                step.totalStates.toDecimal().c_str(), step.seconds * 1e3,
+                step.algebraSeconds * 1e3);
   }
-  std::printf("fixpoint: %s, reached %s states, total %.3f ms\n", r.fixpoint ? "yes" : "no",
-              r.reached.countStates().toDecimal().c_str(), r.totalSeconds * 1e3);
+  std::printf("fixpoint: %s, reached %s states, total %.3f ms (preimage %.3f, algebra %.3f)\n",
+              r.fixpoint ? "yes" : "no", r.reached.countStates().toDecimal().c_str(),
+              r.totalSeconds * 1e3, r.preimageSeconds * 1e3, r.algebraSeconds * 1e3);
+  if (args.flag("stats") == "json") {
+    std::printf("%s\n", r.metrics.toJson().c_str());
+  }
   return 0;
 }
 
 int cmdSafety(const Args& args) {
-  Netlist nl = parseBenchFile(args.positional[0]);
+  Netlist nl = loadNetlist(args);
   TransitionSystem system(nl);
   StateSet init = parseCube(args.flag("init"), system.numStateBits());
   StateSet bad = parseCube(args.flag("bad"), system.numStateBits());
   SafetyOptions options;
   options.method = parsePreimageMethod(args.flag("method", "success-driven"));
+  applyEngineFlags(args, options.preimage.allsat);
   SafetyResult r = checkSafety(system, init, bad, options);
   std::printf("%s (depth %d, %.3f ms)\n", safetyStatusName(r.status), r.depth, r.seconds * 1e3);
   if (r.status == SafetyStatus::kUnsafe) {
@@ -268,6 +341,9 @@ int cmdSafety(const Args& args) {
       if (t < r.traceInputs.size()) std::printf("  in=%s", stateToString(r.traceInputs[t]).c_str());
       std::printf("\n");
     }
+  }
+  if (args.flag("stats") == "json") {
+    std::printf("%s\n", r.metrics.toJson().c_str());
   }
   return r.status == SafetyStatus::kSafe ? 0 : 1;
 }
@@ -294,24 +370,6 @@ int cmdBmc(const Args& args) {
 }
 
 // --- audit: enumeration cross-checker ---------------------------------------
-
-Netlist makeGeneratorCircuit(const std::string& spec) {
-  std::string name = spec;
-  int n = 0;
-  if (size_t colon = spec.find(':'); colon != std::string::npos) {
-    name = spec.substr(0, colon);
-    n = std::atoi(spec.c_str() + colon + 1);
-  }
-  if (name == "counter") return makeCounter(n);
-  if (name == "gray") return makeGrayCounter(n);
-  if (name == "lfsr") return makeLfsr(n);
-  if (name == "shift") return makeShiftRegister(n);
-  if (name == "arbiter") return makeRoundRobinArbiter(n);
-  if (name == "accum") return makeAccumulator(n);
-  if (name == "traffic") return makeTrafficLight();
-  if (name == "lock") return makeCombinationLock({1, 2, 3}, 2);
-  usage(("unknown generator spec: " + spec).c_str());
-}
 
 struct EngineRun {
   std::string name;
@@ -438,9 +496,15 @@ int cmdAuditCircuit(AuditResult& audit, const Args& args) {
   }
   StateSet target = parseCube(targetText, width);
 
+  // --jobs routes every SAT engine through the cube-and-conquer path while
+  // the BDD baselines stay serial — the cross-check then doubles as a
+  // parallel-vs-oracle equivalence test.
+  PreimageOptions options;
+  applyEngineFlags(args, options.allsat);
+
   std::vector<EngineRun> runs;
   for (PreimageMethod method : kAllPreimageMethods) {
-    PreimageResult r = computePreimage(system, target, method);
+    PreimageResult r = computePreimage(system, target, method, options);
     if (method == PreimageMethod::kMintermBlocking && !cubesPairwiseDisjoint(r.states.cubes)) {
       audit.fail("audit.minterm.disjoint",
                  "minterm-blocking produced overlapping preimage cubes on " + spec);
@@ -475,7 +539,10 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
   Args args = parseArgs(argc, argv, 2);
   if (command == "audit") return cmdAudit(args);
-  if (args.positional.empty()) usage("missing input file");
+  const bool genOk = command == "preimage" || command == "reach" || command == "safety";
+  if (args.positional.empty() && !(genOk && !args.flag("gen").empty())) {
+    usage("missing input file");
+  }
   if (command == "info") return cmdInfo(args);
   if (command == "allsat") return cmdAllsat(args);
   if (command == "preimage") return cmdPreimage(args);
