@@ -35,9 +35,11 @@ int main(int argc, char** argv) {
 
   std::printf(
       "Table 1: one-step preimage (complete enumeration)\n"
-      "%-12s %5s %4s %6s | %12s | %9s %11s | %9s %11s | %9s %11s %9s | %11s %9s | %9s %9s %6s\n",
+      "%-12s %5s %4s %6s | %12s | %9s %11s | %9s %11s | %9s %11s %9s | %9s %11s %7s | "
+      "%11s %9s | %9s %9s %6s\n",
       "circuit", "dffs", "pi", "gates", "pre-states", "mt-cubes", "mt-ms", "cb-cubes", "cb-ms",
-      "sd-cubes", "sd-ms", "sd-graph", "bdd-ms", "bdd-nodes", "par1-ms", "par8-ms", "spdup");
+      "sd-cubes", "sd-ms", "sd-graph", "ch-cubes", "ch-ms", "ch-db", "bdd-ms", "bdd-nodes",
+      "par1-ms", "par8-ms", "spdup");
 
   for (BenchCase& c : suite) {
     TransitionSystem system(c.netlist);
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
         computePreimage(system, c.target, PreimageMethod::kCubeBlockingLifted, seeded);
     PreimageResult sd =
         computePreimage(system, c.target, PreimageMethod::kSuccessDriven, seeded);
+    PreimageResult chrono = computePreimage(system, c.target, PreimageMethod::kChrono, seeded);
     PreimageResult bdd = computePreimage(system, c.target, PreimageMethod::kBdd);
 
     PreimageOptions par1 = seeded;
@@ -64,13 +67,19 @@ int main(int argc, char** argv) {
     par8.allsat.parallel.jobs = 8;
     PreimageResult sdPar8 =
         computePreimage(system, c.target, PreimageMethod::kSuccessDriven, par8);
+    PreimageResult chronoPar1 = computePreimage(system, c.target, PreimageMethod::kChrono, par1);
+    PreimageResult chronoPar8 = computePreimage(system, c.target, PreimageMethod::kChrono, par8);
 
     // Sanity: complete engines must agree (minterm may be capped), and the
-    // parallel runs must agree with the serial engine AND each other.
+    // parallel runs must agree with the serial engine AND each other. The
+    // chrono shards partition the space, so its par1 cube list differs from
+    // the serial one — but par1 vs par8 must be bit-identical.
     if (cube.stateCount != sd.stateCount || sd.stateCount != bdd.stateCount ||
         (minterm.complete && minterm.stateCount != sd.stateCount) ||
         sdPar1.stateCount != sd.stateCount || sdPar8.stateCount != sd.stateCount ||
-        sdPar1.states.cubes != sdPar8.states.cubes) {
+        sdPar1.states.cubes != sdPar8.states.cubes || chrono.stateCount != sd.stateCount ||
+        chronoPar1.stateCount != sd.stateCount ||
+        chronoPar1.states.cubes != chronoPar8.states.cubes) {
       std::printf("ENGINE DISAGREEMENT on %s\n", c.name.c_str());
       return 1;
     }
@@ -84,26 +93,32 @@ int main(int argc, char** argv) {
     }
     double speedup = sdPar8.seconds > 0 ? sdPar1.seconds / sdPar8.seconds : 0.0;
     std::printf(
-        "%-12s %5d %4d %6zu | %12s | %9s %11s | %9zu %11s | %9zu %11s %9llu | %11s %9zu | "
-        "%9s %9s %5.2fx\n",
+        "%-12s %5d %4d %6zu | %12s | %9s %11s | %9zu %11s | %9zu %11s %9llu | "
+        "%9zu %11s %7llu | %11s %9zu | %9s %9s %5.2fx\n",
         c.name.c_str(), system.numStateBits(), system.numInputs(), c.netlist.numGates(),
         sd.stateCount.toDecimal().c_str(), mtCubes, fmtMs(minterm.seconds).c_str(),
         cube.states.cubes.size(), fmtMs(cube.seconds).c_str(), sd.states.cubes.size(),
         fmtMs(sd.seconds).c_str(), static_cast<unsigned long long>(sd.stats.graphNodes),
-        fmtMs(bdd.seconds).c_str(), bdd.bddNodes, fmtMs(sdPar1.seconds).c_str(),
-        fmtMs(sdPar8.seconds).c_str(), speedup);
+        chrono.states.cubes.size(), fmtMs(chrono.seconds).c_str(),
+        static_cast<unsigned long long>(chrono.stats.dbClausesPeak), fmtMs(bdd.seconds).c_str(),
+        bdd.bddNodes, fmtMs(sdPar1.seconds).c_str(), fmtMs(sdPar8.seconds).c_str(), speedup);
 
     if (!jsonlPath.empty()) {
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/minterm", minterm.metrics);
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/cube-lifted", cube.metrics);
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/sd", sd.metrics);
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/chrono", chrono.metrics);
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/sd-par1", sdPar1.metrics);
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/sd-par8", sdPar8.metrics);
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/chrono-par1", chronoPar1.metrics);
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/chrono-par8", chronoPar8.metrics);
     }
   }
   std::printf(
       "\nmt = minterm blocking (capped at %llu), cb = lifted cube blocking, "
       "sd = success-driven, bdd = symbolic baseline,\n"
+      "ch = chronological backtracking (ch-db = peak stored clauses: flat, no "
+      "blocking clauses),\n"
       "par1/par8 = cube-and-conquer success-driven at 1/8 workers "
       "(spdup = par1/par8 wall time)\n",
       static_cast<unsigned long long>(kMintermCap));

@@ -1,0 +1,100 @@
+#include "allsat/chrono_blocking.hpp"
+
+#include <algorithm>
+
+#include "allsat/lifting.hpp"
+#include "base/log.hpp"
+#include "base/timer.hpp"
+#include "check/audit_chrono.hpp"
+#include "check/audit_solver.hpp"
+#include "sat/solver.hpp"
+
+namespace presat {
+
+AllSatResult chronoAllSat(const Cnf& cnf, const std::vector<Var>& projection,
+                          const AllSatOptions& options) {
+  Timer timer;
+  AllSatResult result;
+  Solver solver;
+  solver.setConflictBudget(options.conflictBudget);
+  if (options.randomSeed != 0) solver.setRandomSeed(options.randomSeed);
+  bool consistent = solver.addCnf(cnf);
+
+  std::vector<int> varLevel(static_cast<size_t>(cnf.numVars()), 0);
+  if (consistent) {
+    solver.beginEnumeration(projection);
+    for (;;) {
+      lbool status = solver.enumerateNextModel();
+      ++result.stats.satCalls;
+      if (status.isUndef()) {
+        // Conflict budget exhausted mid-call: the disjoint cubes found so
+        // far are a valid partial answer, so return them instead of
+        // aborting.
+        result.complete = false;
+        break;
+      }
+      if (status.isFalse()) break;
+      // The cap is checked after the solve so that exact exhaustion at
+      // maxCubes still reports complete: this model proves at least one
+      // uncovered solution remains.
+      if (options.maxCubes != 0 && result.cubes.size() >= options.maxCubes) {
+        result.complete = false;
+        break;
+      }
+
+      // Emission level: the implicant-shrinking pass finds the shallowest
+      // prefix that already satisfies every clause, but the cube may never
+      // be wider than the deepest flipped level (disjointness with earlier
+      // cubes) nor than the scope prefix (soundness: freeing a scope
+      // variable decided below a kept non-scope level would discard the
+      // sibling models of that non-scope decision).
+      int k = solver.scopePrefixLength();
+      int bImplicant = solver.currentDecisionLevel();
+      if (options.chronoShrink) {
+        for (Var v = 0; v < cnf.numVars(); ++v) {
+          varLevel[static_cast<size_t>(v)] = solver.levelOf(v);
+        }
+        bImplicant = implicantPrefixLevel(cnf, solver.model(), varLevel);
+      }
+      int bEmit = std::min(std::max(bImplicant, solver.deepestFlippedLevel()), k);
+
+      // The cube is ALL scope literals stamped at levels <= bEmit —
+      // decisions and implied literals alike; dropping an implied one would
+      // overcount.
+      LitVec projectedCube;
+      for (size_t i = 0; i < projection.size(); ++i) {
+        if (solver.levelOf(projection[i]) > bEmit) continue;
+        bool value = solver.modelValue(projection[i]);
+        projectedCube.push_back(mkLit(static_cast<Var>(i), !value));
+      }
+      result.stats.shrinkLits += projection.size() - projectedCube.size();
+      result.cubes.push_back(std::move(projectedCube));
+
+      if (!solver.flipToNextRegion(bEmit)) break;
+    }
+    solver.endEnumeration();
+  }
+
+  // Disjoint by construction, so the plain power-of-two sum is exact.
+  result.mintermCount =
+      countDisjointCubeMinterms(result.cubes, static_cast<int>(projection.size()));
+  result.stats.conflicts = solver.stats().conflicts;
+  result.stats.decisions = solver.stats().decisions;
+  result.stats.propagations = solver.stats().propagations;
+  result.stats.restarts = solver.stats().restarts;
+  result.stats.reduceDBs = solver.stats().reduceDBs;
+  result.stats.deletedClauses = solver.stats().deletedClauses;
+  result.stats.flips = solver.stats().flips;
+  result.stats.dbClausesPeak = solver.stats().dbClausesPeak;
+  result.stats.seconds = timer.seconds();
+  // The session is closed (level 0), so the structural solver audit applies;
+  // the cube-set audit proves disjointness and BDD-exact coverage.
+  PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(auditSolver(solver)));
+  PRESAT_AUDIT_FULL(
+      PRESAT_CHECK_AUDIT(auditChronoCubes(cnf, projection, result.cubes, result.complete)));
+  result.metrics.setLabel("engine", "chrono");
+  exportStatsToMetrics(result.stats, result.metrics);
+  return result;
+}
+
+}  // namespace presat

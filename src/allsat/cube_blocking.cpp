@@ -90,6 +90,7 @@ AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projecti
   result.stats.restarts = solver.stats().restarts;
   result.stats.reduceDBs = solver.stats().reduceDBs;
   result.stats.deletedClauses = solver.stats().deletedClauses;
+  result.stats.dbClausesPeak = solver.stats().dbClausesPeak;
   result.stats.seconds = timer.seconds();
   result.metrics.setLabel("engine", "cube-blocking");
   exportStatsToMetrics(result.stats, result.metrics);

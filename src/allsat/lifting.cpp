@@ -44,6 +44,24 @@ LitVec shrinkModelToImplicant(const Cnf& cnf, const std::vector<lbool>& model) {
   return cube;
 }
 
+int implicantPrefixLevel(const Cnf& cnf, const std::vector<lbool>& model,
+                         const std::vector<int>& varLevel) {
+  int prefix = 0;
+  for (const Clause& c : cnf.clauses()) {
+    int clauseLevel = -1;
+    for (Lit l : c) {
+      lbool v = model[static_cast<size_t>(l.var())];
+      PRESAT_CHECK(!v.isUndef()) << "implicantPrefixLevel needs a full model";
+      if (v.isTrue() == l.sign()) continue;  // literal false under model
+      int lvl = varLevel[static_cast<size_t>(l.var())];
+      if (clauseLevel < 0 || lvl < clauseLevel) clauseLevel = lvl;
+    }
+    PRESAT_CHECK(clauseLevel >= 0) << "model does not satisfy the formula";
+    if (clauseLevel > prefix) prefix = clauseLevel;
+  }
+  return prefix;
+}
+
 JustificationLifter::JustificationLifter(const Netlist& netlist, NodeCube objectives)
     : netlist_(netlist), objectives_(std::move(objectives)) {
   for (const NodeAssign& obj : objectives_) {

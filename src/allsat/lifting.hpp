@@ -30,6 +30,15 @@ using NodeCube = std::vector<NodeAssign>;
 // satisfies the formula. `model` must satisfy `cnf`.
 LitVec shrinkModelToImplicant(const Cnf& cnf, const std::vector<lbool>& model);
 
+// Prefix-closed implicant shrinking for chronological enumeration: given a
+// full model and the decision level each variable was assigned at, returns
+// the smallest B such that the model restricted to levels <= B already
+// satisfies every clause (each clause has a true literal stamped <= B).
+// Any completion of that restriction is a model, so the trail prefix through
+// level B is an implicant. Returns 0 for an empty CNF.
+int implicantPrefixLevel(const Cnf& cnf, const std::vector<lbool>& model,
+                         const std::vector<int>& varLevel);
+
 class JustificationLifter {
  public:
   // `objectives` are required (node, value) pairs, typically the target

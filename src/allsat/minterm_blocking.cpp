@@ -62,6 +62,7 @@ AllSatResult mintermBlockingAllSat(const Cnf& cnf, const std::vector<Var>& proje
   result.stats.restarts = solver.stats().restarts;
   result.stats.reduceDBs = solver.stats().reduceDBs;
   result.stats.deletedClauses = solver.stats().deletedClauses;
+  result.stats.dbClausesPeak = solver.stats().dbClausesPeak;
   result.stats.seconds = timer.seconds();
   result.metrics.setLabel("engine", "minterm-blocking");
   exportStatsToMetrics(result.stats, result.metrics);

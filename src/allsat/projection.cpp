@@ -22,6 +22,9 @@ void exportStatsToMetrics(const AllSatStats& stats, Metrics& m) {
   m.setCounter("memo.bytes", stats.memoBytes);
   m.setCounter("graph.nodes", stats.graphNodes);
   m.setCounter("graph.edges", stats.graphEdges);
+  m.setCounter("chrono.flips", stats.flips);
+  m.setCounter("chrono.shrink_lits", stats.shrinkLits);
+  m.setCounter("sat.db_clauses", stats.dbClausesPeak);
   m.setGauge("time.seconds", stats.seconds);
 }
 

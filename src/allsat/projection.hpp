@@ -38,6 +38,9 @@ struct AllSatStats {
   uint64_t memoBytes = 0;         // approximate resident size of the memo
   uint64_t graphNodes = 0;        // solution graph size
   uint64_t graphEdges = 0;
+  uint64_t flips = 0;             // chrono engine: pseudo-decision flips
+  uint64_t shrinkLits = 0;        // chrono engine: literals dropped by shrinking
+  uint64_t dbClausesPeak = 0;     // peak stored clause count (orig + learnt)
   double seconds = 0.0;
 };
 
@@ -91,6 +94,10 @@ struct AllSatOptions {
   bool memoCheckExact = false;
   // Success-driven engine: frontier-gate selection policy.
   BranchOrder branchOrder = BranchOrder::kLowestGateFirst;
+  // Chronological engine: widen each emitted cube with the prefix-closed
+  // implicant shrinking pass before flipping (ablation knob; off emits the
+  // full scope prefix of every model).
+  bool chronoShrink = true;
   // Blocking engines: CDCL decision seed (Solver::setRandomSeed). 0 keeps the
   // solver's built-in default. Results are independent of the seed; it exists
   // for reproducible diversification runs (benches, fuzzing).

@@ -1,0 +1,89 @@
+#include "check/audit_chrono.hpp"
+
+#include <string>
+
+#include "base/log.hpp"
+#include "bdd/bdd.hpp"
+
+namespace presat {
+
+AuditResult auditChronoCubes(const Cnf& cnf, const std::vector<Var>& projection,
+                             const std::vector<LitVec>& cubes, bool complete,
+                             const ChronoAuditOptions& options) {
+  AuditResult audit;
+
+  // chrono.disjoint — pairwise opposite-literal clash.
+  for (size_t i = 0; i < cubes.size(); ++i) {
+    for (size_t j = i + 1; j < cubes.size(); ++j) {
+      bool clash = false;
+      for (Lit a : cubes[i]) {
+        for (Lit b : cubes[j]) {
+          if (a.var() == b.var() && a.sign() != b.sign()) {
+            clash = true;
+            break;
+          }
+        }
+        if (clash) break;
+      }
+      if (!clash) {
+        audit.fail("chrono.disjoint", "cubes " + std::to_string(i) + " and " +
+                                          std::to_string(j) + " share a projected minterm");
+      }
+    }
+  }
+
+  // chrono.cover — BDD oracle over the full variable set.
+  if (cnf.numVars() > options.maxOracleVars) return audit;
+  BddManager mgr(cnf.numVars());
+  BddRef formula = BddManager::kTrue;
+  for (const Clause& c : cnf.clauses()) {
+    BddRef clause = BddManager::kFalse;
+    for (Lit l : c) clause = mgr.bddOr(clause, mgr.cube({l}));
+    formula = mgr.bddAnd(formula, clause);
+  }
+  std::vector<bool> inScope(static_cast<size_t>(cnf.numVars()), false);
+  for (Var v : projection) inScope[static_cast<size_t>(v)] = true;
+  std::vector<Var> nonScope;
+  for (Var v = 0; v < cnf.numVars(); ++v) {
+    if (!inScope[static_cast<size_t>(v)]) nonScope.push_back(v);
+  }
+  BddRef projected = mgr.exists(formula, nonScope);
+
+  // Translate the cubes from the projected index space back to the original
+  // variables so both sides live in the same manager.
+  BddRef unionBdd = BddManager::kFalse;
+  for (const LitVec& cube : cubes) {
+    LitVec orig;
+    orig.reserve(cube.size());
+    for (Lit l : cube) {
+      PRESAT_CHECK(l.var() >= 0 && static_cast<size_t>(l.var()) < projection.size())
+          << "chrono cube literal outside the projected index space";
+      orig.push_back(mkLit(projection[static_cast<size_t>(l.var())], l.sign()));
+    }
+    unionBdd = mgr.bddOr(unionBdd, mgr.cube(orig));
+  }
+
+  if (complete) {
+    if (unionBdd != projected) {
+      audit.fail("chrono.cover",
+                 "cube union differs from the BDD projection of the solution set");
+    }
+  } else if (mgr.bddAnd(unionBdd, mgr.bddNot(projected)) != BddManager::kFalse) {
+    audit.fail("chrono.cover", "partial cube union contains a non-solution minterm");
+  }
+  return audit;
+}
+
+void corruptChronoCubesForTest(std::vector<LitVec>& cubes, ChronoCorruption kind) {
+  PRESAT_CHECK(!cubes.empty()) << "corruption hook needs a non-empty cube set";
+  switch (kind) {
+    case ChronoCorruption::kDuplicateCube:
+      cubes.push_back(cubes.front());
+      break;
+    case ChronoCorruption::kDropCube:
+      cubes.pop_back();
+      break;
+  }
+}
+
+}  // namespace presat

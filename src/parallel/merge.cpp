@@ -1,5 +1,6 @@
 #include "parallel/merge.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -25,6 +26,12 @@ void accumulateShardStats(AllSatStats& total, const AllSatStats& shard) {
   total.memoBytes += shard.memoBytes;
   total.graphNodes += shard.graphNodes;
   total.graphEdges += shard.graphEdges;
+  total.flips += shard.flips;
+  total.shrinkLits += shard.shrinkLits;
+  // Shards run independent solvers; the meaningful global figure is the
+  // worst single database, not the sum. Max over a fixed shard set is
+  // schedule-independent, preserving the determinism contract.
+  total.dbClausesPeak = std::max(total.dbClausesPeak, shard.dbClausesPeak);
 }
 
 AllSatResult mergeShardSummaries(std::vector<ShardOutcome>& shards) {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "allsat/chrono_blocking.hpp"
 #include "allsat/minterm_blocking.hpp"
 #include "base/log.hpp"
 #include "base/timer.hpp"
@@ -133,6 +134,11 @@ AllSatResult parallelCnfAllSat(const Cnf& cnf, const std::vector<Var>& projectio
     AllSatResult r;
     if (engine == ParallelCnfEngine::kMintermBlocking) {
       r = mintermBlockingAllSat(sub, projection, shardOptions(options, i));
+    } else if (engine == ParallelCnfEngine::kChrono) {
+      // No guide-preserving wrapper needed: the guide units are level-0
+      // assignments, and the chrono engine emits every scope literal stamped
+      // at or below the emission level — the guide is in every cube.
+      r = chronoAllSat(sub, projection, shardOptions(options, i));
     } else {
       // The shard lifter keeps the guide literals in every lifted cube: the
       // base lifter may drop them as unnecessary for the ORIGINAL formula,
@@ -179,9 +185,10 @@ AllSatResult parallelCnfAllSat(const Cnf& cnf, const std::vector<Var>& projectio
   }
 
   result.stats.seconds = timer.seconds();
-  result.metrics.setLabel(
-      "engine", engine == ParallelCnfEngine::kMintermBlocking ? "minterm-blocking"
-                                                              : "cube-blocking");
+  const char* engineLabel = "cube-blocking";
+  if (engine == ParallelCnfEngine::kMintermBlocking) engineLabel = "minterm-blocking";
+  if (engine == ParallelCnfEngine::kChrono) engineLabel = "chrono";
+  result.metrics.setLabel("engine", engineLabel);
   exportStatsToMetrics(result.stats, result.metrics);
   exportParallelMetrics(pool, shards.size(), cpuSeconds, result.metrics);
   return result;

@@ -36,6 +36,11 @@ SuccessDrivenResult parallelSuccessDrivenAllSat(const CircuitAllSatProblem& prob
 enum class ParallelCnfEngine {
   kMintermBlocking,
   kCubeBlocking,  // honors options.liftModels + `lifter` like the serial engine
+  // Chronological backtracking (allsat/chrono_blocking.hpp). The guide
+  // literals are unit clauses, i.e. level-0 assignments, so every emitted
+  // prefix cube contains them automatically — the engine cannot escape its
+  // shard and needs no guide-preserving lifter wrapper.
+  kChrono,
 };
 
 // Parallel counterpart of mintermBlockingAllSat / cubeBlockingAllSat. Each

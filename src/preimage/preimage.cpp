@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "allsat/chrono_blocking.hpp"
 #include "allsat/cube_blocking.hpp"
 #include "allsat/lifting.hpp"
 #include "allsat/minterm_blocking.hpp"
@@ -23,6 +24,7 @@ const char* preimageMethodName(PreimageMethod method) {
     case PreimageMethod::kCubeBlocking: return "cube-blocking";
     case PreimageMethod::kCubeBlockingLifted: return "cube-blocking-lifted";
     case PreimageMethod::kSuccessDriven: return "success-driven";
+    case PreimageMethod::kChrono: return "chrono";
     case PreimageMethod::kBdd: return "bdd";
     case PreimageMethod::kBddRelational: return "bdd-relational";
   }
@@ -136,6 +138,9 @@ PreimageResult fromAllSat(AllSatResult&& r, int numStateBits) {
   result.stats = r.stats;
   result.metrics = std::move(r.metrics);
   result.seconds = r.stats.seconds;
+  // Worker-count-independent by the determinism contract, so CI can assert
+  // par1 == par8 straight off the metrics line.
+  result.metrics.setCounter("pre.cubes", result.states.cubes.size());
   return result;
 }
 
@@ -191,6 +196,15 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
       return fromAllSat(
           cubeBlockingAllSat(problem.enc.cnf, problem.projection, lifter, options.allsat), n);
     }
+    case PreimageMethod::kChrono: {
+      SatProblem problem = buildSatProblem(system, target);
+      if (options.allsat.parallel.enabled()) {
+        return fromAllSat(parallelCnfAllSat(problem.enc.cnf, problem.projection,
+                                            ParallelCnfEngine::kChrono, {}, options.allsat),
+                          n);
+      }
+      return fromAllSat(chronoAllSat(problem.enc.cnf, problem.projection, options.allsat), n);
+    }
     case PreimageMethod::kSuccessDriven: {
       Timer timer;
       PreimageResult result;
@@ -229,6 +243,7 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
       result.seconds = timer.seconds();
       result.stats.seconds = result.seconds;
       result.metrics.setLabel("engine", "success-driven");
+      result.metrics.setCounter("pre.cubes", result.states.cubes.size());
       exportStatsToMetrics(result.stats, result.metrics);
       return result;
     }
@@ -243,6 +258,7 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
       result.bddNodes = transition.manager().numNodes();
       result.metrics.setLabel("engine", "bdd");
       result.metrics.setCounter("bdd.nodes", result.bddNodes);
+      result.metrics.setCounter("pre.cubes", result.states.cubes.size());
       result.metrics.setGauge("time.seconds", result.seconds);
       return result;
     }
@@ -261,6 +277,7 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
       result.bddNodes = transition.manager().numNodes();
       result.metrics.setLabel("engine", "bdd-relational");
       result.metrics.setCounter("bdd.nodes", result.bddNodes);
+      result.metrics.setCounter("pre.cubes", result.states.cubes.size());
       result.metrics.setGauge("time.seconds", result.seconds);
       return result;
     }

@@ -1,13 +1,15 @@
 // One-step preimage computation — the paper's headline application.
 //
 // Pre(T) = { s | ∃x. δ(s, x) ∈ T }: all present states from which some input
-// drives the circuit into the target set in one clock. Six engines compute
+// drives the circuit into the target set in one clock. Seven engines compute
 // the same set:
 //   kMintermBlocking    CDCL + one blocking clause per projected minterm
 //   kCubeBlocking       CDCL + blocking whole projected minterms (no lift)
 //   kCubeBlockingLifted CDCL + justification-lifted cube blocking
 //   kSuccessDriven      the paper's solver (justification search + success-
 //                       driven learning + solution graph)
+//   kChrono             chronological-backtracking enumeration — disjoint
+//                       cubes, zero blocking clauses (flat clause DB)
 //   kBdd                symbolic baseline (compose + quantify)
 //   kBddRelational      symbolic baseline (monolithic transition relation +
 //                       relational product)
@@ -28,6 +30,7 @@ enum class PreimageMethod {
   kCubeBlocking,
   kCubeBlockingLifted,
   kSuccessDriven,
+  kChrono,
   kBdd,
   kBddRelational,
 };
@@ -37,7 +40,8 @@ const char* preimageMethodName(PreimageMethod method);
 inline constexpr PreimageMethod kAllPreimageMethods[] = {
     PreimageMethod::kMintermBlocking, PreimageMethod::kCubeBlocking,
     PreimageMethod::kCubeBlockingLifted, PreimageMethod::kSuccessDriven,
-    PreimageMethod::kBdd,               PreimageMethod::kBddRelational,
+    PreimageMethod::kChrono,          PreimageMethod::kBdd,
+    PreimageMethod::kBddRelational,
 };
 
 struct PreimageOptions {

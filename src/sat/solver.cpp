@@ -105,6 +105,7 @@ Solver::InternalClause* Solver::allocClause(const LitVec& lits, bool learnt) {
   } else {
     ++numOriginal_;
   }
+  stats_.dbClausesPeak = std::max<uint64_t>(stats_.dbClausesPeak, clauses_.size());
   return raw;
 }
 
@@ -227,6 +228,7 @@ void Solver::cancelUntil(int targetLevel) {
   }
   trail_.resize(static_cast<size_t>(bound));
   trailLim_.resize(static_cast<size_t>(targetLevel));
+  levelFlipped_.resize(static_cast<size_t>(targetLevel));
   qhead_ = bound;
 }
 
@@ -460,6 +462,18 @@ double Solver::randomReal() {
 
 Lit Solver::pickBranchLit() {
   Var next = kNullVar;
+  if (enumerating_) {
+    // Scope-first branching: decide every scope variable before any other so
+    // decision levels 1..k form a clean scope prefix (the emission and flip
+    // machinery depend on it). Highest activity wins, variable index breaks
+    // ties — deterministic for a fixed seed.
+    for (Var v : scopeVars_) {
+      size_t idx = static_cast<size_t>(v);
+      if (!assigns_[idx].isUndef() || !decision_[idx]) continue;
+      if (next == kNullVar || activity_[idx] > activity_[static_cast<size_t>(next)]) next = v;
+    }
+    if (next != kNullVar) return mkLit(next, !polarity_[static_cast<size_t>(next)]);
+  }
   if (randomFreq_ > 0 && !heap_.empty() && randomReal() < randomFreq_) {
     Var cand = heap_[static_cast<size_t>(randState_ % heap_.size())];
     if (assigns_[static_cast<size_t>(cand)].isUndef() && decision_[static_cast<size_t>(cand)])
@@ -589,6 +603,7 @@ lbool Solver::search(int64_t conflictsBeforeRestart) {
 }
 
 lbool Solver::solve(const LitVec& assumptions) {
+  PRESAT_CHECK(!enumerating_) << "solve() during an enumeration session";
   model_.clear();
   conflictCore_.clear();
   if (!ok_) return l_False;
@@ -619,6 +634,157 @@ lbool Solver::solve(const LitVec& assumptions) {
   }
   cancelUntil(0);
   return status;
+}
+
+// ---------------------------------------------------------------------------
+// Chronological enumeration
+// ---------------------------------------------------------------------------
+
+void Solver::beginEnumeration(const std::vector<Var>& scope) {
+  PRESAT_CHECK(!enumerating_) << "beginEnumeration() during an active session";
+  PRESAT_CHECK(decisionLevel() == 0) << "beginEnumeration() above level 0";
+  enumerating_ = true;
+  enumExhausted_ = false;
+  model_.clear();
+  conflictCore_.clear();
+  assumptions_.clear();
+  inScope_.assign(static_cast<size_t>(numVars()), 0);
+  scopeVars_.clear();
+  for (Var v : scope) {
+    PRESAT_CHECK(v >= 0 && v < numVars()) << "unknown variable in enumeration scope";
+    if (inScope_[static_cast<size_t>(v)]) continue;
+    inScope_[static_cast<size_t>(v)] = 1;
+    scopeVars_.push_back(v);
+  }
+  // Same learnt-DB cap policy as solve(): the whole point of this mode is
+  // that the clause database stays bounded across the enumeration.
+  maxLearnts_ = std::max<double>(static_cast<double>(numOriginal_) / 3.0, 1000.0);
+}
+
+int Solver::scopePrefixLength() const {
+  int k = 0;
+  while (k < decisionLevel()) {
+    Lit d = trail_[static_cast<size_t>(trailLim_[static_cast<size_t>(k)])];
+    if (!inScope_[static_cast<size_t>(d.var())]) break;
+    ++k;
+  }
+  return k;
+}
+
+int Solver::deepestFlippedLevel() const {
+  for (int lvl = static_cast<int>(levelFlipped_.size()); lvl >= 1; --lvl) {
+    if (levelFlipped_[static_cast<size_t>(lvl - 1)]) return lvl;
+  }
+  return 0;
+}
+
+bool Solver::flipToNextRegion(int maxLevel) {
+  PRESAT_CHECK(enumerating_) << "flipToNextRegion() outside an enumeration session";
+  int f = std::min(maxLevel, decisionLevel());
+  while (f >= 1 && levelFlipped_[static_cast<size_t>(f - 1)]) --f;
+  if (f < 1) {
+    enumExhausted_ = true;
+    return false;
+  }
+  Lit d = trail_[static_cast<size_t>(trailLim_[static_cast<size_t>(f - 1)])];
+  cancelUntil(f - 1);
+  newDecisionLevel();
+  levelFlipped_.back() = 1;
+  uncheckedEnqueue(~d, nullptr);
+  ++stats_.flips;
+  return true;
+}
+
+lbool Solver::enumerateNextModel() {
+  PRESAT_CHECK(enumerating_) << "enumerateNextModel() outside an enumeration session";
+  if (!ok_ || enumExhausted_) return l_False;
+  model_.clear();
+  budgetLimit_ = conflictBudget_ == 0 ? 0 : stats_.conflicts + conflictBudget_;
+  LitVec learnt;
+
+  // No restarts here: a restart would cancel the flipped pseudo-decisions
+  // that stand in for blocking clauses and re-enumerate old regions.
+  for (;;) {
+    InternalClause* conflict = propagate();
+    if (conflict != nullptr) {
+      ++stats_.conflicts;
+      if (decisionLevel() == 0) {
+        ok_ = false;
+        enumExhausted_ = true;
+        return l_False;
+      }
+      int flipBarrier = deepestFlippedLevel();
+      if (decisionLevel() == flipBarrier) {
+        // Conflict at the barrier itself: this flipped region is empty and
+        // analyze() could not backjump past it anyway (the asserting
+        // variable would still be assigned). Move to the next region — no
+        // clause is learnt, mirroring the region-exhausted transition of
+        // chronological CDCL enumeration.
+        if (!flipToNextRegion(decisionLevel() - 1)) return l_False;
+        continue;
+      }
+      int btLevel = 0;
+      analyze(conflict, learnt, btLevel);
+      // Clamp the backjump at the barrier: levels <= flipBarrier encode
+      // already-emitted regions. The asserting literal's antecedents are all
+      // stamped <= btLevel <= target, so enqueueing it at the clamped level
+      // keeps every implication-graph invariant intact.
+      int target = std::max(btLevel, flipBarrier);
+      cancelUntil(target);
+      if (learnt.size() == 1) {
+        if (target == 0) {
+          uncheckedEnqueue(learnt[0], nullptr);
+        } else {
+          // Unit learnts normally live on the level-0 trail; here the clamp
+          // keeps us above level 0, so give the literal a synthetic unit
+          // reason (analyze() and the auditor both require non-decision
+          // literals above level 0 to carry one).
+          auto unit = std::make_unique<InternalClause>();
+          unit->lits.push_back(learnt[0]);
+          unit->learnt = true;
+          InternalClause* raw = unit.get();
+          enumUnitReasons_.push_back(std::move(unit));
+          uncheckedEnqueue(learnt[0], raw);
+        }
+      } else {
+        InternalClause* c = allocClause(learnt, /*learnt=*/true);
+        attachClause(c);
+        claBumpActivity(*c);
+        uncheckedEnqueue(learnt[0], c);
+      }
+      varDecayActivity();
+      claDecayActivity();
+      if (conflictBudget_ != 0 && stats_.conflicts >= budgetLimit_) return l_Undef;
+      continue;
+    }
+
+    // No conflict.
+    if (maxLearnts_ > 0 &&
+        static_cast<double>(numLearnts_) - static_cast<double>(trail_.size()) >= maxLearnts_) {
+      reduceDB();
+    }
+    Lit next = pickBranchLit();
+    if (next == kUndefLit) {
+      // Total model. Keep the trail — the caller reads levels off it, emits
+      // a cube, and flips into the next region.
+      model_ = assigns_;
+      return l_True;
+    }
+    ++stats_.decisions;
+    newDecisionLevel();
+    uncheckedEnqueue(next, nullptr);
+  }
+}
+
+void Solver::endEnumeration() {
+  PRESAT_CHECK(enumerating_) << "endEnumeration() without a session";
+  cancelUntil(0);
+  enumerating_ = false;
+  enumExhausted_ = false;
+  enumUnitReasons_.clear();
+  inScope_.clear();
+  scopeVars_.clear();
+  model_.clear();
 }
 
 }  // namespace presat

@@ -31,6 +31,12 @@ struct SolverStats {
   uint64_t deletedClauses = 0;
   uint64_t reduceDBs = 0;
   uint64_t minimizedLits = 0;
+  // Chronological enumeration: pseudo-decision flips taken.
+  uint64_t flips = 0;
+  // High-water mark of the stored clause database (original + learnt). Under
+  // blocking-clause all-SAT this grows with the solution count; under the
+  // chronological engine it must stay flat — that is the observable claim.
+  uint64_t dbClausesPeak = 0;
 };
 
 class Solver {
@@ -76,6 +82,46 @@ class Solver {
   // returned l_False with assumptions); literals appear as passed in.
   const LitVec& conflictCore() const { return conflictCore_; }
 
+  // --- chronological enumeration ---------------------------------------------
+  // All-solutions mode without blocking clauses (Spallitta/Sebastiani/Biere
+  // style): the caller starts a session over a projection scope, repeatedly
+  // asks for the next model, and after each model flips the deepest
+  // scope-prefix decision as a reason-less pseudo-decision instead of adding
+  // a blocking clause. Between models the trail is NOT cancelled — flipped
+  // levels act as a barrier that conflict-driven backjumping never crosses
+  // (asserting literals are enqueued at the clamped level; their reasons only
+  // mention shallower literals, so implication-graph invariants still hold).
+  //
+  // Session protocol:
+  //   beginEnumeration(scope);
+  //   while (enumerateNextModel() == l_True) {
+  //     ... read model()/levelOf()/scopePrefixLength() and emit a cube ...
+  //     if (!flipToNextRegion(maxLevel)) break;   // space exhausted
+  //   }
+  //   endEnumeration();
+  //
+  // During a session scope variables are decided before all others, so the
+  // decision levels 1..scopePrefixLength() form a clean scope prefix and
+  // every scope variable is stamped at a level inside it.
+  void beginEnumeration(const std::vector<Var>& scope);
+  // l_True: model() is valid and the trail is kept. l_False: space exhausted
+  // (or root UNSAT). l_Undef: conflict budget exhausted (partial result).
+  lbool enumerateNextModel();
+  // Flips the deepest unflipped decision at a level <= maxLevel. Returns
+  // false when every level is already flipped — enumeration is complete.
+  bool flipToNextRegion(int maxLevel);
+  void endEnumeration();
+  bool enumerating() const { return enumerating_; }
+
+  // Decision level a variable is currently stamped at (valid while assigned).
+  int levelOf(Var v) const { return level_[static_cast<size_t>(v)]; }
+  int currentDecisionLevel() const { return decisionLevel(); }
+  // Length k of the scope-decision prefix: decisions 1..k are scope
+  // variables. Only meaningful during an enumeration session.
+  int scopePrefixLength() const;
+  // Deepest decision level whose decision is a flip (0 if none).
+  int deepestFlippedLevel() const;
+
   // --- knobs ------------------------------------------------------------------
   // 0 disables the budget. The budget applies per solve() call.
   void setConflictBudget(uint64_t maxConflicts) { conflictBudget_ = maxConflicts; }
@@ -110,7 +156,10 @@ class Solver {
   friend void corruptSolverForTest(Solver& solver, SolverCorruption kind);
 
   // -- trail / assignment
-  void newDecisionLevel() { trailLim_.push_back(static_cast<int>(trail_.size())); }
+  void newDecisionLevel() {
+    trailLim_.push_back(static_cast<int>(trail_.size()));
+    levelFlipped_.push_back(0);
+  }
   int decisionLevel() const { return static_cast<int>(trailLim_.size()); }
   void uncheckedEnqueue(Lit l, InternalClause* from);
   InternalClause* propagate();
@@ -168,6 +217,21 @@ class Solver {
   std::vector<Lit> trail_;
   std::vector<int> trailLim_;
   int qhead_ = 0;
+
+  // -- chronological-enumeration session state
+  bool enumerating_ = false;
+  bool enumExhausted_ = false;
+  std::vector<uint8_t> inScope_;   // per var; session scope membership
+  std::vector<Var> scopeVars_;     // session scope, caller order
+  // Parallel to trailLim_: 1 iff that level's decision is a flipped
+  // pseudo-decision. Maintained unconditionally (trivially all-0 outside
+  // enumeration sessions).
+  std::vector<uint8_t> levelFlipped_;
+  // Reason clauses for unit learnts asserted above level 0: a clamped
+  // backjump cannot reach level 0, so the unit is enqueued at the barrier
+  // level with a synthetic size-1 reason held here. These never enter
+  // clauses_ (the clause DB stores only size >= 2) and die with the session.
+  std::vector<std::unique_ptr<InternalClause>> enumUnitReasons_;
 
   // activities
   std::vector<double> activity_;

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Shape- and sanity-check the bench trajectory JSONL (BENCH_*.json).
+
+The bench binaries append one compact-JSON metrics line per engine run
+(`bench/bench_util.hpp:appendMetricsJsonl`). CI runs the suite with a fixed
+seed and feeds the file through this checker, which validates:
+
+  * every line is a JSON object with `labels` (string -> string) containing
+    `bench`, `case`, and `engine`
+  * `counters` is a non-empty object of string -> non-negative integer
+  * `gauges.time.seconds` is present and strictly positive (a zero or
+    negative timing means the timer was never read)
+  * every `table1` record carries a `pre.cubes` counter, and for each
+    `<circuit>/<engine>-par1` case the matching `-par8` case exists with an
+    IDENTICAL `pre.cubes` count — the determinism contract (worker count
+    must not change the result) asserted straight off the trajectory file
+  * `table1` covers all four SAT enumeration engines (minterm-blocking,
+    cube-blocking, success-driven, chrono)
+
+`--google-benchmark FILE` additionally validates a google-benchmark
+`--benchmark_format=json` report (bench_micro): non-empty `benchmarks`
+array, each entry named with a positive `real_time`.
+
+Usage: check_bench_json.py BENCH_ci.json [--google-benchmark MICRO.json]
+Exit status: 0 when everything is well-shaped, 1 otherwise (reason on
+stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+REQUIRED_TABLE1_ENGINES = {
+    "minterm-blocking",
+    "cube-blocking",
+    "success-driven",
+    "chrono",
+}
+
+
+def fail(reason: str) -> None:
+    print(f"check_bench_json.py: FAIL: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_record(lineno: int, record: object) -> dict:
+    where = f"line {lineno}"
+    if not isinstance(record, dict):
+        fail(f"{where}: top level is not an object")
+    labels = record.get("labels")
+    if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in labels.items()):
+        fail(f"{where}: labels must be an object of string -> string")
+    for key in ("bench", "case", "engine"):
+        if key not in labels:
+            fail(f"{where}: labels.{key} is missing")
+    counters = record.get("counters")
+    if not isinstance(counters, dict) or not counters:
+        fail(f"{where}: counters must be a non-empty object")
+    for key, value in counters.items():
+        if not isinstance(key, str) or not isinstance(value, int) \
+                or isinstance(value, bool) or value < 0:
+            fail(f"{where}: counter {key!r} must map to a non-negative integer")
+    gauges = record.get("gauges")
+    if not isinstance(gauges, dict):
+        fail(f"{where}: gauges object is missing")
+    seconds = gauges.get("time.seconds")
+    if not isinstance(seconds, (int, float)) or isinstance(seconds, bool) or seconds <= 0:
+        fail(f"{where}: gauges['time.seconds'] must be a positive number, got {seconds!r}")
+    return record
+
+
+def check_table1(records: list) -> None:
+    table1 = [r for r in records if r["labels"]["bench"] == "table1"]
+    if not table1:
+        fail("no table1 records in the trajectory file")
+    engines = {r["labels"]["engine"] for r in table1}
+    missing = REQUIRED_TABLE1_ENGINES - engines
+    if missing:
+        fail(f"table1 is missing engine series: {sorted(missing)}")
+
+    cubes_by_case = {}
+    for r in table1:
+        case = r["labels"]["case"]
+        if "pre.cubes" not in r["counters"]:
+            fail(f"table1 case {case!r} has no pre.cubes counter")
+        cubes_by_case[case] = r["counters"]["pre.cubes"]
+
+    par_pairs = 0
+    for case, cubes in sorted(cubes_by_case.items()):
+        if not case.endswith("-par1"):
+            continue
+        partner = case[:-len("-par1")] + "-par8"
+        if partner not in cubes_by_case:
+            fail(f"table1 case {case!r} has no matching {partner!r} record")
+        if cubes != cubes_by_case[partner]:
+            fail(f"determinism violation: {case!r} produced {cubes} cubes but "
+                 f"{partner!r} produced {cubes_by_case[partner]}")
+        par_pairs += 1
+    if par_pairs == 0:
+        fail("table1 contains no par1/par8 pairs to compare")
+
+
+def check_google_benchmark(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: cannot read google-benchmark report: {e}")
+    benchmarks = report.get("benchmarks") if isinstance(report, dict) else None
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail(f"{path}: 'benchmarks' must be a non-empty array")
+    for entry in benchmarks:
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
+            fail(f"{path}: benchmark entry without a name")
+        real_time = entry.get("real_time")
+        if not isinstance(real_time, (int, float)) or real_time <= 0:
+            fail(f"{path}: benchmark {entry.get('name')!r} has non-positive "
+                 f"real_time {real_time!r}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("jsonl", help="bench trajectory file (JSONL)")
+    parser.add_argument("--google-benchmark", metavar="FILE",
+                        help="also validate a --benchmark_format=json report")
+    args = parser.parse_args()
+
+    records = []
+    try:
+        with open(args.jsonl, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"line {lineno}: not valid JSON: {e}")
+                records.append(check_record(lineno, record))
+    except OSError as e:
+        fail(f"cannot read {args.jsonl}: {e}")
+    if not records:
+        fail(f"{args.jsonl} is empty")
+
+    check_table1(records)
+    if args.google_benchmark:
+        check_google_benchmark(args.google_benchmark)
+
+    print(f"check_bench_json.py: OK: {len(records)} records "
+          f"({args.jsonl}{' + ' + args.google_benchmark if args.google_benchmark else ''})")
+
+
+if __name__ == "__main__":
+    main()

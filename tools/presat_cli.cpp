@@ -2,12 +2,14 @@
 //
 // Usage:
 //   presat_cli info    <file.bench>
-//   presat_cli allsat  <file.cnf>  [--method minterm|cube|sd] [--max N] [--stats json]
+//   presat_cli allsat  <file.cnf>  [--method minterm|cube|sd|chrono] [--max N]
+//                                  [--stats json]
 //   presat_cli preimage <file.bench>|--gen SPEC --target CUBE [--method NAME] [--stats json]
 //   presat_cli image    <file.bench> --from CUBE [--method minterm|bdd]
 //   presat_cli reach    <file.bench>|--gen SPEC --target CUBE [--depth N] [--method NAME]
 //                                    [--stats json]
-//   presat_cli safety   <file.bench>|--gen SPEC --init CUBE --bad CUBE [--method NAME]
+//   presat_cli safety   <file.bench>|--gen SPEC --init CUBE --bad CUBE [--depth N]
+//                                    [--method NAME]
 //                                    [--stats json]
 //   presat_cli bmc      <file.bench> --init CUBE --target CUBE [--depth N]
 //   presat_cli audit    <file.cnf> | --gen SPEC [--target CUBE]
@@ -23,7 +25,7 @@
 // CUBE is a string over the state bits, LSB (state bit 0) first, using
 // '0', '1', and 'x'/'-' for don't-care, e.g. --target 1x0x. Preimage METHOD
 // names are those printed by the tool (minterm-blocking, cube-blocking,
-// cube-blocking-lifted, success-driven, bdd, bdd-relational).
+// cube-blocking-lifted, success-driven, chrono, bdd, bdd-relational).
 //
 // `audit` is the enumeration cross-checker: it runs every engine on the same
 // instance, validates the per-engine invariants (disjoint minterms, sound
@@ -39,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "allsat/chrono_blocking.hpp"
 #include "allsat/cube_blocking.hpp"
 #include "allsat/lifting.hpp"
 #include "allsat/minterm_blocking.hpp"
@@ -46,6 +49,7 @@
 #include "bdd/bdd.hpp"
 #include "check/audit.hpp"
 #include "check/audit_bdd.hpp"
+#include "check/audit_chrono.hpp"
 #include "check/audit_netlist.hpp"
 #include "check/audit_solution_graph.hpp"
 #include "circuit/bench_io.hpp"
@@ -68,7 +72,7 @@ namespace {
   std::fprintf(stderr,
                "usage:\n"
                "  presat_cli info     <file.bench>\n"
-               "  presat_cli allsat   <file.cnf>   [--method minterm|cube|sd] [--max N]\n"
+               "  presat_cli allsat   <file.cnf>   [--method minterm|cube|sd|chrono] [--max N]\n"
                "                                   [--stats json]\n"
                "  presat_cli preimage <file.bench>|--gen SPEC --target CUBE [--method NAME]\n"
                "                                   [--stats json]\n"
@@ -76,7 +80,7 @@ namespace {
                "  presat_cli reach    <file.bench>|--gen SPEC --target CUBE [--depth N]\n"
                "                                   [--method NAME] [--stats json]\n"
                "  presat_cli safety   <file.bench>|--gen SPEC --init CUBE --bad CUBE\n"
-               "                                   [--method NAME] [--stats json]\n"
+               "                                   [--depth N] [--method NAME] [--stats json]\n"
                "  presat_cli bmc      <file.bench> --init CUBE --target CUBE [--depth N]\n"
                "  presat_cli audit    <file.cnf> | --gen SPEC [--target CUBE]\n"
                "\nSAT enumeration commands also take --jobs N (parallel cube-and-conquer),\n"
@@ -236,6 +240,11 @@ int cmdAllsat(const Args& args) {
                  ? parallelCnfAllSat(file.cnf, projection, ParallelCnfEngine::kCubeBlocking,
                                      lifter, options)
                  : cubeBlockingAllSat(file.cnf, projection, lifter, options);
+  } else if (method == "chrono") {
+    result = options.parallel.enabled()
+                 ? parallelCnfAllSat(file.cnf, projection, ParallelCnfEngine::kChrono, {},
+                                     options)
+                 : chronoAllSat(file.cnf, projection, options);
   } else if (method == "sd") {
     CnfCircuit circuit = cnfToCircuit(file.cnf);
     CircuitAllSatProblem problem;
@@ -331,6 +340,7 @@ int cmdSafety(const Args& args) {
   StateSet bad = parseCube(args.flag("bad"), system.numStateBits());
   SafetyOptions options;
   options.method = parsePreimageMethod(args.flag("method", "success-driven"));
+  options.maxDepth = args.intFlag("depth", options.maxDepth);
   applyEngineFlags(args, options.preimage.allsat);
   SafetyResult r = checkSafety(system, init, bad, options);
   std::printf("%s (depth %d, %.3f ms)\n", safetyStatusName(r.status), r.depth, r.seconds * 1e3);
@@ -345,7 +355,12 @@ int cmdSafety(const Args& args) {
   if (args.flag("stats") == "json") {
     std::printf("%s\n", r.metrics.toJson().c_str());
   }
-  return r.status == SafetyStatus::kSafe ? 0 : 1;
+  // Exit codes: 0 = SAFE, 1 = UNSAFE (a counterexample is a finding, not a
+  // failure), 2 = could not decide (depth bound hit) — CI scripts tell the
+  // verdicts apart from genuine errors.
+  if (r.status == SafetyStatus::kSafe) return 0;
+  if (r.status == SafetyStatus::kUnsafe) return 1;
+  return 2;
 }
 
 int cmdBmc(const Args& args) {
@@ -409,7 +424,7 @@ int finishAudit(const AuditResult& audit, const std::string& what) {
   return 0;
 }
 
-// CNF mode: the three CNF-capable engines, plus per-cube SAT soundness.
+// CNF mode: the four CNF-capable engines, plus per-cube SAT soundness.
 int cmdAuditCnf(AuditResult& audit, const Args& args) {
   DimacsFile file = parseDimacsFile(args.positional[0]);
   std::vector<Var> projection;
@@ -441,6 +456,20 @@ int cmdAuditCnf(AuditResult& audit, const Args& args) {
     }
     AllSatResult r = cubeBlockingAllSat(cnf, projection, lifter, options);
     runs.push_back({"cube-blocking", std::move(r.cubes), std::move(r.mintermCount), r.complete});
+  }
+  {
+    // Chronological enumeration honors --jobs like the circuit-mode audit, so
+    // the shard merge is cross-checked against the serial engines here too.
+    AllSatOptions chronoOptions;
+    applyEngineFlags(args, chronoOptions);
+    AllSatResult r =
+        chronoOptions.parallel.enabled()
+            ? parallelCnfAllSat(file.cnf, projection, ParallelCnfEngine::kChrono, {},
+                                chronoOptions)
+            : chronoAllSat(file.cnf, projection, chronoOptions);
+    // Proves chrono.disjoint and chrono.cover against the BDD oracle.
+    audit.merge(auditChronoCubes(file.cnf, projection, r.cubes, r.complete));
+    runs.push_back({"chrono", std::move(r.cubes), std::move(r.mintermCount), r.complete});
   }
   {
     CnfCircuit circuit = cnfToCircuit(file.cnf);
@@ -481,7 +510,7 @@ int cmdAuditCnf(AuditResult& audit, const Args& args) {
   return finishAudit(audit, args.positional[0] + " (" + std::to_string(runs.size()) + " engines)");
 }
 
-// Circuit mode: all six preimage engines on a generated benchmark, with the
+// Circuit mode: all seven preimage engines on a generated benchmark, with the
 // BDD baselines serving as the semantic oracle for the SAT-based ones.
 int cmdAuditCircuit(AuditResult& audit, const Args& args) {
   const std::string spec = args.flag("gen");
@@ -508,6 +537,10 @@ int cmdAuditCircuit(AuditResult& audit, const Args& args) {
     if (method == PreimageMethod::kMintermBlocking && !cubesPairwiseDisjoint(r.states.cubes)) {
       audit.fail("audit.minterm.disjoint",
                  "minterm-blocking produced overlapping preimage cubes on " + spec);
+    }
+    if (method == PreimageMethod::kChrono && !cubesPairwiseDisjoint(r.states.cubes)) {
+      audit.fail("chrono.disjoint",
+                 "chrono produced overlapping preimage cubes on " + spec);
     }
     if (method == PreimageMethod::kSuccessDriven) {
       for (const SolutionGraph& graph : r.graphs) {
