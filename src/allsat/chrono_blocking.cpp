@@ -15,8 +15,10 @@ AllSatResult chronoAllSat(const Cnf& cnf, const std::vector<Var>& projection,
                           const AllSatOptions& options) {
   Timer timer;
   AllSatResult result;
+  Governor* governor = options.governor;
   Solver solver;
   solver.setConflictBudget(options.conflictBudget);
+  solver.setGovernor(governor);
   if (options.randomSeed != 0) solver.setRandomSeed(options.randomSeed);
   bool consistent = solver.addCnf(cnf);
 
@@ -27,10 +29,12 @@ AllSatResult chronoAllSat(const Cnf& cnf, const std::vector<Var>& projection,
       lbool status = solver.enumerateNextModel();
       ++result.stats.satCalls;
       if (status.isUndef()) {
-        // Conflict budget exhausted mid-call: the disjoint cubes found so
-        // far are a valid partial answer, so return them instead of
-        // aborting.
-        result.complete = false;
+        // Budget exhausted mid-call (per-call conflict budget or a governor
+        // trip): the disjoint cubes found so far are a valid partial
+        // answer, so return them instead of aborting.
+        result.outcome = (governor != nullptr && governor->tripped())
+                             ? governor->reason()
+                             : Outcome::kConflicts;
         break;
       }
       if (status.isFalse()) break;
@@ -38,7 +42,7 @@ AllSatResult chronoAllSat(const Cnf& cnf, const std::vector<Var>& projection,
       // maxCubes still reports complete: this model proves at least one
       // uncovered solution remains.
       if (options.maxCubes != 0 && result.cubes.size() >= options.maxCubes) {
-        result.complete = false;
+        result.outcome = Outcome::kCubeCap;
         break;
       }
 
@@ -87,13 +91,15 @@ AllSatResult chronoAllSat(const Cnf& cnf, const std::vector<Var>& projection,
   result.stats.flips = solver.stats().flips;
   result.stats.dbClausesPeak = solver.stats().dbClausesPeak;
   result.stats.seconds = timer.seconds();
+  result.metrics.setLabel("engine", "chrono");
+  exportStatsToMetrics(result.stats, result.metrics);
+  finishResult(result, governor);
   // The session is closed (level 0), so the structural solver audit applies;
-  // the cube-set audit proves disjointness and BDD-exact coverage.
+  // the cube-set audit proves disjointness, and BDD-exact coverage when the
+  // run completed (a budgeted partial set is audited for soundness only).
   PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(auditSolver(solver)));
   PRESAT_AUDIT_FULL(
       PRESAT_CHECK_AUDIT(auditChronoCubes(cnf, projection, result.cubes, result.complete)));
-  result.metrics.setLabel("engine", "chrono");
-  exportStatsToMetrics(result.stats, result.metrics);
   return result;
 }
 

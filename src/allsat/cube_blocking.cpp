@@ -18,19 +18,27 @@ AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projecti
     projectedIndex[static_cast<size_t>(projection[i])] = static_cast<int>(i);
   }
 
+  Governor* governor = options.governor;
   Solver solver;
   solver.setConflictBudget(options.conflictBudget);
+  solver.setGovernor(governor);
   if (options.randomSeed != 0) solver.setRandomSeed(options.randomSeed);
   bool consistent = solver.addCnf(cnf);
   bool maybeOverlapping = false;
 
   while (consistent) {
+    if (governor != nullptr && governor->poll() != Outcome::kComplete) {
+      result.outcome = governor->reason();
+      break;
+    }
     lbool status = solver.solve();
     ++result.stats.satCalls;
     if (status.isUndef()) {
-      // Conflict budget exhausted mid-call: the cubes found so far are a
-      // valid partial answer, so return them instead of aborting.
-      result.complete = false;
+      // Budget exhausted mid-call (per-call conflict budget or a governor
+      // trip): the cubes found so far are a valid partial answer, so return
+      // them instead of aborting.
+      result.outcome = (governor != nullptr && governor->tripped()) ? governor->reason()
+                                                                    : Outcome::kConflicts;
       break;
     }
     if (status.isFalse()) break;
@@ -38,7 +46,7 @@ AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projecti
     // maxCubes still reports complete: this SAT call proves at least one
     // uncovered solution remains.
     if (options.maxCubes != 0 && result.cubes.size() >= options.maxCubes) {
-      result.complete = false;
+      result.outcome = Outcome::kCubeCap;
       break;
     }
 
@@ -94,6 +102,7 @@ AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projecti
   result.stats.seconds = timer.seconds();
   result.metrics.setLabel("engine", "cube-blocking");
   exportStatsToMetrics(result.stats, result.metrics);
+  finishResult(result, governor);
   return result;
 }
 

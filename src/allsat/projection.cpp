@@ -2,8 +2,15 @@
 
 #include "base/log.hpp"
 #include "bdd/bdd.hpp"
+#include "govern/governor.hpp"
 
 namespace presat {
+
+void finishResult(AllSatResult& result, const Governor* governor) {
+  result.complete = (result.outcome == Outcome::kComplete);
+  result.metrics.setLabel("outcome", outcomeName(result.outcome));
+  if (governor != nullptr) governor->exportMetrics(result.metrics);
+}
 
 void exportStatsToMetrics(const AllSatStats& stats, Metrics& m) {
   m.setCounter("sat.calls", stats.satCalls);

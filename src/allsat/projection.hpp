@@ -15,11 +15,13 @@
 #include "base/metrics.hpp"
 #include "base/types.hpp"
 #include "cnf/cnf.hpp"
+#include "govern/budget.hpp"
 #include "parallel/options.hpp"
 
 namespace presat {
 
 class BddManager;
+class Governor;
 
 struct AllSatStats {
   uint64_t satCalls = 0;          // top-level solver invocations
@@ -48,10 +50,23 @@ struct AllSatStats {
 // names used by presat_cli --stats json and the BENCH_*.json files.
 void exportStatsToMetrics(const AllSatStats& stats, Metrics& m);
 
+struct AllSatResult;
+
+// Engine epilogue for the governance contract: derives `complete` from
+// `result.outcome`, stamps the "outcome" metrics label, and — when a
+// governor was attached — appends its govern.* block.
+void finishResult(AllSatResult& result, const Governor* governor);
+
 struct AllSatResult {
   // True iff enumeration ran to completion (false when a solution/time cap
-  // stopped it early — counts are then lower bounds).
+  // stopped it early — counts are then lower bounds). Always equals
+  // (outcome == Outcome::kComplete); kept for ergonomic call sites.
   bool complete = true;
+  // Structured stop reason (govern/budget.hpp). Anything other than
+  // kComplete marks a sound partial result: every cube still contains only
+  // genuine solutions, mintermCount is a lower bound, and per-engine
+  // disjointness guarantees continue to hold.
+  Outcome outcome = Outcome::kComplete;
   // Cubes in the projected index space whose UNION is the projected solution
   // set. Minterm-level engines produce pairwise-disjoint cubes; lifted-cube
   // and success-driven engines may produce overlapping cubes (the union is
@@ -77,9 +92,13 @@ struct AllSatOptions {
   uint64_t maxCubes = 0;  // 0 = unlimited
   // Blocking engines: lift models to cubes before blocking.
   bool liftModels = true;
-  // Blocking engines: per-SAT-call conflict budget (0 = none). When a call
-  // exhausts its budget, the engine returns the cubes found so far with
-  // complete = false instead of aborting.
+  // CDCL engines (minterm/cube blocking AND chrono): per-SAT-call conflict
+  // budget (0 = none). When a call exhausts its budget, the engine returns
+  // the cubes found so far — still pairwise disjoint for the minterm and
+  // chrono engines — with complete = false / outcome = kConflicts instead
+  // of aborting. For a budget on the WHOLE query (all calls, all shards,
+  // every engine including success-driven) use Budget::conflictLimit via
+  // `governor` below.
   uint64_t conflictBudget = 0;
   // Success-driven engine: enable the learning cache (ablation knob).
   bool successLearning = true;
@@ -107,6 +126,11 @@ struct AllSatOptions {
   // disjoint guiding cubes and solves them on a worker pool. The result is
   // bit-identical for every jobs >= 1 (see parallel/options.hpp).
   ParallelOptions parallel;
+  // Resource governor enforcing a Budget (deadline / memory ceiling /
+  // global conflict cap / cancellation) over the whole query. Not owned;
+  // null = ungoverned (the default — hot paths stay unchanged). Shared
+  // across parallel shards: one trip stops every worker cooperatively.
+  Governor* governor = nullptr;
 };
 
 // Sum of 2^(numProjectionVars - |cube|) over all cubes. Exact for disjoint

@@ -11,6 +11,8 @@
 #include "bdd/bdd.hpp"
 #include "check/audit_solution_graph.hpp"
 #include "circuit/ternary.hpp"
+#include "govern/faults.hpp"
+#include "govern/governor.hpp"
 
 namespace presat {
 
@@ -45,6 +47,7 @@ class Engine {
   Engine(const CircuitAllSatProblem& problem, const AllSatOptions& options)
       : nl_(*problem.netlist),
         options_(options),
+        governor_(options.governor),
         fanouts_(nl_.fanouts()),
         value_(nl_.numNodes(), l_Undef),
         inFrontier_(nl_.numNodes(), 0),
@@ -72,6 +75,8 @@ class Engine {
     for (const NodeAssign& obj : objectives_) {
       PRESAT_CHECK(obj.first < nl_.numNodes()) << "objective node out of range";
     }
+    graphLedger_.attach(governor_);
+    memoLedger_.attach(governor_);
   }
 
   SuccessDrivenResult run() {
@@ -101,14 +106,18 @@ class Engine {
     // path-count dynamic program over the graph.
     if (options_.maxCubes == 0) {
       result.summary.cubes = result.graph.enumerateCubes(0);
-      result.summary.complete = true;
     } else {
       uint64_t probe =
           options_.maxCubes == UINT64_MAX ? options_.maxCubes : options_.maxCubes + 1;
       result.summary.cubes = result.graph.enumerateCubes(probe);
-      result.summary.complete = result.summary.cubes.size() <= options_.maxCubes;
-      if (!result.summary.complete) result.summary.cubes.pop_back();
+      if (result.summary.cubes.size() > options_.maxCubes) {
+        result.summary.outcome = Outcome::kCubeCap;
+        result.summary.cubes.pop_back();
+      }
     }
+    // A governor trip dominates the cap: the pruned branches are the reason
+    // the graph (and hence the cube set / count) is only a lower bound.
+    if (tripped_ && governor_ != nullptr) result.summary.outcome = governor_->reason();
     {
       BddManager mgr(static_cast<int>(numProjection()));
       BddRef u = result.graph.toBdd(mgr);
@@ -120,6 +129,7 @@ class Engine {
     metrics_.setCounter("sig.cone_nodes", sigConeNodes_);
     metrics_.setCounter("sig.bytes", sigConeNodes_ * sizeof(Sig128));
     result.summary.metrics = std::move(metrics_);
+    finishResult(result.summary, governor_);
     return result;
   }
 
@@ -443,14 +453,13 @@ class Engine {
     return key;
   }
 
-  uint64_t memoBytes() const {
-    // Entry payload plus the typical two-pointer unordered_map overhead
-    // (bucket slot + node link). An estimate, but a stable one: it scales
-    // linearly in entries, which is what the table bound limits.
-    constexpr uint64_t kPerEntry =
-        sizeof(std::pair<const Sig128, MemoEntry>) + 2 * sizeof(void*);
-    return memo_.size() * kPerEntry;
-  }
+  // Entry payload plus the typical two-pointer unordered_map overhead
+  // (bucket slot + node link). An estimate, but a stable one: it scales
+  // linearly in entries, which is what the table bound limits.
+  static constexpr uint64_t kMemoEntryBytes =
+      sizeof(std::pair<const Sig128, MemoEntry>) + 2 * sizeof(void*);
+
+  uint64_t memoBytes() const { return memo_.size() * kMemoEntryBytes; }
 
   // Frees space in a full memo: drops every entry not touched since the
   // previous sweep, falling back to dropping an arbitrary half when the
@@ -473,12 +482,22 @@ class Engine {
       }
     }
     stats_.memoEvictions += before - memo_.size();
+    memoLedger_.release((before - memo_.size()) * kMemoEntryBytes);
     ++memoGen_;
   }
 
   // --- search -------------------------------------------------------------------------
 
   int solveState() {
+    // Cooperative degradation: once the governor trips, the remaining search
+    // fails fast — every un-explored branch records kFail, which prunes the
+    // graph to a sound under-approximation of the solution set, and memo
+    // insertion is suppressed so no pruned result is ever reused as exact.
+    if (!tripped_ && governor_ != nullptr) {
+      if (faults::maybeFail("sd.node")) governor_->trip(Outcome::kMemory);
+      if (governor_->poll() != Outcome::kComplete) tripped_ = true;
+    }
+    if (tripped_) return SolutionGraph::kFail;
     if (frontier_.empty()) return SolutionGraph::kSuccess;
     Sig128 key;
     if (options_.successLearning) {
@@ -516,6 +535,7 @@ class Engine {
         child = solveState();
       } else {
         ++stats_.conflicts;
+        if (governor_ != nullptr) governor_->countConflicts(1);
       }
       undoTo(mark);
       node.branch[b].child = child;
@@ -527,11 +547,19 @@ class Engine {
         node.branch[1].child == SolutionGraph::kFail) {
       index = SolutionGraph::kFail;
     } else {
+      graphLedger_.charge(
+          sizeof(SolutionGraph::Node) +
+          (node.branch[0].newLits.capacity() + node.branch[1].newLits.capacity()) *
+              sizeof(Lit));
       index = graph_.addNode(node);
     }
-    if (options_.successLearning) {
+    // A node finished under a trip may have had its second branch pruned to
+    // kFail — correct as a partial answer, but never reusable as the exact
+    // result of this subproblem, so it must not enter the memo.
+    if (options_.successLearning && !tripped_) {
       if (options_.maxMemoEntries != 0 && memo_.size() >= options_.maxMemoEntries) evictMemo();
       memo_.emplace(key, MemoEntry{index, memoGen_});
+      memoLedger_.charge(kMemoEntryBytes);
       if (options_.memoCheckExact) exactKeys_.emplace(key, exactKey());
     }
     return index;
@@ -539,6 +567,10 @@ class Engine {
 
   const Netlist& nl_;
   AllSatOptions options_;
+  Governor* governor_ = nullptr;
+  bool tripped_ = false;          // latched locally: fail-fast unwind flag
+  MemoryLedger graphLedger_;      // solution-graph bytes
+  MemoryLedger memoLedger_;       // memo-table bytes
   std::vector<std::vector<NodeId>> fanouts_;
   std::vector<uint32_t> topoPos_;
   std::vector<lbool> value_;

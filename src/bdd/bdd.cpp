@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "base/log.hpp"
+#include "govern/faults.hpp"
 
 namespace presat {
+
+namespace {
+
+// Per-node pool footprint: the node itself plus its unique-table entry
+// (key + ref + the typical hash-bucket overhead).
+constexpr uint64_t kBddNodeBytes = sizeof(uint64_t) * 4 + 2 * sizeof(void*);
+
+}  // namespace
 
 BddManager::BddManager(int numVars) : numVars_(numVars) {
   PRESAT_CHECK(numVars >= 0);
@@ -12,11 +21,26 @@ BddManager::BddManager(int numVars) : numVars_(numVars) {
   nodes_.push_back({static_cast<Var>(numVars_), kTrue, kTrue});    // 1 = true
 }
 
+void BddManager::setGovernor(Governor* governor) {
+  governor_ = governor;
+  poolLedger_.attach(governor);
+  if (governor != nullptr) poolLedger_.charge(nodes_.size() * kBddNodeBytes);
+}
+
 BddRef BddManager::mkNode(Var var, BddRef lo, BddRef hi) {
   if (lo == hi) return lo;  // reduction rule
   UniqueKey key{var, lo, hi};
   auto it = unique_.find(key);
   if (it != unique_.end()) return it->second;
+  if (governor_ != nullptr) {
+    // Injected node-pool exhaustion, then the cooperative checkpoint: a
+    // governed manager is the one place that unwinds by exception, because
+    // the recursive apply cannot represent "partial node" in its return.
+    if (faults::maybeFail("bdd.alloc")) governor_->trip(Outcome::kMemory);
+    poolLedger_.charge(kBddNodeBytes);
+    Outcome outcome = governor_->poll();
+    if (outcome != Outcome::kComplete) throw GovernorStop{outcome};
+  }
   BddRef ref = static_cast<BddRef>(nodes_.size());
   nodes_.push_back({var, lo, hi});
   unique_.emplace(key, ref);

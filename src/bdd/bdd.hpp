@@ -18,6 +18,7 @@
 
 #include "base/biguint.hpp"
 #include "base/types.hpp"
+#include "govern/governor.hpp"
 
 namespace presat {
 
@@ -36,6 +37,14 @@ class BddManager {
 
   int numVars() const { return numVars_; }
   size_t numNodes() const { return nodes_.size(); }
+
+  // Attaches a resource governor (null to detach). Every node allocation is
+  // charged to the tracked-byte pool, and mkNode throws GovernorStop once
+  // the governor trips — the hash-consed recursion cannot return a partial
+  // node, so governed callers (BDD preimage, fixpoint algebra) catch at the
+  // engine boundary and report a sound partial Outcome. Ungoverned managers
+  // (the default, including every oracle use in tests) never throw.
+  void setGovernor(Governor* governor);
 
   // --- constructors -----------------------------------------------------------
   BddRef constant(bool value) const { return value ? kTrue : kFalse; }
@@ -133,6 +142,9 @@ class BddManager {
   std::vector<Node> nodes_;
   std::unordered_map<UniqueKey, BddRef, UniqueKeyHash> unique_;
   std::unordered_map<IteKey, BddRef, IteKeyHash> iteCache_;
+
+  Governor* governor_ = nullptr;
+  MemoryLedger poolLedger_;  // node-pool bytes charged to the governor
 
   // Deep structural validation (src/check/audit_bdd.cpp) and its test-only
   // corruption hook need access to the node table and caches.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "base/log.hpp"
@@ -25,7 +27,7 @@ std::string upper(std::string s) {
   return s;
 }
 
-GateType gateTypeFromName(const std::string& rawName) {
+GateType gateTypeFromName(const std::string& rawName, int lineNo) {
   std::string n = upper(rawName);
   if (n == "AND") return GateType::kAnd;
   if (n == "OR") return GateType::kOr;
@@ -39,13 +41,42 @@ GateType gateTypeFromName(const std::string& rawName) {
   if (n == "MUX") return GateType::kMux;
   if (n == "CONST0") return GateType::kConst0;
   if (n == "CONST1") return GateType::kConst1;
-  PRESAT_CHECK(false) << "unknown gate type in .bench: " << rawName;
+  PRESAT_CHECK(false) << ".bench line " << lineNo << ": unknown gate type '" << rawName << "'";
   return GateType::kBuf;
+}
+
+// Arity contract per gate type, enforced at scan time so a malformed file
+// fails with its line number instead of an out-of-bounds fanin access deep
+// inside an engine (the MUX/NOT builders index fanins[0..2] unchecked).
+void checkArity(GateType type, size_t arity, const std::string& lhs, int lineNo) {
+  size_t lo = 1;
+  size_t hi = SIZE_MAX;
+  switch (type) {
+    case GateType::kNot:
+    case GateType::kBuf:
+    case GateType::kDff:
+      lo = hi = 1;
+      break;
+    case GateType::kMux:
+      lo = hi = 3;
+      break;
+    case GateType::kConst0:
+    case GateType::kConst1:
+      lo = hi = 0;
+      break;
+    default:
+      break;  // n-ary gates: at least one fanin
+  }
+  PRESAT_CHECK(arity >= lo && arity <= hi)
+      << ".bench line " << lineNo << ": " << gateTypeName(type) << " gate '" << lhs << "' has "
+      << arity << " fanins (expected " << lo << (hi == SIZE_MAX ? "+" : hi == lo ? "" : "..")
+      << ")";
 }
 
 struct Definition {
   GateType type;
   std::vector<std::string> faninNames;
+  int line = 0;  // source line of the definition, for error messages
 };
 
 struct ParsedFile {
@@ -59,6 +90,14 @@ struct ParsedFile {
 
 ParsedFile scan(std::istream& in) {
   ParsedFile file;
+  // Every signal-introducing line (INPUT or definition) keyed to its source
+  // line, so redefinitions report both sites.
+  std::map<std::string, int> definedAt;
+  auto defineSignal = [&definedAt](const std::string& name, int lineNo) {
+    auto inserted = definedAt.emplace(name, lineNo);
+    PRESAT_CHECK(inserted.second) << ".bench line " << lineNo << ": redefinition of '" << name
+                                  << "' (first defined at line " << inserted.first->second << ")";
+  };
   std::string line;
   int lineNo = 0;
   while (std::getline(in, line)) {
@@ -79,6 +118,7 @@ ParsedFile scan(std::istream& in) {
       std::string name = trim(line.substr(open + 1, close - open - 1));
       PRESAT_CHECK(!name.empty()) << ".bench line " << lineNo << ": empty signal name";
       if (kind == "INPUT") {
+        defineSignal(name, lineNo);
         file.inputs.push_back(name);
       } else if (kind == "OUTPUT") {
         file.outputs.push_back(name);
@@ -90,12 +130,14 @@ ParsedFile scan(std::istream& in) {
 
     std::string lhs = trim(line.substr(0, eq));
     std::string rhs = trim(line.substr(eq + 1));
+    PRESAT_CHECK(!lhs.empty()) << ".bench line " << lineNo << ": missing signal name before '='";
     size_t open = rhs.find('(');
     size_t close = rhs.rfind(')');
     PRESAT_CHECK(open != std::string::npos && close != std::string::npos && close > open)
         << ".bench line " << lineNo << ": expected name = GATE(...): " << line;
     Definition def;
-    def.type = gateTypeFromName(trim(rhs.substr(0, open)));
+    def.type = gateTypeFromName(trim(rhs.substr(0, open)), lineNo);
+    def.line = lineNo;
     std::string args = rhs.substr(open + 1, close - open - 1);
     std::istringstream as(args);
     std::string arg;
@@ -103,7 +145,8 @@ ParsedFile scan(std::istream& in) {
       arg = trim(arg);
       if (!arg.empty()) def.faninNames.push_back(arg);
     }
-    PRESAT_CHECK(!file.defs.count(lhs)) << ".bench line " << lineNo << ": redefinition of " << lhs;
+    checkArity(def.type, def.faninNames.size(), lhs, lineNo);
+    defineSignal(lhs, lineNo);
     file.defOrder.push_back(lhs);
     file.defs.emplace(lhs, std::move(def));
   }
@@ -126,7 +169,8 @@ class Builder {
     for (const std::string& name : file_.defOrder) {
       const Definition& def = file_.defs.at(name);
       if (def.type != GateType::kDff) continue;
-      PRESAT_CHECK(def.faninNames.size() == 1) << "DFF " << name << " needs 1 fanin";
+      PRESAT_CHECK(def.faninNames.size() == 1)
+          << ".bench line " << def.line << ": DFF '" << name << "' needs exactly 1 fanin";
       netlist_.connectDffData(netlist_.findByName(name), resolve(def.faninNames[0]));
     }
     for (const std::string& name : file_.outputs) {
@@ -147,14 +191,22 @@ class Builder {
     if (def.type == GateType::kConst0 || def.type == GateType::kConst1) {
       return netlist_.addConst(def.type == GateType::kConst1, name);
     }
+    // Combinational-cycle guard: without it a malformed file (a = BUF(b),
+    // b = BUF(a)) recurses until the stack overflows. Cycles are only legal
+    // through a DFF, which the pre-created state nodes already break.
+    PRESAT_CHECK(resolving_.insert(name).second)
+        << ".bench line " << def.line << ": combinational cycle through '" << name
+        << "' (feedback is only legal through a DFF)";
     std::vector<NodeId> fanins;
     fanins.reserve(def.faninNames.size());
     for (const std::string& f : def.faninNames) fanins.push_back(resolve(f));
+    resolving_.erase(name);
     return netlist_.addGate(def.type, std::move(fanins), name);
   }
 
   const ParsedFile& file_;
   Netlist netlist_;
+  std::set<std::string> resolving_;  // combinational signals on the DFS stack
 };
 
 }  // namespace

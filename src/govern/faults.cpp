@@ -1,0 +1,82 @@
+#include "govern/faults.hpp"
+
+#if defined(PRESAT_FAULTS)
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace presat::faults {
+namespace {
+
+constexpr size_t kMaxSiteLen = 64;
+
+// One armed site at a time. The site name is written before `armed` is
+// released and readers acquire `armed` before touching it, so concurrent
+// maybeFail calls from worker threads are safe; arming itself must happen
+// before governed work starts.
+char g_site[kMaxSiteLen] = {};
+std::atomic<bool> g_armed{false};
+std::atomic<uint64_t> g_countdown{0};
+std::atomic<uint64_t> g_hits{0};
+std::atomic<bool> g_fired{false};
+
+// FNV-1a, for deriving per-site countdowns from a sweep seed.
+uint64_t hashSiteSeed(const char* site, uint64_t seed) noexcept {
+  uint64_t h = 1469598103934665603ull ^ seed;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<uint8_t>(*p)) * 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool maybeFail(const char* site) noexcept {
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  if (std::strncmp(site, g_site, kMaxSiteLen) != 0) return false;
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+  if (g_fired.load(std::memory_order_relaxed)) return false;  // exactly once
+  if (g_countdown.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    g_fired.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void armFault(const char* site, uint64_t after) noexcept {
+  g_armed.store(false, std::memory_order_release);
+  std::strncpy(g_site, site, kMaxSiteLen - 1);
+  g_site[kMaxSiteLen - 1] = '\0';
+  g_countdown.store(after == 0 ? 1 : after, std::memory_order_relaxed);
+  g_hits.store(0, std::memory_order_relaxed);
+  g_fired.store(false, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void disarmFaults() noexcept {
+  g_armed.store(false, std::memory_order_release);
+  g_hits.store(0, std::memory_order_relaxed);
+  g_fired.store(false, std::memory_order_relaxed);
+}
+
+bool armFaultsFromEnv() noexcept {
+  const char* site = std::getenv("PRESAT_FAULT_SITE");
+  if (site == nullptr || *site == '\0') return false;
+  uint64_t after = 1;
+  if (const char* a = std::getenv("PRESAT_FAULT_AFTER"); a != nullptr && *a != '\0') {
+    after = std::strtoull(a, nullptr, 10);
+  } else if (const char* s = std::getenv("PRESAT_FAULT_SEED"); s != nullptr && *s != '\0') {
+    // Deterministic depth in [1, 256] derived from (site, seed).
+    after = 1 + hashSiteSeed(site, std::strtoull(s, nullptr, 10)) % 256;
+  }
+  armFault(site, after);
+  return true;
+}
+
+uint64_t faultHits() noexcept { return g_hits.load(std::memory_order_relaxed); }
+bool faultFired() noexcept { return g_fired.load(std::memory_order_relaxed); }
+
+}  // namespace presat::faults
+
+#endif  // PRESAT_FAULTS

@@ -1,0 +1,97 @@
+#include "govern/governor.hpp"
+
+#include "base/check.hpp"
+#include "base/metrics.hpp"
+#include "govern/faults.hpp"
+
+namespace presat {
+
+const char* outcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kComplete: return "complete";
+    case Outcome::kDeadline: return "deadline";
+    case Outcome::kMemory: return "memory";
+    case Outcome::kConflicts: return "conflicts";
+    case Outcome::kCancelled: return "cancelled";
+    case Outcome::kCubeCap: return "cube-cap";
+  }
+  PRESAT_CHECK(false) << "unknown Outcome " << static_cast<int>(outcome);
+  return "?";
+}
+
+Outcome combineOutcomes(Outcome a, Outcome b) {
+  if (a == Outcome::kComplete) return b;
+  if (b == Outcome::kComplete) return a;
+  // Urgency order: cancellation > memory > deadline > conflicts > cube cap.
+  // (Cancellation usually *caused* the others to be moot; caps are mildest.)
+  auto rank = [](Outcome o) {
+    switch (o) {
+      case Outcome::kCancelled: return 4;
+      case Outcome::kMemory: return 3;
+      case Outcome::kDeadline: return 2;
+      case Outcome::kConflicts: return 1;
+      case Outcome::kCubeCap: return 0;
+      case Outcome::kComplete: break;
+    }
+    return -1;
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+void Governor::trip(Outcome why) {
+  PRESAT_DCHECK(why != Outcome::kComplete) << "cannot trip with kComplete";
+  uint8_t expected = static_cast<uint8_t>(Outcome::kComplete);
+  // First reason wins; later trips are ignored so the report is stable.
+  reason_.compare_exchange_strong(expected, static_cast<uint8_t>(why),
+                                  std::memory_order_relaxed);
+}
+
+void Governor::charge(uint64_t bytes) {
+  uint64_t now = bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peakBytes_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peakBytes_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void Governor::release(uint64_t bytes) {
+  uint64_t before = bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  PRESAT_DCHECK(before >= bytes) << "governor byte pool underflow: releasing "
+                                 << bytes << " of " << before;
+}
+
+Outcome Governor::poll() {
+  uint64_t tick = polls_.fetch_add(1, std::memory_order_relaxed);
+  Outcome latched = loadReason();
+  if (latched != Outcome::kComplete) return latched;
+
+  if ((budget_.cancel != nullptr && budget_.cancel->cancelled()) ||
+      faults::maybeFail("govern.cancel")) {
+    trip(Outcome::kCancelled);
+  } else if ((budget_.memLimitBytes != 0 &&
+              bytes_.load(std::memory_order_relaxed) > budget_.memLimitBytes) ||
+             faults::maybeFail("govern.memory")) {
+    trip(Outcome::kMemory);
+  } else if (budget_.conflictLimit != 0 &&
+             conflicts_.load(std::memory_order_relaxed) >= budget_.conflictLimit) {
+    trip(Outcome::kConflicts);
+  } else if ((budget_.deadlineSeconds > 0.0 && tick % kClockPeriod == 0 &&
+              timer_.seconds() >= budget_.deadlineSeconds) ||
+             faults::maybeFail("govern.deadline")) {
+    trip(Outcome::kDeadline);
+  }
+  return loadReason();
+}
+
+void Governor::exportMetrics(Metrics& m) const {
+  m.setCounter("govern.tracked_bytes", trackedBytes());
+  m.setCounter("govern.tracked_bytes_peak", peakTrackedBytes());
+  m.setCounter("govern.conflicts", conflicts());
+  m.setCounter("govern.polls", polls_.load(std::memory_order_relaxed));
+  m.setCounter("govern.mem_limit_bytes", budget_.memLimitBytes);
+  m.setCounter("govern.conflict_limit", budget_.conflictLimit);
+  m.setGauge("govern.deadline_seconds", budget_.deadlineSeconds);
+  m.setLabel("govern.outcome", outcomeName(reason()));
+}
+
+}  // namespace presat

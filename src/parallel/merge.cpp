@@ -45,6 +45,7 @@ AllSatResult mergeShardSummaries(std::vector<ShardOutcome>& shards) {
     // Disjoint shards: the union count is the sum of the shard counts.
     merged.mintermCount += shard.result.mintermCount;
     merged.complete = merged.complete && shard.result.complete;
+    merged.outcome = combineOutcomes(merged.outcome, shard.result.outcome);
     accumulateShardStats(merged.stats, shard.result.stats);
     merged.metrics.merge(shard.result.metrics);
   }

@@ -34,6 +34,11 @@ struct ShardOutcome {
   AllSatResult result; // sub-enumeration over the same projection scope
   SolutionGraph graph; // success-driven shards only
   bool hasGraph = false;
+  // False until the shard's task body actually executed. A tripped governor
+  // drains the worker pool, so late shards never run; the parallel driver
+  // rewrites those slots as empty partial results (guide set, zero cubes,
+  // the governor's stop reason) before merging.
+  bool ran = false;
 };
 
 // Sums `shard` into `total` (counters only; seconds is owned by the caller's
@@ -41,8 +46,11 @@ struct ShardOutcome {
 void accumulateShardStats(AllSatStats& total, const AllSatStats& shard);
 
 // Concatenates shard cube lists and adds counts/stats in shard order.
-// `complete` ANDs across shards; metrics merge (the caller re-exports the
-// accumulated stats afterwards). Sound only for disjoint shards.
+// `complete` ANDs across shards and `outcome` combines via combineOutcomes
+// (most urgent stop reason wins); metrics merge (the caller re-exports the
+// accumulated stats afterwards). Sound only for disjoint shards: a partial
+// shard under-enumerates its own region, so the concatenation stays a sound
+// under-approximation and the summed count a lower bound.
 AllSatResult mergeShardSummaries(std::vector<ShardOutcome>& shards);
 
 // Merges the shard solution graphs under a decision tree over `splitVars`

@@ -8,6 +8,8 @@
 #include "base/timer.hpp"
 #include "bdd/bdd.hpp"
 #include "check/audit_solution_graph.hpp"
+#include "govern/faults.hpp"
+#include "govern/governor.hpp"
 #include "parallel/cube_splitter.hpp"
 #include "parallel/merge.hpp"
 #include "parallel/worker_pool.hpp"
@@ -33,13 +35,58 @@ AllSatOptions shardOptions(const AllSatOptions& options, size_t shard) {
   return inner;
 }
 
-void exportParallelMetrics(const WorkerPool& pool, size_t numShards, double cpuSeconds,
-                           Metrics& m) {
+void exportParallelMetrics(const WorkerPool& pool, size_t numShards, size_t shardsSkipped,
+                           double cpuSeconds, Metrics& m) {
   pool.exportMetrics(m);
   m.setCounter("parallel.shards", numShards);
+  m.setCounter("parallel.shards_skipped", shardsSkipped);
   // Sum of per-shard solve time: cpu_seconds / time.seconds is the achieved
   // parallel speedup.
   m.setGauge("parallel.cpu_seconds", cpuSeconds);
+}
+
+// The pool's stop predicate: once the shared governor trips, workers drain
+// instead of popping further shards.
+std::function<bool()> governorStop(const Governor* governor) {
+  if (governor == nullptr) return nullptr;
+  return [governor] { return governor->tripped(); };
+}
+
+// Shard-task prologue: the injected "one worker died" drill cancels the
+// shared governor, then a tripped governor skips the body entirely. Returns
+// true when the shard should run.
+bool beginShard(Governor* governor) {
+  if (faults::maybeFail("parallel.shard") && governor != nullptr) {
+    governor->trip(Outcome::kCancelled);
+  }
+  return governor == nullptr || !governor->tripped();
+}
+
+// Rewrites shard slots whose task never ran (drained after a trip, or skipped
+// by beginShard) as empty partial results — guide attached, zero cubes, the
+// governor's stop reason — so merge and audit see the uniform shard shape.
+// Returns the number of rewritten shards.
+size_t degradeSkippedShards(std::vector<ShardOutcome>& shards, const SplitPlan& plan,
+                            const Governor* governor, bool needGraph) {
+  size_t skipped = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    ShardOutcome& shard = shards[i];
+    if (shard.ran) continue;
+    ++skipped;
+    shard.guide = plan.cubes[i];
+    shard.result.complete = false;
+    shard.result.outcome = governor != nullptr && governor->tripped()
+                               ? governor->reason()
+                               : Outcome::kCancelled;
+    if (needGraph) {
+      // An empty all-FAIL graph keeps the decision-tree merge well-formed;
+      // it contributes no cubes, which is the sound degradation for a shard
+      // that never searched.
+      shard.graph.setRoot(SolutionGraph::kFail, {});
+      shard.hasGraph = true;
+    }
+  }
+  return skipped;
 }
 
 }  // namespace
@@ -52,21 +99,28 @@ SuccessDrivenResult parallelSuccessDrivenAllSat(const CircuitAllSatProblem& prob
 
   SplitPlan plan = planCircuitSplit(problem, options.parallel.splitDepth);
   std::vector<ShardOutcome> shards(plan.cubes.size());
+  Governor* governor = options.governor;
 
   WorkerPool pool(options.parallel.jobs);
-  pool.run(plan.cubes.size(), [&](size_t i, int /*worker*/) {
-    // Workers read the shared netlist and write only their own shard slot.
-    CircuitAllSatProblem sub = problem;
-    for (Lit l : plan.cubes[i]) {
-      sub.objectives.emplace_back(problem.projectionSources[static_cast<size_t>(l.var())],
-                                  !l.sign());
-    }
-    SuccessDrivenResult r = successDrivenAllSat(sub, shardOptions(options, i));
-    shards[i].guide = plan.cubes[i];
-    shards[i].result = std::move(r.summary);
-    shards[i].graph = std::move(r.graph);
-    shards[i].hasGraph = true;
-  });
+  pool.run(
+      plan.cubes.size(),
+      [&](size_t i, int /*worker*/) {
+        if (!beginShard(governor)) return;
+        shards[i].ran = true;
+        // Workers read the shared netlist and write only their own shard slot.
+        CircuitAllSatProblem sub = problem;
+        for (Lit l : plan.cubes[i]) {
+          sub.objectives.emplace_back(problem.projectionSources[static_cast<size_t>(l.var())],
+                                      !l.sign());
+        }
+        SuccessDrivenResult r = successDrivenAllSat(sub, shardOptions(options, i));
+        shards[i].guide = plan.cubes[i];
+        shards[i].result = std::move(r.summary);
+        shards[i].graph = std::move(r.graph);
+        shards[i].hasGraph = true;
+      },
+      governorStop(governor));
+  size_t shardsSkipped = degradeSkippedShards(shards, plan, governor, /*needGraph=*/true);
 
   PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(
       auditShardPartition(shards, static_cast<int>(problem.projectionSources.size()))));
@@ -82,23 +136,29 @@ SuccessDrivenResult parallelSuccessDrivenAllSat(const CircuitAllSatProblem& prob
   result.summary.stats.graphNodes = result.graph.numNodes();
   result.summary.stats.graphEdges = result.graph.numLiveEdges();
   result.summary.metrics = std::move(merged.metrics);
+  result.summary.outcome = merged.outcome;
 
-  // Same enumeration-cap semantics as the serial engine: the merged graph is
-  // always complete; one probe path past the cap decides the flag.
+  // Same enumeration-cap semantics as the serial engine: one probe path past
+  // the cap decides the flag. Under a tripped governor the merged graph is a
+  // pruned (sound) under-approximation, and the trip reason outranks the cap
+  // in combineOutcomes.
   if (options.maxCubes == 0) {
     result.summary.cubes = result.graph.enumerateCubes(0);
-    result.summary.complete = true;
   } else {
     uint64_t probe = options.maxCubes == UINT64_MAX ? options.maxCubes : options.maxCubes + 1;
     result.summary.cubes = result.graph.enumerateCubes(probe);
-    result.summary.complete = result.summary.cubes.size() <= options.maxCubes;
-    if (!result.summary.complete) result.summary.cubes.pop_back();
+    if (result.summary.cubes.size() > options.maxCubes) {
+      result.summary.cubes.pop_back();
+      result.summary.outcome = combineOutcomes(result.summary.outcome, Outcome::kCubeCap);
+    }
   }
 
   result.summary.stats.seconds = timer.seconds();
   result.summary.metrics.setLabel("engine", "success-driven");
   exportStatsToMetrics(result.summary.stats, result.summary.metrics);
-  exportParallelMetrics(pool, shards.size(), cpuSeconds, result.summary.metrics);
+  exportParallelMetrics(pool, shards.size(), shardsSkipped, cpuSeconds,
+                        result.summary.metrics);
+  finishResult(result.summary, governor);
 
   PRESAT_AUDIT_CHEAP({
     SolutionGraphAuditOptions auditOptions;
@@ -117,9 +177,12 @@ AllSatResult parallelCnfAllSat(const Cnf& cnf, const std::vector<Var>& projectio
 
   SplitPlan plan = planCnfSplit(cnf, projection, options.parallel.splitDepth);
   std::vector<ShardOutcome> shards(plan.cubes.size());
+  Governor* governor = options.governor;
 
   WorkerPool pool(options.parallel.jobs);
-  pool.run(plan.cubes.size(), [&](size_t i, int /*worker*/) {
+  auto shardTask = [&](size_t i, int /*worker*/) {
+    if (!beginShard(governor)) return;
+    shards[i].ran = true;
     const LitVec& guide = plan.cubes[i];
     // Guide literals in the original variable space.
     LitVec guideOrig;
@@ -165,7 +228,9 @@ AllSatResult parallelCnfAllSat(const Cnf& cnf, const std::vector<Var>& projectio
     }
     shards[i].guide = guide;
     shards[i].result = std::move(r);
-  });
+  };
+  pool.run(plan.cubes.size(), shardTask, governorStop(governor));
+  size_t shardsSkipped = degradeSkippedShards(shards, plan, governor, /*needGraph=*/false);
 
   PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(
       auditShardPartition(shards, static_cast<int>(projection.size()))));
@@ -179,7 +244,7 @@ AllSatResult parallelCnfAllSat(const Cnf& cnf, const std::vector<Var>& projectio
   // deterministic) and recount: the kept prefix may overlap under lifting.
   if (options.maxCubes != 0 && result.cubes.size() > options.maxCubes) {
     result.cubes.resize(options.maxCubes);
-    result.complete = false;
+    result.outcome = combineOutcomes(result.outcome, Outcome::kCubeCap);
     result.mintermCount =
         countCubeUnionMinterms(result.cubes, static_cast<int>(projection.size()));
   }
@@ -190,7 +255,8 @@ AllSatResult parallelCnfAllSat(const Cnf& cnf, const std::vector<Var>& projectio
   if (engine == ParallelCnfEngine::kChrono) engineLabel = "chrono";
   result.metrics.setLabel("engine", engineLabel);
   exportStatsToMetrics(result.stats, result.metrics);
-  exportParallelMetrics(pool, shards.size(), cpuSeconds, result.metrics);
+  exportParallelMetrics(pool, shards.size(), shardsSkipped, cpuSeconds, result.metrics);
+  finishResult(result, governor);
   return result;
 }
 

@@ -57,7 +57,8 @@ bool nextTask(std::vector<WorkerShard>& shards, size_t self, size_t& taskOut, bo
 
 WorkerPool::WorkerPool(int numThreads) : numThreads_(numThreads < 1 ? 1 : numThreads) {}
 
-void WorkerPool::run(size_t numTasks, const std::function<void(size_t task, int worker)>& fn) {
+void WorkerPool::run(size_t numTasks, const std::function<void(size_t task, int worker)>& fn,
+                     const std::function<bool()>& stop) {
   PRESAT_CHECK(fn != nullptr);
   size_t workers = static_cast<size_t>(numThreads_);
   std::vector<WorkerShard> shards(workers);
@@ -67,11 +68,11 @@ void WorkerPool::run(size_t numTasks, const std::function<void(size_t task, int 
     shards[t % workers].tasks.push_back(t);
   }
 
-  auto workerMain = [&shards, &fn](size_t self) {
+  auto workerMain = [&shards, &fn, &stop](size_t self) {
     WorkerPoolStats& stats = shards[self].stats;
     size_t task = 0;
     bool stolen = false;
-    while (nextTask(shards, self, task, stolen)) {
+    while (!(stop != nullptr && stop()) && nextTask(shards, self, task, stolen)) {
       auto start = std::chrono::steady_clock::now();
       fn(task, static_cast<int>(self));
       auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -96,8 +97,13 @@ void WorkerPool::run(size_t numTasks, const std::function<void(size_t task, int 
     for (std::thread& t : threads) t.join();
   }
 
+  // Once a stop predicate has tripped, abandoned queue entries are the
+  // expected graceful-degradation outcome; without one the batch-closed
+  // contract still holds exactly.
+  bool stopped = stop != nullptr && stop();
   for (WorkerShard& shard : shards) {
-    PRESAT_CHECK(shard.tasks.empty()) << "worker pool left tasks behind";
+    PRESAT_CHECK(stopped || shard.tasks.empty()) << "worker pool left tasks behind";
+    stats_.tasksSkipped += shard.tasks.size();
     stats_.tasksRun += shard.stats.tasksRun;
     stats_.steals += shard.stats.steals;
     stats_.queueDepth.merge(shard.stats.queueDepth);
@@ -109,6 +115,7 @@ void WorkerPool::exportMetrics(Metrics& m) const {
   m.setCounter("parallel.jobs", static_cast<uint64_t>(numThreads_));
   m.setCounter("parallel.tasks", stats_.tasksRun);
   m.setCounter("parallel.steals", stats_.steals);
+  m.setCounter("parallel.tasks_skipped", stats_.tasksSkipped);
   m.histogram("parallel.queue_depth").merge(stats_.queueDepth);
   m.histogram("parallel.task_us").merge(stats_.taskMicros);
 }

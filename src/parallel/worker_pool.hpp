@@ -26,6 +26,7 @@ namespace presat {
 struct WorkerPoolStats {
   uint64_t tasksRun = 0;
   uint64_t steals = 0;        // tasks obtained from another worker's deque
+  uint64_t tasksSkipped = 0;  // tasks drained un-run because stop() tripped
   Histogram queueDepth;       // own-deque depth observed at each pop attempt
   Histogram taskMicros;       // per-task wall time, microseconds
 };
@@ -40,7 +41,16 @@ class WorkerPool {
   // Runs fn(task, worker) for every task in [0, numTasks), blocking until all
   // complete. A task that throws aborts via the PRESAT_CHECK path — engines
   // report failure through their result slots, not exceptions.
-  void run(size_t numTasks, const std::function<void(size_t task, int worker)>& fn);
+  //
+  // `stop` (optional) is the cooperative-cancellation hook: each worker
+  // re-evaluates it before popping another task and, once it returns true,
+  // drains — in-flight tasks finish normally, queued tasks are abandoned and
+  // counted in tasksSkipped. run() still joins every worker before
+  // returning, so the caller sees a quiescent pool either way. The batch-
+  // closed invariant (no tasks left behind) is only enforced when no stop
+  // predicate tripped.
+  void run(size_t numTasks, const std::function<void(size_t task, int worker)>& fn,
+           const std::function<bool()>& stop = nullptr);
 
   // Stats of every run() so far (aggregated across workers after each join,
   // so reading them between runs needs no synchronization).

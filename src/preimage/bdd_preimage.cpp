@@ -6,9 +6,10 @@
 
 namespace presat {
 
-BddTransition::BddTransition(const TransitionSystem& system)
+BddTransition::BddTransition(const TransitionSystem& system, Governor* governor)
     : system_(system),
       mgr_(system.numStateBits() + system.numInputs()) {
+  mgr_.setGovernor(governor);
   const Netlist& nl = system.netlist();
   // Node -> BDD over (state, input) variables, built in topological order.
   std::vector<BddRef> nodeBdd(nl.numNodes(), BddManager::kFalse);
@@ -112,9 +113,11 @@ BigUint BddTransition::countStates(BddRef stateBdd) {
   return count;
 }
 
-BddRelationalTransition::BddRelationalTransition(const TransitionSystem& system)
+BddRelationalTransition::BddRelationalTransition(const TransitionSystem& system,
+                                                 Governor* governor)
     : system_(system),
       mgr_(2 * system.numStateBits() + system.numInputs()) {
+  mgr_.setGovernor(governor);
   const int n = system.numStateBits();
   const Netlist& nl = system.netlist();
   std::vector<BddRef> nodeBdd(nl.numNodes(), BddManager::kFalse);

@@ -16,7 +16,10 @@ namespace presat {
 
 class BddTransition {
  public:
-  explicit BddTransition(const TransitionSystem& system);
+  // `governor` (optional, not owned) governs the node pool: construction —
+  // which builds the per-state-bit function BDDs — and every later query
+  // throw GovernorStop once it trips. See BddManager::setGovernor.
+  explicit BddTransition(const TransitionSystem& system, Governor* governor = nullptr);
 
   BddManager& manager() { return mgr_; }
   // BDD variable index of state bit i is i; of input j is numStateBits + j.
@@ -43,7 +46,10 @@ class BddTransition {
 // Variable order: s at 0..n-1, s' at n..2n-1, inputs at 2n..2n+m-1.
 class BddRelationalTransition {
  public:
-  explicit BddRelationalTransition(const TransitionSystem& system);
+  // `governor` as in BddTransition (here it additionally governs the
+  // monolithic transition-relation build).
+  explicit BddRelationalTransition(const TransitionSystem& system,
+                                   Governor* governor = nullptr);
 
   BddManager& manager() { return mgr_; }
   BddRef relation() const { return relation_; }

@@ -13,6 +13,7 @@
 #include "circuit/simulator.hpp"
 #include "circuit/strash.hpp"
 #include "circuit/tseitin.hpp"
+#include "govern/governor.hpp"
 #include "parallel/parallel_allsat.hpp"
 #include "preimage/bdd_preimage.hpp"
 
@@ -135,6 +136,7 @@ PreimageResult fromAllSat(AllSatResult&& r, int numStateBits) {
   result.states.cubes = std::move(r.cubes);
   result.stateCount = std::move(r.mintermCount);
   result.complete = r.complete;
+  result.outcome = r.outcome;
   result.stats = r.stats;
   result.metrics = std::move(r.metrics);
   result.seconds = r.stats.seconds;
@@ -142,6 +144,14 @@ PreimageResult fromAllSat(AllSatResult&& r, int numStateBits) {
   // par1 == par8 straight off the metrics line.
   result.metrics.setCounter("pre.cubes", result.states.cubes.size());
   return result;
+}
+
+// Epilogue mirroring allsat's finishResult for the engines that assemble a
+// PreimageResult directly (success-driven loop, the two BDD baselines).
+void finishPreimage(PreimageResult& result, const Governor* governor) {
+  result.complete = (result.outcome == Outcome::kComplete);
+  result.metrics.setLabel("outcome", outcomeName(result.outcome));
+  if (governor != nullptr) governor->exportMetrics(result.metrics);
 }
 
 }  // namespace
@@ -220,6 +230,7 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
         result.states.cubes.insert(result.states.cubes.end(), sub.summary.cubes.begin(),
                                    sub.summary.cubes.end());
         result.complete = result.complete && sub.summary.complete;
+        result.outcome = combineOutcomes(result.outcome, sub.summary.outcome);
         result.stats.satCalls += 1;
         result.stats.decisions += sub.summary.stats.decisions;
         result.stats.conflicts += sub.summary.stats.conflicts;
@@ -245,40 +256,61 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
       result.metrics.setLabel("engine", "success-driven");
       result.metrics.setCounter("pre.cubes", result.states.cubes.size());
       exportStatsToMetrics(result.stats, result.metrics);
+      finishPreimage(result, options.allsat.governor);
       return result;
     }
     case PreimageMethod::kBdd: {
       Timer timer;
-      BddTransition transition(system);
-      BddRef pre = transition.preimage(target.toBdd(transition.manager()));
+      Governor* governor = options.allsat.governor;
       PreimageResult result;
-      result.states = transition.toStateSet(pre);
-      result.stateCount = transition.countStates(pre);
+      result.states.numStateBits = n;
+      try {
+        BddTransition transition(system, governor);
+        BddRef pre = transition.preimage(target.toBdd(transition.manager()));
+        result.states = transition.toStateSet(pre);
+        result.stateCount = transition.countStates(pre);
+        result.bddNodes = transition.manager().numNodes();
+      } catch (const GovernorStop& stop) {
+        // Mid-apply there is no usable partial BDD; the empty set is the
+        // sound under-approximation this engine degrades to.
+        result.states.cubes.clear();
+        result.stateCount = BigUint(0);
+        result.outcome = stop.reason;
+      }
       result.seconds = timer.seconds();
-      result.bddNodes = transition.manager().numNodes();
       result.metrics.setLabel("engine", "bdd");
       result.metrics.setCounter("bdd.nodes", result.bddNodes);
       result.metrics.setCounter("pre.cubes", result.states.cubes.size());
       result.metrics.setGauge("time.seconds", result.seconds);
+      finishPreimage(result, governor);
       return result;
     }
     case PreimageMethod::kBddRelational: {
       Timer timer;
-      BddRelationalTransition transition(system);
-      BddRef pre = transition.preimage(target.toBdd(transition.manager()));
+      Governor* governor = options.allsat.governor;
       PreimageResult result;
-      result.states = transition.toStateSet(pre);
-      // The relational manager spans s, s', x; a state BDD's satCount must
-      // shed the factor for the 2n+m - n variables outside its support.
-      BigUint count = transition.manager().satCount(pre);
-      count >>= static_cast<uint32_t>(system.numStateBits() + system.numInputs());
-      result.stateCount = std::move(count);
+      result.states.numStateBits = n;
+      try {
+        BddRelationalTransition transition(system, governor);
+        BddRef pre = transition.preimage(target.toBdd(transition.manager()));
+        result.states = transition.toStateSet(pre);
+        // The relational manager spans s, s', x; a state BDD's satCount must
+        // shed the factor for the 2n+m - n variables outside its support.
+        BigUint count = transition.manager().satCount(pre);
+        count >>= static_cast<uint32_t>(system.numStateBits() + system.numInputs());
+        result.stateCount = std::move(count);
+        result.bddNodes = transition.manager().numNodes();
+      } catch (const GovernorStop& stop) {
+        result.states.cubes.clear();
+        result.stateCount = BigUint(0);
+        result.outcome = stop.reason;
+      }
       result.seconds = timer.seconds();
-      result.bddNodes = transition.manager().numNodes();
       result.metrics.setLabel("engine", "bdd-relational");
       result.metrics.setCounter("bdd.nodes", result.bddNodes);
       result.metrics.setCounter("pre.cubes", result.states.cubes.size());
       result.metrics.setGauge("time.seconds", result.seconds);
+      finishPreimage(result, governor);
       return result;
     }
   }

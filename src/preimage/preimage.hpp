@@ -53,9 +53,15 @@ struct PreimageOptions {
 };
 
 struct PreimageResult {
-  StateSet states;      // union of cubes = exact preimage
-  BigUint stateCount;   // exact number of states in the union
+  StateSet states;      // union of cubes = exact preimage (a sound
+                        // under-approximation when outcome != kComplete)
+  BigUint stateCount;   // exact count of the union (lower bound when partial)
   bool complete = true;
+  // Structured stop reason (govern/budget.hpp); always consistent with
+  // `complete`. The BDD engines degrade to the EMPTY set on a trip — the
+  // symbolic recursion has no usable partial answer — which is still a
+  // sound under-approximation.
+  Outcome outcome = Outcome::kComplete;
   AllSatStats stats;    // zero-initialized for the BDD engine
   // Observability export of `stats` (plus engine-specific histograms, merged
   // across per-target-cube sub-runs for the success-driven engine).

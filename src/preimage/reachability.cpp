@@ -6,6 +6,7 @@
 #include "base/log.hpp"
 #include "base/timer.hpp"
 #include "bdd/bdd.hpp"
+#include "govern/governor.hpp"
 
 namespace presat {
 
@@ -13,7 +14,8 @@ namespace {
 
 // Serializes the per-depth records and totals into `result.metrics` under
 // the stable names validated by tools/check_stats_json.py.
-void exportReachMetrics(ReachabilityResult& result, PreimageMethod method) {
+void exportReachMetrics(ReachabilityResult& result, PreimageMethod method,
+                        const Governor* governor) {
   Metrics& m = result.metrics;
   for (const ReachabilityStep& step : result.steps) {
     char buf[32];
@@ -36,6 +38,8 @@ void exportReachMetrics(ReachabilityResult& result, PreimageMethod method) {
   m.setGauge("time.preimage_seconds", result.preimageSeconds);
   m.setGauge("time.algebra_seconds", result.algebraSeconds);
   m.setLabel("engine", preimageMethodName(method));
+  m.setLabel("outcome", outcomeName(result.outcome));
+  if (governor != nullptr) governor->exportMetrics(m);
 }
 
 }  // namespace
@@ -51,48 +55,76 @@ ReachabilityResult backwardReach(const TransitionSystem& system, const StateSet&
 
   // Persistent manager for the set algebra between steps. Every BDD
   // operation runs inside an `algebra` span so totalSeconds decomposes into
-  // preimage time + set-algebra time (+ negligible loop overhead).
+  // preimage time + set-algebra time (+ negligible loop overhead). The
+  // governor (if any) also governs this manager: set-algebra node growth
+  // counts against the memory budget, and a trip unwinds via GovernorStop to
+  // the catch below with `reached` still holding its last consistent value.
+  Governor* governor = options.allsat.governor;
   Timer algebra;
   BddManager mgr(n);
-  BddRef reached = target.toBdd(mgr);
-  BddRef frontier = reached;
-  result.algebraSeconds += algebra.seconds();
+  mgr.setGovernor(governor);
+  BddRef reached = BddManager::kFalse;
+  BddRef frontier = BddManager::kFalse;
+  try {
+    reached = target.toBdd(mgr);
+    frontier = reached;
+    result.algebraSeconds += algebra.seconds();
 
-  for (int depth = 1; depth <= maxDepth; ++depth) {
-    if (frontier == BddManager::kFalse) {
-      result.fixpoint = true;
-      break;
+    for (int depth = 1; depth <= maxDepth; ++depth) {
+      if (frontier == BddManager::kFalse) {
+        result.fixpoint = true;
+        break;
+      }
+      algebra.reset();
+      StateSet frontierSet;
+      frontierSet.numStateBits = n;
+      frontierSet.cubes = mgr.enumerateCubes(frontier);
+      double stepAlgebra = algebra.seconds();
+
+      PreimageResult pre = computePreimage(system, frontierSet, method, options);
+
+      algebra.reset();
+      BddRef preBdd = pre.states.toBdd(mgr);
+      BddRef fresh = mgr.bddAnd(preBdd, mgr.bddNot(reached));
+      reached = mgr.bddOr(reached, preBdd);
+
+      ReachabilityStep step;
+      step.depth = depth;
+      step.newStates = mgr.satCount(fresh);
+      step.totalStates = mgr.satCount(reached);
+      step.seconds = pre.seconds;
+      step.stats = pre.stats;
+      step.frontierCubes = frontierSet.cubes.size();
+      stepAlgebra += algebra.seconds();
+      step.algebraSeconds = stepAlgebra;
+      result.steps.push_back(step);
+
+      result.preimageSeconds += pre.seconds;
+      result.algebraSeconds += stepAlgebra;
+      frontier = fresh;
+
+      if (pre.outcome != Outcome::kComplete) {
+        // Partial step: its cubes are genuine preimage states, so folding
+        // them in above was sound, but the frontier is truncated — iterating
+        // on it would never converge to the true fixpoint. Stop here with
+        // the step's reason and report `reached` as a lower bound.
+        result.outcome = pre.outcome;
+        break;
+      }
     }
-    algebra.reset();
-    StateSet frontierSet;
-    frontierSet.numStateBits = n;
-    frontierSet.cubes = mgr.enumerateCubes(frontier);
-    double stepAlgebra = algebra.seconds();
-
-    PreimageResult pre = computePreimage(system, frontierSet, method, options);
-    PRESAT_CHECK(pre.complete) << "reachability needs complete preimages";
-
-    algebra.reset();
-    BddRef preBdd = pre.states.toBdd(mgr);
-    BddRef fresh = mgr.bddAnd(preBdd, mgr.bddNot(reached));
-    reached = mgr.bddOr(reached, preBdd);
-
-    ReachabilityStep step;
-    step.depth = depth;
-    step.newStates = mgr.satCount(fresh);
-    step.totalStates = mgr.satCount(reached);
-    step.seconds = pre.seconds;
-    step.stats = pre.stats;
-    step.frontierCubes = frontierSet.cubes.size();
-    stepAlgebra += algebra.seconds();
-    step.algebraSeconds = stepAlgebra;
-    result.steps.push_back(step);
-
-    result.preimageSeconds += pre.seconds;
-    result.algebraSeconds += stepAlgebra;
-    frontier = fresh;
+  } catch (const GovernorStop& stop) {
+    // Set algebra tripped mid-operation. BddRef assignments are atomic at
+    // the statement level, so reached/frontier keep the last values that
+    // were fully computed; everything below is node-walk only (no mkNode)
+    // and cannot throw again.
+    result.outcome = stop.reason;
+    result.algebraSeconds += algebra.seconds();
   }
-  if (!result.fixpoint && frontier == BddManager::kFalse) result.fixpoint = true;
+  if (result.outcome != Outcome::kComplete) {
+    result.fixpoint = false;
+  } else if (!result.fixpoint && frontier == BddManager::kFalse) {
+    result.fixpoint = true;
+  }
 
   algebra.reset();
   result.reached.numStateBits = n;
@@ -100,7 +132,7 @@ ReachabilityResult backwardReach(const TransitionSystem& system, const StateSet&
   result.algebraSeconds += algebra.seconds();
 
   result.totalSeconds = total.seconds();
-  exportReachMetrics(result, method);
+  exportReachMetrics(result, method, governor);
   return result;
 }
 

@@ -30,6 +30,12 @@ struct ReachabilityStep {
 struct ReachabilityResult {
   StateSet reached;
   bool fixpoint = false;  // true if closed before hitting maxDepth
+  // Structured stop reason (govern/budget.hpp). On a partial step the
+  // iteration folds that step's sound under-approximation into `reached` and
+  // stops: `reached` is then a lower bound on the backward cone and
+  // `fixpoint` is forced false (closure cannot be claimed from a truncated
+  // frontier).
+  Outcome outcome = Outcome::kComplete;
   std::vector<ReachabilityStep> steps;
   // Wall time of the whole iteration, INCLUDING the inter-step set algebra —
   // the two components below account for where it went.

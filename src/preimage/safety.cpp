@@ -7,6 +7,7 @@
 #include "base/timer.hpp"
 #include "bdd/bdd.hpp"
 #include "circuit/tseitin.hpp"
+#include "govern/governor.hpp"
 #include "sat/solver.hpp"
 
 namespace presat {
@@ -100,10 +101,15 @@ SafetyResult checkSafety(const TransitionSystem& system, const StateSet& initial
   PRESAT_CHECK(initial.numStateBits == n && bad.numStateBits == n);
 
   SafetyResult result;
+  // The governor (if any) also governs the set-algebra manager; a trip
+  // unwinds via GovernorStop to the catch below, and the verdict degrades to
+  // kUnknown with the backward sets accumulated so far.
+  Governor* governor = options.preimage.allsat.governor;
   BddManager mgr(n);
-  BddRef initBdd = initial.toBdd(mgr);
-  BddRef reached = bad.toBdd(mgr);
-  BddRef frontier = reached;
+  mgr.setGovernor(governor);
+  BddRef initBdd = BddManager::kFalse;
+  BddRef reached = BddManager::kFalse;
+  BddRef frontier = BddManager::kFalse;
 
   // Layered backward sets: cumulative[d] = states reaching bad in <= d steps.
   std::vector<StateSet> cumulative;
@@ -113,67 +119,95 @@ SafetyResult checkSafety(const TransitionSystem& system, const StateSet& initial
     s.cubes = mgr.enumerateCubes(set);
     return s;
   };
-  cumulative.push_back(snapshot(reached));
 
   int hitDepth = -1;
-  if (mgr.bddAnd(initBdd, reached) != BddManager::kFalse) hitDepth = 0;
-
   int depth = 0;
-  while (hitDepth < 0 && depth < options.maxDepth) {
-    if (frontier == BddManager::kFalse) {
-      result.status = SafetyStatus::kSafe;
-      result.depth = depth;
-      break;
-    }
-    ++depth;
-    StateSet frontierSet = snapshot(frontier);
-    PreimageResult pre = computePreimage(system, frontierSet, options.method, options.preimage);
-    PRESAT_CHECK(pre.complete) << "safety checking needs complete preimages";
-    BddRef preBdd = pre.states.toBdd(mgr);
-    frontier = mgr.bddAnd(preBdd, mgr.bddNot(reached));
-    reached = mgr.bddOr(reached, preBdd);
+  try {
+    initBdd = initial.toBdd(mgr);
+    reached = bad.toBdd(mgr);
+    frontier = reached;
     cumulative.push_back(snapshot(reached));
-    if (mgr.bddAnd(initBdd, reached) != BddManager::kFalse) hitDepth = depth;
+    if (mgr.bddAnd(initBdd, reached) != BddManager::kFalse) hitDepth = 0;
 
-    // Per-depth record, same schema as backwardReach's reach metrics.
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "step.%04d.", depth);
-    std::string prefix(buf);
-    BigUint fresh = mgr.satCount(frontier);
-    if (fresh.fitsU64()) {
-      result.metrics.setCounter(prefix + "new_states", fresh.toU64());
-    } else {
-      result.metrics.setGauge(prefix + "new_states", fresh.toDouble());
+    while (hitDepth < 0 && depth < options.maxDepth) {
+      if (frontier == BddManager::kFalse) {
+        result.status = SafetyStatus::kSafe;
+        result.depth = depth;
+        break;
+      }
+      ++depth;
+      StateSet frontierSet = snapshot(frontier);
+      PreimageResult pre = computePreimage(system, frontierSet, options.method, options.preimage);
+      BddRef preBdd = pre.states.toBdd(mgr);
+      frontier = mgr.bddAnd(preBdd, mgr.bddNot(reached));
+      reached = mgr.bddOr(reached, preBdd);
+      cumulative.push_back(snapshot(reached));
+      if (mgr.bddAnd(initBdd, reached) != BddManager::kFalse) hitDepth = depth;
+
+      // Per-depth record, same schema as backwardReach's reach metrics.
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "step.%04d.", depth);
+      std::string prefix(buf);
+      BigUint fresh = mgr.satCount(frontier);
+      if (fresh.fitsU64()) {
+        result.metrics.setCounter(prefix + "new_states", fresh.toU64());
+      } else {
+        result.metrics.setGauge(prefix + "new_states", fresh.toDouble());
+      }
+      result.metrics.setCounter(prefix + "frontier_cubes", frontierSet.cubes.size());
+      result.metrics.setGauge(prefix + "seconds", pre.seconds);
+
+      if (pre.outcome != Outcome::kComplete) {
+        // Partial preimage: the fold above stays sound (every partial cube
+        // genuinely reaches bad), and an UNSAFE hit detected through it
+        // stands. Without a hit the truncated frontier cannot support a
+        // SAFE claim, so stop and leave the verdict kUnknown.
+        result.outcome = pre.outcome;
+        break;
+      }
     }
-    result.metrics.setCounter(prefix + "frontier_cubes", frontierSet.cubes.size());
-    result.metrics.setGauge(prefix + "seconds", pre.seconds);
+  } catch (const GovernorStop& stop) {
+    // Set algebra tripped: reached/frontier/cumulative keep the last fully
+    // computed values; the snapshot below is node-walk only and safe.
+    result.outcome = stop.reason;
   }
 
   result.backwardReached = snapshot(reached);
 
   if (hitDepth >= 0) {
-    result.status = SafetyStatus::kUnsafe;
-    result.depth = hitDepth;
-    // Trace extraction: start at an initial state inside the depth-d cone,
-    // then step into strictly shallower layers until the bad set is reached.
-    std::vector<bool> current =
-        pickState(mgr, mgr.bddAnd(initBdd, cumulative[static_cast<size_t>(hitDepth)].toBdd(mgr)),
-                  n);
-    result.traceStates.push_back(current);
-    for (int layer = hitDepth; layer > 0; --layer) {
-      if (bad.contains(current)) break;  // reached bad early
-      std::vector<bool> inputs, next;
-      bool found = findTransitionInto(system, current, cumulative[static_cast<size_t>(layer - 1)],
-                                      &inputs, &next);
-      PRESAT_CHECK(found) << "layered backward sets must admit a forward step";
-      result.traceInputs.push_back(std::move(inputs));
-      current = std::move(next);
+    try {
+      result.status = SafetyStatus::kUnsafe;
+      result.depth = hitDepth;
+      // Trace extraction: start at an initial state inside the depth-d cone,
+      // then step into strictly shallower layers until the bad set is
+      // reached.
+      std::vector<bool> current = pickState(
+          mgr, mgr.bddAnd(initBdd, cumulative[static_cast<size_t>(hitDepth)].toBdd(mgr)), n);
       result.traceStates.push_back(current);
+      for (int layer = hitDepth; layer > 0; --layer) {
+        if (bad.contains(current)) break;  // reached bad early
+        std::vector<bool> inputs, next;
+        bool found = findTransitionInto(system, current,
+                                        cumulative[static_cast<size_t>(layer - 1)], &inputs, &next);
+        PRESAT_CHECK(found) << "layered backward sets must admit a forward step";
+        result.traceInputs.push_back(std::move(inputs));
+        current = std::move(next);
+        result.traceStates.push_back(current);
+      }
+      PRESAT_CHECK(bad.contains(result.traceStates.back()))
+          << "counterexample does not end in the bad set";
+      // The forward replay may reach bad before exhausting the layers.
+      result.depth = static_cast<int>(result.traceInputs.size());
+    } catch (const GovernorStop& stop) {
+      // The budget died between the verdict and its witness. Report the
+      // undecided outcome rather than an UNSAFE verdict backed by a broken
+      // counterexample.
+      result.status = SafetyStatus::kUnknown;
+      result.outcome = stop.reason;
+      result.traceStates.clear();
+      result.traceInputs.clear();
+      result.depth = depth;
     }
-    PRESAT_CHECK(bad.contains(result.traceStates.back()))
-        << "counterexample does not end in the bad set";
-    // The forward replay may reach bad before exhausting the layers.
-    result.depth = static_cast<int>(result.traceInputs.size());
   } else if (result.status != SafetyStatus::kSafe) {
     result.status = SafetyStatus::kUnknown;
     result.depth = depth;
@@ -184,6 +218,8 @@ SafetyResult checkSafety(const TransitionSystem& system, const StateSet& initial
   result.metrics.setGauge("time.seconds", result.seconds);
   result.metrics.setLabel("engine", preimageMethodName(options.method));
   result.metrics.setLabel("status", safetyStatusName(result.status));
+  result.metrics.setLabel("outcome", outcomeName(result.outcome));
+  if (governor != nullptr) governor->exportMetrics(result.metrics);
   return result;
 }
 

@@ -33,6 +33,12 @@ struct SafetyOptions {
 
 struct SafetyResult {
   SafetyStatus status = SafetyStatus::kUnknown;
+  // Structured stop reason (govern/budget.hpp). A budget trip mid-iteration
+  // degrades the verdict to kUnknown (never to kSafe — closure cannot be
+  // claimed from a truncated backward cone); an UNSAFE hit found before the
+  // trip stands, because the partial backward sets only ever contain states
+  // that genuinely reach the bad set.
+  Outcome outcome = Outcome::kComplete;
   // Depth at which the verdict was reached: counterexample length for
   // kUnsafe, closing depth for kSafe.
   int depth = 0;

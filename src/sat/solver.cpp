@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/check.hpp"
+#include "govern/faults.hpp"
 #include "sat/solver_internal.hpp"
 
 namespace presat {
@@ -99,6 +100,12 @@ Solver::InternalClause* Solver::allocClause(const LitVec& lits, bool learnt) {
   clause->learnt = learnt;
   InternalClause* raw = clause.get();
   clauses_.push_back(std::move(clause));
+  if (governor_ != nullptr) {
+    arenaLedger_.charge(clauseBytes(*raw));
+    // Injected allocation failure: modeled as hitting the memory ceiling —
+    // the trip latches and the search unwinds at its next poll.
+    if (faults::maybeFail("sat.alloc")) governor_->trip(Outcome::kMemory);
+  }
   if (learnt) {
     ++numLearnts_;
     ++stats_.learntClauses;
@@ -133,7 +140,22 @@ bool Solver::locked(const InternalClause* c) const {
   return reason_[static_cast<size_t>(v)] == c && value(c->lits[0]).isTrue();
 }
 
+uint64_t Solver::clauseBytes(const InternalClause& c) {
+  return sizeof(InternalClause) + c.lits.capacity() * sizeof(Lit);
+}
+
+void Solver::setGovernor(Governor* governor) {
+  governor_ = governor;
+  arenaLedger_.attach(governor);
+  if (governor != nullptr) {
+    // Clauses added before attach (the original problem) join the pool too,
+    // so the ceiling covers the whole arena, not just post-attach growth.
+    for (const auto& c : clauses_) arenaLedger_.charge(clauseBytes(*c));
+  }
+}
+
 void Solver::removeClause(InternalClause* c) {
+  if (governor_ != nullptr) arenaLedger_.release(clauseBytes(*c));
   detachClause(c);
   if (locked(c)) reason_[static_cast<size_t>(c->lits[0].var())] = nullptr;
   if (c->learnt) {
@@ -534,10 +556,15 @@ lbool Solver::search(int64_t conflictsBeforeRestart) {
   LitVec learnt;
 
   for (;;) {
+    if (governor_ != nullptr && governor_->poll() != Outcome::kComplete) {
+      cancelUntil(0);
+      return l_Undef;
+    }
     InternalClause* conflict = propagate();
     if (conflict != nullptr) {
       ++stats_.conflicts;
       ++conflictCount;
+      if (governor_ != nullptr) governor_->countConflicts(1);
       if (decisionLevel() == 0) {
         ok_ = false;
         return l_False;
@@ -625,6 +652,7 @@ lbool Solver::solve(const LitVec& assumptions) {
     ++restarts;
     maxLearnts_ *= learntGrowth_;
     if (status == l_Undef && budgetLimit_ != 0 && stats_.conflicts >= budgetLimit_) break;
+    if (status == l_Undef && governor_ != nullptr && governor_->tripped()) break;
   }
 
   if (status == l_True) {
@@ -705,9 +733,13 @@ lbool Solver::enumerateNextModel() {
   // No restarts here: a restart would cancel the flipped pseudo-decisions
   // that stand in for blocking clauses and re-enumerate old regions.
   for (;;) {
+    // Governed stop: keep the trail (the session stays resumable and
+    // endEnumeration() cleans up), report budget exhaustion to the caller.
+    if (governor_ != nullptr && governor_->poll() != Outcome::kComplete) return l_Undef;
     InternalClause* conflict = propagate();
     if (conflict != nullptr) {
       ++stats_.conflicts;
+      if (governor_ != nullptr) governor_->countConflicts(1);
       if (decisionLevel() == 0) {
         ok_ = false;
         enumExhausted_ = true;

@@ -16,6 +16,7 @@
 #include "base/check.hpp"
 #include "base/types.hpp"
 #include "cnf/cnf.hpp"
+#include "govern/governor.hpp"
 
 namespace presat {
 
@@ -125,6 +126,12 @@ class Solver {
   // --- knobs ------------------------------------------------------------------
   // 0 disables the budget. The budget applies per solve() call.
   void setConflictBudget(uint64_t maxConflicts) { conflictBudget_ = maxConflicts; }
+  // Attaches a resource governor (may be null to detach): the search loops
+  // poll it once per iteration and return l_Undef when it trips, conflicts
+  // are reported toward Budget::conflictLimit, and the clause arena's bytes
+  // are charged against the tracked-byte pool. The governor must outlive the
+  // solver (or be detached first).
+  void setGovernor(Governor* governor);
   // Preferred phase when the variable is first decided (phase saving then
   // takes over).
   void setPolarity(Var v, bool phase) { polarity_[static_cast<size_t>(v)] = phase; }
@@ -184,6 +191,9 @@ class Solver {
   void insertVarOrder(Var v);
 
   // -- clause plumbing
+  // Approximate resident size of a stored clause, charged against the
+  // governor's tracked-byte pool (Budget::memLimitBytes).
+  static uint64_t clauseBytes(const InternalClause& c);
   InternalClause* allocClause(const LitVec& lits, bool learnt);
   void attachClause(InternalClause* c);
   void detachClause(InternalClause* c);
@@ -261,6 +271,10 @@ class Solver {
 
   uint64_t randState_ = 91648253;
   double randomFreq_ = 0.0;
+
+  // Resource governance (null = ungoverned; the hot paths stay branch-only).
+  Governor* governor_ = nullptr;
+  MemoryLedger arenaLedger_;  // clause-arena bytes charged to the governor
 
   SolverStats stats_;
 };

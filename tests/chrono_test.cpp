@@ -112,6 +112,52 @@ TEST(Chrono, ConflictBudgetGivesPartialResult) {
   opts.conflictBudget = 10;
   AllSatResult r = chronoAllSat(cnf, {0, 1, 2, 3, 4, 5}, opts);
   EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.outcome, Outcome::kConflicts);
+  EXPECT_EQ(r.metrics.label("outcome"), "conflicts");
+  // The formula is UNSAT, so a sound partial answer has no cubes at all.
+  EXPECT_TRUE(r.cubes.empty());
+  EXPECT_TRUE(r.mintermCount.isZero());
+  // With a budget far above the refutation cost the same run completes.
+  opts.conflictBudget = 1u << 20;
+  AllSatResult full = chronoAllSat(cnf, {0, 1, 2, 3, 4, 5}, opts);
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.outcome, Outcome::kComplete);
+  EXPECT_TRUE(full.mintermCount.isZero());
+}
+
+// Satisfiable formulas under a starvation-level budget: whatever cube prefix
+// the engine managed to emit must be a sound under-approximation — pairwise
+// disjoint, a subset of the brute-force solution set, count a lower bound —
+// with the reason code distinguishing partial from complete.
+TEST(ChronoProperty, ConflictBudgetPartialsAreSoundUnderApproximations) {
+  Rng rng(57);
+  int sawPartial = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    int vars = static_cast<int>(rng.range(3, 9));
+    Cnf cnf = testutil::randomCnf(rng, vars, static_cast<int>(rng.range(4, 24)));
+    std::vector<Var> projection;
+    for (Var v = 0; v < vars; ++v) projection.push_back(v);
+    std::set<uint64_t> exact = bruteForceProjectedSolutions(cnf, projection);
+
+    AllSatOptions opts;
+    opts.conflictBudget = 1 + rng.range(0, 2);
+    opts.chronoShrink = false;  // minterm-grained enumeration so the budget bites
+    AllSatResult r = chronoAllSat(cnf, projection, opts);
+
+    std::set<uint64_t> got = cubesToMinterms(r.cubes, projection.size());
+    EXPECT_TRUE(cubesPairwiseDisjoint(r.cubes)) << "iter " << iter;
+    for (uint64_t m : got) EXPECT_TRUE(exact.count(m)) << "iter " << iter << " minterm " << m;
+    EXPECT_LE(r.mintermCount.toU64(), exact.size()) << "iter " << iter;
+    if (r.complete) {
+      EXPECT_EQ(r.outcome, Outcome::kComplete) << "iter " << iter;
+      EXPECT_EQ(got, exact) << "iter " << iter;
+    } else {
+      EXPECT_EQ(r.outcome, Outcome::kConflicts) << "iter " << iter;
+      ++sawPartial;
+    }
+  }
+  // The budget is tight enough that the partial path is genuinely exercised.
+  EXPECT_GT(sawPartial, 0);
 }
 
 // Cross-engine equivalence fuzz: chrono must agree with minterm blocking,

@@ -152,6 +152,59 @@ TEST(BenchIo, RejectsMalformedInput) {
   EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nG1 = NOT(G0)\nG1 = NOT(G0)\n"), "redefinition");
 }
 
+TEST(BenchIo, ErrorsCarryLineNumbers) {
+  // The offending construct sits on line 3 in each fixture; the message must
+  // say so (the PR-1 DIMACS hardening contract, mirrored for .bench).
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\n\nG1 = FROB(G0)\n"), "\\.bench line 3");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\n\nG1 = NOT(G0\n"), "\\.bench line 3");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\n\nWIDGET(G0)\n"), "\\.bench line 3");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nG1 = NOT(G0)\nG1 = BUF(G0)\n"),
+               "\\.bench line 3: redefinition of 'G1' \\(first defined at line 2\\)");
+}
+
+TEST(BenchIo, RejectsTruncatedConstructs) {
+  // Truncated or structurally empty lines die with a parse error, never a
+  // crash or a silently mis-built netlist.
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0\n"), "expected INPUT");
+  EXPECT_DEATH((void)parseBenchString("INPUT()\n"), "empty signal name");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\n = NOT(G0)\n"), "missing signal name");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nG1 = \n"), "expected name = GATE");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nG1 = NOT G0\n"), "expected name = GATE");
+}
+
+TEST(BenchIo, RejectsBadArity) {
+  // Arity violations are caught at scan time; unchecked, a 0-fanin NOT or a
+  // 2-fanin MUX indexes past the fanin array inside the engines.
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nG1 = NOT(G0, G0)\n"), "has 2 fanins");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nG1 = NOT()\n"), "has 0 fanins");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nG1 = MUX(G0, G0)\n"), "has 2 fanins");
+  EXPECT_DEATH((void)parseBenchString("G1 = CONST0(G1)\n"), "has 1 fanins");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nG1 = AND()\n"), "has 0 fanins");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nG1 = DFF(G0, G0)\n"), "has 2 fanins");
+  EXPECT_DEATH((void)parseBenchString("INPUT(G0)\nOUTPUT(G0)\nG1 = INPUT(G0)\n"),
+               "unknown gate type");
+}
+
+TEST(BenchIo, RejectsCombinationalCycle) {
+  // A purely combinational loop used to recurse until the stack overflowed;
+  // it must die with the cycle diagnostic instead.
+  EXPECT_DEATH((void)parseBenchString("OUTPUT(a)\na = BUF(b)\nb = BUF(a)\n"),
+               "combinational cycle");
+  EXPECT_DEATH((void)parseBenchString("OUTPUT(a)\na = AND(a, a)\n"), "combinational cycle");
+  EXPECT_DEATH(
+      (void)parseBenchString("INPUT(x)\nOUTPUT(a)\na = OR(x, b)\nb = NOT(c)\nc = BUF(a)\n"),
+      "combinational cycle");
+}
+
+TEST(BenchIo, DffFeedbackIsNotACycle) {
+  // State feedback through a DFF is legal and must keep parsing.
+  Netlist nl = parseBenchString("OUTPUT(q)\nq = DFF(d)\nd = NOT(q)\n");
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  TransitionSystem sys(nl);
+  EXPECT_EQ(sys.step({false}, {}), std::vector<bool>{true});
+  EXPECT_EQ(sys.step({true}, {}), std::vector<bool>{false});
+}
+
 TEST(Simulator, GateSemantics) {
   Netlist nl;
   NodeId a = nl.addInput("a");

@@ -21,6 +21,16 @@
 //   --split K   split-cube depth (2^K subcubes; default auto)
 //   --seed S    CDCL decision seed (Solver::setRandomSeed; reproducible
 //               diversification, results unchanged)
+// and the resource-budget flags (src/govern/; any of them attaches a
+// Governor; a budgeted run that stops early prints the stop reason and exits
+// with code 2, its printed cubes being a sound under-approximation):
+//   --timeout-ms N      wall-clock deadline
+//   --mem-limit-mb N    tracked-byte memory ceiling (clause arena +
+//                       solution graph + BDD pool)
+//   --conflict-limit N  global CDCL conflict cap
+// The deterministic fault-injection hooks (PRESAT_FAULTS builds) arm from
+// the PRESAT_FAULT_SITE / PRESAT_FAULT_AFTER / PRESAT_FAULT_SEED environment
+// variables at startup.
 //
 // CUBE is a string over the state bits, LSB (state bit 0) first, using
 // '0', '1', and 'x'/'-' for don't-care, e.g. --target 1x0x. Preimage METHOD
@@ -37,6 +47,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -56,6 +67,8 @@
 #include "circuit/from_cnf.hpp"
 #include "cnf/dimacs.hpp"
 #include "gen/generators.hpp"
+#include "govern/faults.hpp"
+#include "govern/governor.hpp"
 #include "parallel/parallel_allsat.hpp"
 #include "preimage/bmc.hpp"
 #include "preimage/image.hpp"
@@ -85,6 +98,8 @@ namespace {
                "  presat_cli audit    <file.cnf> | --gen SPEC [--target CUBE]\n"
                "\nSAT enumeration commands also take --jobs N (parallel cube-and-conquer),\n"
                "--split K (2^K subcubes), and --seed S (CDCL decision seed).\n"
+               "Budgets: --timeout-ms N, --mem-limit-mb N, --conflict-limit N; a run that\n"
+               "stops on a budget prints the reason and exits 2 with a sound partial result.\n"
                "CUBE: one char per state bit (bit 0 first): 0, 1, x/- for don't-care.\n"
                "SPEC: counter:N gray:N lfsr:N shift:N arbiter:N accum:N traffic lock\n");
   std::exit(2);
@@ -114,6 +129,28 @@ void applyEngineFlags(const Args& args, AllSatOptions& options) {
   options.randomSeed = args.u64Flag("seed", options.randomSeed);
   options.parallel.jobs = args.intFlag("jobs", options.parallel.jobs);
   options.parallel.splitDepth = args.intFlag("split", options.parallel.splitDepth);
+}
+
+// Shared --timeout-ms/--mem-limit-mb/--conflict-limit handling: builds the
+// Governor for a budgeted command, or null when no budget flag is given so
+// unbudgeted runs keep the ungoverned hot path (and bit-identical output).
+std::unique_ptr<Governor> makeGovernor(const Args& args) {
+  Budget budget;
+  budget.deadlineSeconds = static_cast<double>(args.u64Flag("timeout-ms", 0)) / 1000.0;
+  budget.memLimitBytes = args.u64Flag("mem-limit-mb", 0) * 1024 * 1024;
+  budget.conflictLimit = args.u64Flag("conflict-limit", 0);
+  if (budget.unlimited()) return nullptr;
+  return std::make_unique<Governor>(budget);
+}
+
+// Prints the partial-result notice and maps the outcome onto the documented
+// exit codes: 0 = complete, 2 = stopped early with a sound partial result.
+int finishOutcome(Outcome outcome) {
+  if (outcome == Outcome::kComplete) return 0;
+  // stderr, so `--stats json | check_stats_json.py` keeps a clean JSON stream.
+  std::fprintf(stderr, "partial result: stopped on %s (sound under-approximation)\n",
+               outcomeName(outcome));
+  return 2;
 }
 
 Args parseArgs(int argc, char** argv, int start) {
@@ -220,6 +257,8 @@ int cmdAllsat(const Args& args) {
   AllSatOptions options;
   options.maxCubes = static_cast<uint64_t>(args.intFlag("max", 0));
   applyEngineFlags(args, options);
+  std::unique_ptr<Governor> governor = makeGovernor(args);
+  options.governor = governor.get();
   std::string method = args.flag("method", "sd");
 
   AllSatResult result;
@@ -271,7 +310,7 @@ int cmdAllsat(const Args& args) {
   if (args.flag("stats") == "json") {
     std::printf("%s\n", result.metrics.toJson().c_str());
   }
-  return 0;
+  return finishOutcome(result.outcome);
 }
 
 int cmdPreimage(const Args& args) {
@@ -281,6 +320,8 @@ int cmdPreimage(const Args& args) {
   PreimageMethod method = parsePreimageMethod(args.flag("method", "success-driven"));
   PreimageOptions options;
   applyEngineFlags(args, options.allsat);
+  std::unique_ptr<Governor> governor = makeGovernor(args);
+  options.allsat.governor = governor.get();
   PreimageResult r = computePreimage(system, target, method, options);
   std::printf("preimage: %s states in %zu cubes (%s, %.3f ms)\n",
               r.stateCount.toDecimal().c_str(), r.states.cubes.size(), preimageMethodName(method),
@@ -291,7 +332,7 @@ int cmdPreimage(const Args& args) {
   if (args.flag("stats") == "json") {
     std::printf("%s\n", r.metrics.toJson().c_str());
   }
-  return 0;
+  return finishOutcome(r.outcome);
 }
 
 int cmdImage(const Args& args) {
@@ -317,6 +358,8 @@ int cmdReach(const Args& args) {
   int depth = args.intFlag("depth", 1000);
   PreimageOptions options;
   applyEngineFlags(args, options.allsat);
+  std::unique_ptr<Governor> governor = makeGovernor(args);
+  options.allsat.governor = governor.get();
   ReachabilityResult r = backwardReach(system, target, depth, method, options);
   std::printf("%5s %14s %14s %10s %10s\n", "depth", "new", "total", "pre-ms", "alg-ms");
   for (const ReachabilityStep& step : r.steps) {
@@ -330,7 +373,7 @@ int cmdReach(const Args& args) {
   if (args.flag("stats") == "json") {
     std::printf("%s\n", r.metrics.toJson().c_str());
   }
-  return 0;
+  return finishOutcome(r.outcome);
 }
 
 int cmdSafety(const Args& args) {
@@ -342,8 +385,14 @@ int cmdSafety(const Args& args) {
   options.method = parsePreimageMethod(args.flag("method", "success-driven"));
   options.maxDepth = args.intFlag("depth", options.maxDepth);
   applyEngineFlags(args, options.preimage.allsat);
+  std::unique_ptr<Governor> governor = makeGovernor(args);
+  options.preimage.allsat.governor = governor.get();
   SafetyResult r = checkSafety(system, init, bad, options);
   std::printf("%s (depth %d, %.3f ms)\n", safetyStatusName(r.status), r.depth, r.seconds * 1e3);
+  if (r.outcome != Outcome::kComplete) {
+    std::printf("stopped on %s: backward sets are a sound under-approximation\n",
+                outcomeName(r.outcome));
+  }
   if (r.status == SafetyStatus::kUnsafe) {
     std::printf("counterexample (state / input):\n");
     for (size_t t = 0; t < r.traceStates.size(); ++t) {
@@ -400,16 +449,43 @@ void crossCheckRuns(AuditResult& audit, const std::vector<EngineRun>& runs, int 
   BddManager mgr(width);
   std::vector<BddRef> unions;
   for (const EngineRun& run : runs) unions.push_back(cubesToBdd(mgr, run.cubes));
-  for (size_t i = 1; i < runs.size(); ++i) {
-    if (!runs[i].complete || !runs[0].complete) continue;  // capped runs are lower bounds
-    if (runs[i].count != runs[0].count) {
-      audit.fail("audit.count.agree", runs[i].name + " counted " + runs[i].count.toDecimal() +
-                                          " solutions but " + runs[0].name + " counted " +
-                                          runs[0].count.toDecimal());
+  // Reference = the first COMPLETE run. Capped or budget-degraded runs are
+  // lower bounds, so instead of equality they are held to the degradation
+  // contract: their union must be a subset of the reference set and their
+  // count must not exceed the exact one. This is what the fault-injection
+  // lane leans on — an injected trip must never let an engine fabricate
+  // solutions.
+  size_t ref = runs.size();
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].complete) {
+      ref = i;
+      break;
     }
-    if (!BddManager::equal(unions[i], unions[0])) {
+  }
+  for (size_t i = 0; i < runs.size() && ref < runs.size(); ++i) {
+    if (i == ref) continue;
+    if (!runs[i].complete) {
+      if (mgr.bddAnd(unions[i], mgr.bddNot(unions[ref])) != BddManager::kFalse) {
+        audit.fail("audit.partial.sound", runs[i].name +
+                                              " (partial) enumerated solutions outside the " +
+                                              runs[ref].name + " solution set");
+      }
+      if (runs[i].count > runs[ref].count) {
+        audit.fail("audit.partial.bound", runs[i].name + " (partial) counted " +
+                                              runs[i].count.toDecimal() + " solutions, above " +
+                                              runs[ref].name + "'s exact " +
+                                              runs[ref].count.toDecimal());
+      }
+      continue;
+    }
+    if (runs[i].count != runs[ref].count) {
+      audit.fail("audit.count.agree", runs[i].name + " counted " + runs[i].count.toDecimal() +
+                                          " solutions but " + runs[ref].name + " counted " +
+                                          runs[ref].count.toDecimal());
+    }
+    if (!BddManager::equal(unions[i], unions[ref])) {
       audit.fail("audit.union.agree",
-                 runs[i].name + " and " + runs[0].name + " enumerate different solution sets");
+                 runs[i].name + " and " + runs[ref].name + " enumerate different solution sets");
     }
   }
   audit.merge(auditBdd(mgr));
@@ -533,6 +609,11 @@ int cmdAuditCircuit(AuditResult& audit, const Args& args) {
 
   std::vector<EngineRun> runs;
   for (PreimageMethod method : kAllPreimageMethods) {
+    // Fresh per-engine governor: each engine gets the full budget, and a
+    // one-shot injected fault degrades only the engine it fired in — the
+    // others then serve as the oracle for the partial-soundness cross-check.
+    std::unique_ptr<Governor> governor = makeGovernor(args);
+    options.allsat.governor = governor.get();
     PreimageResult r = computePreimage(system, target, method, options);
     if (method == PreimageMethod::kMintermBlocking && !cubesPairwiseDisjoint(r.states.cubes)) {
       audit.fail("audit.minterm.disjoint",
@@ -568,6 +649,8 @@ int cmdAudit(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // No-op unless built with PRESAT_FAULTS and PRESAT_FAULT_SITE is set.
+  faults::armFaultsFromEnv();
   if (argc < 3) usage();
   std::string command = argv[1];
   Args args = parseArgs(argc, argv, 2);
