@@ -6,7 +6,9 @@
 // runtime. Expected shape: minterm blocking degrades with the number of
 // solutions; lifted cube blocking tracks the cube count; the success-driven
 // solver tracks the (much smaller) solution-graph size; the BDD engine is
-// fast on small state spaces but carries the transition-function build cost.
+// fast on small state spaces but carries the transition-function build cost;
+// projected chrono with wildcard compression reports the same state set with
+// a cover no larger than the uncompressed chrono enumeration.
 //
 // The two par columns run the success-driven engine through the
 // cube-and-conquer path (src/parallel/) at 1 and 8 workers; their ratio is
@@ -36,10 +38,10 @@ int main(int argc, char** argv) {
   std::printf(
       "Table 1: one-step preimage (complete enumeration)\n"
       "%-12s %5s %4s %6s | %12s | %9s %11s | %9s %11s | %9s %11s %9s | %9s %11s %7s | "
-      "%11s %9s | %9s %9s %6s\n",
+      "%9s %11s | %11s %9s | %9s %9s %6s\n",
       "circuit", "dffs", "pi", "gates", "pre-states", "mt-cubes", "mt-ms", "cb-cubes", "cb-ms",
-      "sd-cubes", "sd-ms", "sd-graph", "ch-cubes", "ch-ms", "ch-db", "bdd-ms", "bdd-nodes",
-      "par1-ms", "par8-ms", "spdup");
+      "sd-cubes", "sd-ms", "sd-graph", "ch-cubes", "ch-ms", "ch-db", "pj-cubes", "pj-ms",
+      "bdd-ms", "bdd-nodes", "par1-ms", "par8-ms", "spdup");
 
   for (BenchCase& c : suite) {
     TransitionSystem system(c.netlist);
@@ -70,6 +72,22 @@ int main(int argc, char** argv) {
     PreimageResult chronoPar1 = computePreimage(system, c.target, PreimageMethod::kChrono, par1);
     PreimageResult chronoPar8 = computePreimage(system, c.target, PreimageMethod::kChrono, par8);
 
+    // Projected-native chrono with wildcard compression: same state set as
+    // every engine above, but enumerated scope-first with the projected
+    // early stop and compressed into a (usually much smaller) cover.
+    PreimageOptions projOpts = seeded;
+    projOpts.allsat.project = true;
+    projOpts.allsat.compress = true;
+    PreimageResult proj = computePreimage(system, c.target, PreimageMethod::kChrono, projOpts);
+    PreimageOptions projPar1 = projOpts;
+    projPar1.allsat.parallel.jobs = 1;
+    PreimageResult projPar1R =
+        computePreimage(system, c.target, PreimageMethod::kChrono, projPar1);
+    PreimageOptions projPar8 = projOpts;
+    projPar8.allsat.parallel.jobs = 8;
+    PreimageResult projPar8R =
+        computePreimage(system, c.target, PreimageMethod::kChrono, projPar8);
+
     // Sanity: complete engines must agree (minterm may be capped), and the
     // parallel runs must agree with the serial engine AND each other. The
     // chrono shards partition the space, so its par1 cube list differs from
@@ -83,6 +101,15 @@ int main(int argc, char** argv) {
       std::printf("ENGINE DISAGREEMENT on %s\n", c.name.c_str());
       return 1;
     }
+    // The compressed projected cover must describe the same state set, never
+    // use more cubes than the uncompressed chrono enumeration, and stay
+    // bit-identical across worker counts.
+    if (proj.stateCount != sd.stateCount || projPar1R.stateCount != sd.stateCount ||
+        proj.states.cubes.size() > chrono.states.cubes.size() ||
+        projPar1R.states.cubes != projPar8R.states.cubes) {
+      std::printf("PROJECTED ENGINE DISAGREEMENT on %s\n", c.name.c_str());
+      return 1;
+    }
 
     char mtCubes[24];
     if (minterm.complete) {
@@ -94,13 +121,14 @@ int main(int argc, char** argv) {
     double speedup = sdPar8.seconds > 0 ? sdPar1.seconds / sdPar8.seconds : 0.0;
     std::printf(
         "%-12s %5d %4d %6zu | %12s | %9s %11s | %9zu %11s | %9zu %11s %9llu | "
-        "%9zu %11s %7llu | %11s %9zu | %9s %9s %5.2fx\n",
+        "%9zu %11s %7llu | %9zu %11s | %11s %9zu | %9s %9s %5.2fx\n",
         c.name.c_str(), system.numStateBits(), system.numInputs(), c.netlist.numGates(),
         sd.stateCount.toDecimal().c_str(), mtCubes, fmtMs(minterm.seconds).c_str(),
         cube.states.cubes.size(), fmtMs(cube.seconds).c_str(), sd.states.cubes.size(),
         fmtMs(sd.seconds).c_str(), static_cast<unsigned long long>(sd.stats.graphNodes),
         chrono.states.cubes.size(), fmtMs(chrono.seconds).c_str(),
-        static_cast<unsigned long long>(chrono.stats.dbClausesPeak), fmtMs(bdd.seconds).c_str(),
+        static_cast<unsigned long long>(chrono.stats.dbClausesPeak),
+        proj.states.cubes.size(), fmtMs(proj.seconds).c_str(), fmtMs(bdd.seconds).c_str(),
         bdd.bddNodes, fmtMs(sdPar1.seconds).c_str(), fmtMs(sdPar8.seconds).c_str(), speedup);
 
     if (!jsonlPath.empty()) {
@@ -112,6 +140,9 @@ int main(int argc, char** argv) {
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/sd-par8", sdPar8.metrics);
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/chrono-par1", chronoPar1.metrics);
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/chrono-par8", chronoPar8.metrics);
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/chrono-proj", proj.metrics);
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/chrono-proj-par1", projPar1R.metrics);
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/chrono-proj-par8", projPar8R.metrics);
     }
   }
   std::printf(
@@ -119,6 +150,8 @@ int main(int argc, char** argv) {
       "sd = success-driven, bdd = symbolic baseline,\n"
       "ch = chronological backtracking (ch-db = peak stored clauses: flat, no "
       "blocking clauses),\n"
+      "pj = projected chrono + wildcard compression (same state set, compressed "
+      "disjoint cover),\n"
       "par1/par8 = cube-and-conquer success-driven at 1/8 workers "
       "(spdup = par1/par8 wall time)\n",
       static_cast<unsigned long long>(kMintermCap));

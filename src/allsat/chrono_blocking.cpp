@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "allsat/compress.hpp"
 #include "allsat/lifting.hpp"
 #include "base/log.hpp"
 #include "base/timer.hpp"
@@ -23,8 +24,13 @@ AllSatResult chronoAllSat(const Cnf& cnf, const std::vector<Var>& projection,
   bool consistent = solver.addCnf(cnf);
 
   std::vector<int> varLevel(static_cast<size_t>(cnf.numVars()), 0);
+  std::vector<uint8_t> inScope;
+  if (options.project) {
+    inScope.assign(static_cast<size_t>(cnf.numVars()), 0);
+    for (Var v : projection) inScope[static_cast<size_t>(v)] = 1;
+  }
   if (consistent) {
-    solver.beginEnumeration(projection);
+    solver.beginEnumeration(projection, /*projectedWitness=*/options.project);
     for (;;) {
       lbool status = solver.enumerateNextModel();
       ++result.stats.satCalls;
@@ -58,7 +64,13 @@ AllSatResult chronoAllSat(const Cnf& cnf, const std::vector<Var>& projection,
         for (Var v = 0; v < cnf.numVars(); ++v) {
           varLevel[static_cast<size_t>(v)] = solver.levelOf(v);
         }
-        bImplicant = implicantPrefixLevel(cnf, solver.model(), varLevel);
+        // Projected mode works on partial witness models: assigned non-scope
+        // literals are existential witnesses counted at level 0, so the
+        // projected level never exceeds the unprojected one — cubes can only
+        // widen.
+        bImplicant = options.project
+                         ? projectedWitnessLevel(cnf, solver.model(), varLevel, inScope)
+                         : implicantPrefixLevel(cnf, solver.model(), varLevel);
       }
       int bEmit = std::min(std::max(bImplicant, solver.deepestFlippedLevel()), k);
 
@@ -79,6 +91,10 @@ AllSatResult chronoAllSat(const Cnf& cnf, const std::vector<Var>& projection,
     solver.endEnumeration();
   }
 
+  // Wildcard compression preserves both the union and disjointness, so it
+  // runs before the count and the count stays the plain power-of-two sum.
+  applyProjectionPostpass(result, options, /*disjointCubes=*/true);
+
   // Disjoint by construction, so the plain power-of-two sum is exact.
   result.mintermCount =
       countDisjointCubeMinterms(result.cubes, static_cast<int>(projection.size()));
@@ -97,9 +113,12 @@ AllSatResult chronoAllSat(const Cnf& cnf, const std::vector<Var>& projection,
   // The session is closed (level 0), so the structural solver audit applies;
   // the cube-set audit proves disjointness, and BDD-exact coverage when the
   // run completed (a budgeted partial set is audited for soundness only).
+  ChronoAuditOptions auditOptions;
+  if (options.project) auditOptions.diagPrefix = "proj";
+  static_cast<void>(auditOptions);
   PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(auditSolver(solver)));
-  PRESAT_AUDIT_FULL(
-      PRESAT_CHECK_AUDIT(auditChronoCubes(cnf, projection, result.cubes, result.complete)));
+  PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(
+      auditChronoCubes(cnf, projection, result.cubes, result.complete, auditOptions)));
   return result;
 }
 

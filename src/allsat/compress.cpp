@@ -1,0 +1,220 @@
+#include "allsat/compress.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "allsat/projection.hpp"
+#include "base/log.hpp"
+#include "base/metrics.hpp"
+#include "govern/governor.hpp"
+
+namespace presat {
+
+namespace {
+
+void canonicalizeCube(LitVec& cube) {
+  std::sort(cube.begin(), cube.end());
+  for (size_t i = 0; i + 1 < cube.size(); ++i) {
+    PRESAT_CHECK(cube[i].var() != cube[i + 1].var())
+        << "cube mentions x" << cube[i].var() << " twice";
+  }
+}
+
+void appendCode(std::string& key, int32_t code) {
+  key.append(reinterpret_cast<const char*>(&code), sizeof(code));
+}
+
+std::string cubeKey(const LitVec& cube) {
+  std::string key;
+  key.reserve(cube.size() * sizeof(int32_t));
+  for (Lit l : cube) appendCode(key, l.code());
+  return key;
+}
+
+// Key identifying (cube minus the literal at `skip`, that literal's
+// variable): two alive cubes probe to the same key with opposite signs
+// exactly when they are wildcard-mergeable.
+std::string mergeKey(const LitVec& cube, size_t skip) {
+  std::string key;
+  key.reserve(cube.size() * sizeof(int32_t));
+  for (size_t i = 0; i < cube.size(); ++i) {
+    if (i == skip) continue;
+    appendCode(key, cube[i].code());
+  }
+  appendCode(key, static_cast<int32_t>(cube[skip].var()));
+  return key;
+}
+
+// Approximate resident bytes of one round's hash table: key bytes plus a
+// flat per-entry overhead for the node and bookkeeping.
+uint64_t roundTableBytes(const std::vector<LitVec>& cubes) {
+  uint64_t bytes = 0;
+  for (const LitVec& c : cubes) {
+    bytes += c.size() * (c.size() * sizeof(int32_t) + 64);
+  }
+  return bytes;
+}
+
+// Drops exact duplicates in place (first occurrence wins). Returns the
+// number dropped.
+uint64_t dropDuplicates(std::vector<LitVec>& cubes) {
+  std::unordered_set<std::string> seen;
+  seen.reserve(cubes.size() * 2);
+  uint64_t dropped = 0;
+  size_t out = 0;
+  for (size_t i = 0; i < cubes.size(); ++i) {
+    if (!seen.insert(cubeKey(cubes[i])).second) {
+      ++dropped;
+      continue;
+    }
+    if (out != i) cubes[out] = std::move(cubes[i]);
+    ++out;
+  }
+  cubes.resize(out);
+  return dropped;
+}
+
+// True iff every literal of `inner` appears in `outer` (both sorted):
+// `inner` then covers a superset of `outer`'s minterms.
+bool cubeSubsumes(const LitVec& inner, const LitVec& outer) {
+  size_t j = 0;
+  for (Lit l : inner) {
+    while (j < outer.size() && outer[j] < l) ++j;
+    if (j == outer.size() || outer[j] != l) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void exportCompressToMetrics(const CompressStats& stats, Metrics& m) {
+  m.setCounter("compress.cubes_in", stats.cubesIn);
+  m.setCounter("compress.cubes_out", stats.cubesOut);
+  m.setCounter("compress.merges", stats.merges);
+  m.setCounter("compress.duplicates", stats.duplicates);
+  m.setCounter("compress.subsumed", stats.subsumed);
+  m.setCounter("compress.rounds", stats.rounds);
+}
+
+CompressStats compressCubes(std::vector<LitVec>& cubes, Governor* governor) {
+  CompressStats stats;
+  stats.cubesIn = cubes.size();
+  for (LitVec& c : cubes) canonicalizeCube(c);
+
+  MemoryLedger ledger;
+  ledger.attach(governor);
+  for (;;) {
+    // A trip mid-compression is sound: the current cube list is an
+    // equivalent cover at every round boundary.
+    if (governor != nullptr && governor->poll() != Outcome::kComplete) break;
+    ++stats.rounds;
+    // Merging overlapping covers can recreate exact duplicates, so dedup
+    // every round (a no-op for disjoint inputs, which never produce them).
+    stats.duplicates += dropDuplicates(cubes);
+    ledger.charge(roundTableBytes(cubes));
+
+    // Greedy one-merge-per-cube round: each cube registers every
+    // (cube - literal, variable) key; an opposite-sign partner merges and
+    // both parents die for the rest of the round.
+    std::unordered_map<std::string, std::pair<size_t, size_t>> table;
+    table.reserve(cubes.size() * 4);
+    std::vector<uint8_t> dead(cubes.size(), 0);
+    std::vector<LitVec> merged;
+    uint64_t roundMerges = 0;
+    for (size_t i = 0; i < cubes.size(); ++i) {
+      for (size_t p = 0; p < cubes[i].size() && !dead[i]; ++p) {
+        auto [it, inserted] = table.emplace(mergeKey(cubes[i], p), std::make_pair(i, p));
+        if (inserted) continue;
+        auto [j, q] = it->second;
+        if (dead[j] || cubes[j][q] != ~cubes[i][p]) continue;
+        LitVec wide;
+        wide.reserve(cubes[i].size() - 1);
+        for (size_t r = 0; r < cubes[i].size(); ++r) {
+          if (r != p) wide.push_back(cubes[i][r]);
+        }
+        dead[i] = dead[j] = 1;
+        merged.push_back(std::move(wide));
+        ++roundMerges;
+      }
+    }
+    if (roundMerges == 0) break;
+    stats.merges += roundMerges;
+    std::vector<LitVec> next;
+    next.reserve(cubes.size() - roundMerges);
+    for (size_t i = 0; i < cubes.size(); ++i) {
+      if (!dead[i]) next.push_back(std::move(cubes[i]));
+    }
+    for (LitVec& c : merged) next.push_back(std::move(c));
+    cubes = std::move(next);
+  }
+  stats.cubesOut = cubes.size();
+  return stats;
+}
+
+CompressStats dedupCubes(std::vector<LitVec>& cubes) {
+  CompressStats stats;
+  stats.cubesIn = cubes.size();
+  for (LitVec& c : cubes) canonicalizeCube(c);
+  stats.duplicates = dropDuplicates(cubes);
+
+  // Subsumption is quadratic, so it only runs on covers small enough for
+  // that to be cheap; larger covers keep possibly-subsumed cubes (the union
+  // is unaffected either way).
+  constexpr size_t kMaxSubsumptionCubes = 4096;
+  if (cubes.size() <= kMaxSubsumptionCubes) {
+    // Wider cubes (fewer literals) first: a cube can only be subsumed by a
+    // strictly-or-equally wider one already kept.
+    std::stable_sort(cubes.begin(), cubes.end(), [](const LitVec& a, const LitVec& b) {
+      return a.size() < b.size();
+    });
+    std::vector<LitVec> kept;
+    kept.reserve(cubes.size());
+    for (LitVec& c : cubes) {
+      bool covered = false;
+      for (const LitVec& k : kept) {
+        if (cubeSubsumes(k, c)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) {
+        ++stats.subsumed;
+      } else {
+        kept.push_back(std::move(c));
+      }
+    }
+    cubes = std::move(kept);
+  }
+  stats.cubesOut = cubes.size();
+  return stats;
+}
+
+void applyProjectionPostpass(AllSatResult& result, const AllSatOptions& options,
+                             bool disjointCubes) {
+  if (!options.project && !options.compress) return;
+  CompressStats total;
+  total.cubesIn = result.cubes.size();
+  if (options.project && !disjointCubes) {
+    CompressStats d = dedupCubes(result.cubes);
+    total.duplicates += d.duplicates;
+    total.subsumed += d.subsumed;
+  }
+  if (options.compress) {
+    CompressStats c = compressCubes(result.cubes, options.governor);
+    total.merges += c.merges;
+    total.duplicates += c.duplicates;
+    total.rounds += c.rounds;
+  }
+  total.cubesOut = result.cubes.size();
+  if (options.project) {
+    result.metrics.setCounter("proj.cubes", result.cubes.size());
+  }
+  if (options.compress) {
+    exportCompressToMetrics(total, result.metrics);
+  }
+}
+
+}  // namespace presat

@@ -1,5 +1,6 @@
 #include "allsat/cube_blocking.hpp"
 
+#include "allsat/compress.hpp"
 #include "base/log.hpp"
 #include "base/timer.hpp"
 #include "check/audit_solver.hpp"
@@ -82,6 +83,12 @@ AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projecti
     // depends on — at full audit depth, re-validate the solver every round.
     PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(auditSolver(solver)));
   }
+
+  // Project-then-dedup / compress epilogue: lifted covers may carry
+  // duplicate or subsumed cubes, so they take the overlapping cleanup path;
+  // the unlifted cover is disjoint and only ever compressed. The union is
+  // unchanged either way, so the counting below is unaffected.
+  applyProjectionPostpass(result, options, /*disjointCubes=*/!maybeOverlapping);
 
   // Lifted cubes from successive iterations can overlap earlier cubes, so the
   // exact union count goes through a BDD; the disjoint case short-circuits.

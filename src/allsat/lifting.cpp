@@ -62,6 +62,42 @@ int implicantPrefixLevel(const Cnf& cnf, const std::vector<lbool>& model,
   return prefix;
 }
 
+int projectedWitnessLevel(const Cnf& cnf, const std::vector<lbool>& model,
+                          const std::vector<int>& varLevel,
+                          const std::vector<uint8_t>& inScope) {
+  int prefix = 0;
+  for (const Clause& c : cnf.clauses()) {
+    int clauseLevel = -1;
+    for (Lit l : c) {
+      lbool v = model[static_cast<size_t>(l.var())];
+      if (v.isUndef()) continue;             // not part of the partial witness
+      if (v.isTrue() == l.sign()) continue;  // literal false under model
+      int lvl =
+          inScope[static_cast<size_t>(l.var())] ? varLevel[static_cast<size_t>(l.var())] : 0;
+      if (clauseLevel < 0 || lvl < clauseLevel) clauseLevel = lvl;
+      if (clauseLevel == 0) break;
+    }
+    if (clauseLevel < 0) {
+      // The solver never stored this clause, so the witness scan never saw
+      // it: a tautology (x | ~x) is dropped at addClause time and is
+      // trivially satisfied by every partial assignment at level 0.
+      bool tautology = false;
+      for (size_t i = 0; i < c.size() && !tautology; ++i) {
+        for (size_t j = i + 1; j < c.size(); ++j) {
+          if (c[i].var() == c[j].var() && c[i].sign() != c[j].sign()) {
+            tautology = true;
+            break;
+          }
+        }
+      }
+      if (tautology) continue;
+    }
+    PRESAT_CHECK(clauseLevel >= 0) << "partial model is not a witness for every clause";
+    if (clauseLevel > prefix) prefix = clauseLevel;
+  }
+  return prefix;
+}
+
 JustificationLifter::JustificationLifter(const Netlist& netlist, NodeCube objectives)
     : netlist_(netlist), objectives_(std::move(objectives)) {
   for (const NodeAssign& obj : objectives_) {

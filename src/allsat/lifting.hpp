@@ -39,6 +39,19 @@ LitVec shrinkModelToImplicant(const Cnf& cnf, const std::vector<lbool>& model);
 int implicantPrefixLevel(const Cnf& cnf, const std::vector<lbool>& model,
                          const std::vector<int>& varLevel);
 
+// Projected variant of implicantPrefixLevel for witness (partial) models:
+// assigned non-scope literals count as level 0 — they are existential
+// witnesses the emitted cube never mentions, so they never force the scope
+// prefix deeper — and unassigned literals are skipped. Returns the smallest
+// B such that (scope literals at levels <= B) plus (the assigned non-scope
+// literals) satisfy every clause; any scope assignment extending that prefix
+// then has a completion satisfying `cnf`. Never exceeds the unprojected
+// prefix level for the same model. `model` must be witness-complete: every
+// clause needs at least one assigned true literal.
+int projectedWitnessLevel(const Cnf& cnf, const std::vector<lbool>& model,
+                          const std::vector<int>& varLevel,
+                          const std::vector<uint8_t>& inScope);
+
 class JustificationLifter {
  public:
   // `objectives` are required (node, value) pairs, typically the target

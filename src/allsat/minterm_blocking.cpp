@@ -1,5 +1,6 @@
 #include "allsat/minterm_blocking.hpp"
 
+#include "allsat/compress.hpp"
 #include "base/log.hpp"
 #include "base/timer.hpp"
 #include "check/audit_solver.hpp"
@@ -62,6 +63,11 @@ AllSatResult mintermBlockingAllSat(const Cnf& cnf, const std::vector<Var>& proje
     // depends on — at full audit depth, re-validate the solver every round.
     PRESAT_AUDIT_FULL(PRESAT_CHECK_AUDIT(auditSolver(solver)));
   }
+
+  // Minterm cubes are disjoint and duplicate-free; only the compression
+  // pass of the postpass applies, and it preserves disjointness, so the
+  // count below stays the plain power-of-two sum.
+  applyProjectionPostpass(result, options, /*disjointCubes=*/true);
 
   result.mintermCount = countDisjointCubeMinterms(result.cubes, static_cast<int>(projection.size()));
   result.stats.conflicts = solver.stats().conflicts;

@@ -1,5 +1,7 @@
 #include "allsat/projection.hpp"
 
+#include <algorithm>
+
 #include "base/log.hpp"
 #include "bdd/bdd.hpp"
 #include "govern/governor.hpp"
@@ -37,15 +39,32 @@ void exportStatsToMetrics(const AllSatStats& stats, Metrics& m) {
 
 BigUint countDisjointCubeMinterms(const std::vector<LitVec>& cubes, int numProjectionVars) {
   BigUint total(0);
+  // Generation-stamped duplicate detector: one allocation for the whole
+  // call, no per-cube clearing.
+  std::vector<uint32_t> seenStamp(static_cast<size_t>(numProjectionVars), 0);
+  uint32_t stamp = 0;
   for (const LitVec& cube : cubes) {
     PRESAT_CHECK(cube.size() <= static_cast<size_t>(numProjectionVars));
+    ++stamp;
+    for (Lit l : cube) {
+      PRESAT_CHECK(l.var() >= 0 && l.var() < numProjectionVars)
+          << "cube literal x" << l.var() << " is outside the projected index space [0, "
+          << numProjectionVars << ")";
+      uint32_t& cell = seenStamp[static_cast<size_t>(l.var())];
+      PRESAT_CHECK(cell != stamp) << "cube mentions x" << l.var() << " twice";
+      cell = stamp;
+    }
     total += BigUint::powerOfTwo(
         static_cast<uint32_t>(numProjectionVars - static_cast<int>(cube.size())));
   }
   return total;
 }
 
-bool cubesPairwiseDisjoint(const std::vector<LitVec>& cubes) {
+namespace {
+
+// Reference pairwise scan, also the budget-exhaustion fallback of the
+// cofactor recursion (exact on any subproblem).
+bool disjointQuadratic(const std::vector<LitVec>& cubes) {
   for (size_t i = 0; i < cubes.size(); ++i) {
     for (size_t j = i + 1; j < cubes.size(); ++j) {
       // Disjoint iff some variable appears with opposite polarity.
@@ -65,6 +84,69 @@ bool cubesPairwiseDisjoint(const std::vector<LitVec>& cubes) {
   return true;
 }
 
+// Cofactor recursion on the smallest variable present: cubes fixing it split
+// into the positive and negative branch (dropping the literal), cubes not
+// mentioning it go to both. Two cubes overlap iff they land in a common
+// branch with no remaining clash, which eventually surfaces as an empty cube
+// sharing a branch with another cube. Requires per-cube literals sorted by
+// variable. `budget` caps the total cubes touched; on exhaustion the current
+// subproblem falls back to the quadratic scan, so the verdict stays exact.
+bool disjointByCofactor(std::vector<LitVec> cubes, uint64_t& budget) {
+  for (;;) {
+    if (cubes.size() <= 1) return true;
+    for (const LitVec& c : cubes) {
+      // An empty cube is the full space of the remaining variables: it
+      // overlaps every other cube in this branch.
+      if (c.empty()) return false;
+    }
+    if (budget < cubes.size()) return disjointQuadratic(cubes);
+    budget -= cubes.size();
+    Var v = cubes[0][0].var();
+    for (const LitVec& c : cubes) v = std::min(v, c[0].var());
+    std::vector<LitVec> pos, neg;
+    pos.reserve(cubes.size());
+    neg.reserve(cubes.size());
+    for (LitVec& c : cubes) {
+      if (c[0].var() != v) {
+        pos.push_back(c);
+        neg.push_back(std::move(c));
+        continue;
+      }
+      LitVec rest(c.begin() + 1, c.end());
+      if (c[0].sign()) {
+        neg.push_back(std::move(rest));
+      } else {
+        pos.push_back(std::move(rest));
+      }
+    }
+    if (!disjointByCofactor(std::move(pos), budget)) return false;
+    cubes = std::move(neg);
+  }
+}
+
+}  // namespace
+
+bool cubesPairwiseDisjoint(const std::vector<LitVec>& cubes) {
+  std::vector<LitVec> canonical = cubes;
+  for (LitVec& c : canonical) {
+    std::sort(c.begin(), c.end());
+    for (size_t i = 0; i + 1 < c.size(); ++i) {
+      PRESAT_CHECK(c[i].var() != c[i + 1].var())
+          << "cube mentions x" << c[i].var() << " twice";
+    }
+  }
+  // Generous budget: typical disjoint covers finish in O(n log n)-ish work;
+  // adversarial overlap patterns degrade to exact quadratic scans on the
+  // offending subproblems instead of exponential duplication.
+  uint64_t budget = 1u << 20;
+  budget += 64 * static_cast<uint64_t>(canonical.size());
+  return disjointByCofactor(std::move(canonical), budget);
+}
+
+bool cubesPairwiseDisjointNaive(const std::vector<LitVec>& cubes) {
+  return disjointQuadratic(cubes);
+}
+
 uint32_t cubesToBdd(BddManager& mgr, const std::vector<LitVec>& cubes) {
   BddRef acc = BddManager::kFalse;
   for (const LitVec& cube : cubes) acc = mgr.bddOr(acc, mgr.cube(cube));
@@ -79,6 +161,11 @@ BigUint countCubeUnionMinterms(const std::vector<LitVec>& cubes, int numProjecti
 
 bool cubeCoversMinterm(const LitVec& cube, uint64_t minterm) {
   for (Lit l : cube) {
+    // The minterm encoding has one bit per projection variable; shifting by
+    // the variable index is undefined (and reads garbage on real hardware)
+    // once it reaches the word width.
+    PRESAT_CHECK(l.var() >= 0 && l.var() < 64)
+        << "cubeCoversMinterm: variable x" << l.var() << " outside the 64-bit minterm space";
     bool bit = (minterm >> l.var()) & 1;
     if (bit == l.sign()) return false;  // literal requires the opposite value
   }

@@ -117,6 +117,21 @@ struct AllSatOptions {
   // implicant shrinking pass before flipping (ablation knob; off emits the
   // full scope prefix of every model).
   bool chronoShrink = true;
+  // Projection as a first-class enumeration mode instead of a post-pass.
+  // Chrono runs projected-native: enumerateNextModel() stops as soon as the
+  // scope prefix plus the already-implied input/aux literals satisfy every
+  // clause (an existential witness), and cube shrinking treats witness
+  // literals as free — so cubes widen, `pre.cubes` shrinks, and the
+  // input/aux space is never exhaustively decided. The blocking and
+  // success-driven engines project-then-dedup (canonical sort, duplicate and
+  // subsumed cube removal) so the cross-engine audit still compares equal
+  // state sets. The projected union is identical either way.
+  bool project = false;
+  // Wildcard compression post-pass (Wild-style (x & A) | (~x & A) = A
+  // merging) over the final cube set — and over each parallel shard's cover
+  // before the merge, so shards exchange compressed covers. Union- and
+  // disjointness-preserving; mintermCount is unaffected.
+  bool compress = false;
   // Blocking engines: CDCL decision seed (Solver::setRandomSeed). 0 keeps the
   // solver's built-in default. Results are independent of the seed; it exists
   // for reproducible diversification runs (benches, fuzzing).
@@ -134,11 +149,21 @@ struct AllSatOptions {
 };
 
 // Sum of 2^(numProjectionVars - |cube|) over all cubes. Exact for disjoint
-// cube sets (which every engine in this library produces).
+// cube sets (which every engine in this library produces). Checks every
+// literal's variable against the projected index space and rejects cubes
+// mentioning a variable twice — an out-of-range or duplicated literal would
+// silently corrupt the count.
 BigUint countDisjointCubeMinterms(const std::vector<LitVec>& cubes, int numProjectionVars);
 
-// True if no two cubes share a projected minterm (O(n^2) — test helper).
+// True if no two cubes share a projected minterm. Cofactor divide-and-
+// conquer: near-linear on the disjoint covers the engines emit, with a
+// work-budgeted fallback to the quadratic scan so pathological inputs stay
+// exact. Cubes must be well-formed (no variable mentioned twice).
 bool cubesPairwiseDisjoint(const std::vector<LitVec>& cubes);
+
+// The original O(n^2 k^2) pairwise scan, kept as the reference oracle for
+// the fuzz test asserting verdict equality with cubesPairwiseDisjoint.
+bool cubesPairwiseDisjointNaive(const std::vector<LitVec>& cubes);
 
 // OR of all cubes as a BDD over variables 0..numProjectionVars-1 of `mgr`.
 // The canonical way to compare two engines' answers for semantic equality.

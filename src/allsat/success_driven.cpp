@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "allsat/compress.hpp"
 #include "base/log.hpp"
 #include "base/metrics.hpp"
 #include "base/rng.hpp"
@@ -129,6 +130,10 @@ class Engine {
     metrics_.setCounter("sig.cone_nodes", sigConeNodes_);
     metrics_.setCounter("sig.bytes", sigConeNodes_ * sizeof(Sig128));
     result.summary.metrics = std::move(metrics_);
+    // Serialized solution-graph cubes can repeat and overlap across
+    // branches; the projected/compressed epilogue cleans them up without
+    // touching the graph-side BDD count above.
+    applyProjectionPostpass(result.summary, options_, /*disjointCubes=*/false);
     finishResult(result.summary, governor_);
     return result;
   }

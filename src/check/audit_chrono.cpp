@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "allsat/projection.hpp"
 #include "base/log.hpp"
 #include "bdd/bdd.hpp"
 
@@ -11,28 +12,34 @@ AuditResult auditChronoCubes(const Cnf& cnf, const std::vector<Var>& projection,
                              const std::vector<LitVec>& cubes, bool complete,
                              const ChronoAuditOptions& options) {
   AuditResult audit;
+  const std::string prefix(options.diagPrefix);
 
-  // chrono.disjoint — pairwise opposite-literal clash.
-  for (size_t i = 0; i < cubes.size(); ++i) {
-    for (size_t j = i + 1; j < cubes.size(); ++j) {
-      bool clash = false;
-      for (Lit a : cubes[i]) {
-        for (Lit b : cubes[j]) {
-          if (a.var() == b.var() && a.sign() != b.sign()) {
-            clash = true;
-            break;
+  // <prefix>.disjoint — cofactor divide-and-conquer verdict first (near-
+  // linear on honest covers); only a failing verdict pays for the quadratic
+  // rescan that names the offending pair.
+  if (!cubesPairwiseDisjoint(cubes)) {
+    for (size_t i = 0; i < cubes.size(); ++i) {
+      for (size_t j = i + 1; j < cubes.size(); ++j) {
+        bool clash = false;
+        for (Lit a : cubes[i]) {
+          for (Lit b : cubes[j]) {
+            if (a.var() == b.var() && a.sign() != b.sign()) {
+              clash = true;
+              break;
+            }
           }
+          if (clash) break;
         }
-        if (clash) break;
-      }
-      if (!clash) {
-        audit.fail("chrono.disjoint", "cubes " + std::to_string(i) + " and " +
-                                          std::to_string(j) + " share a projected minterm");
+        if (!clash) {
+          audit.fail(prefix + ".disjoint", "cubes " + std::to_string(i) + " and " +
+                                               std::to_string(j) +
+                                               " share a projected minterm");
+        }
       }
     }
   }
 
-  // chrono.cover — BDD oracle over the full variable set.
+  // <prefix>.cover — BDD oracle over the full variable set.
   if (cnf.numVars() > options.maxOracleVars) return audit;
   BddManager mgr(cnf.numVars());
   BddRef formula = BddManager::kTrue;
@@ -65,11 +72,11 @@ AuditResult auditChronoCubes(const Cnf& cnf, const std::vector<Var>& projection,
 
   if (complete) {
     if (unionBdd != projected) {
-      audit.fail("chrono.cover",
+      audit.fail(prefix + ".cover",
                  "cube union differs from the BDD projection of the solution set");
     }
   } else if (mgr.bddAnd(unionBdd, mgr.bddNot(projected)) != BddManager::kFalse) {
-    audit.fail("chrono.cover", "partial cube union contains a non-solution minterm");
+    audit.fail(prefix + ".cover", "partial cube union contains a non-solution minterm");
   }
   return audit;
 }

@@ -26,6 +26,10 @@ struct ChronoAuditOptions {
   // The chrono.cover oracle builds a BDD over every CNF variable; skip it
   // beyond this many (the structural disjointness check always runs).
   int maxOracleVars = 24;
+  // Diagnostic name prefix: "chrono" for the plain engine, "proj" when
+  // auditing a projected-native run (same invariants, distinct failure
+  // names so a report pinpoints the mode).
+  const char* diagPrefix = "chrono";
 };
 
 // `cubes` are in the projected index space (literal variable i refers to

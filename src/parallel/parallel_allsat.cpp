@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "allsat/chrono_blocking.hpp"
+#include "allsat/compress.hpp"
 #include "allsat/minterm_blocking.hpp"
 #include "base/log.hpp"
 #include "base/timer.hpp"
@@ -153,6 +154,11 @@ SuccessDrivenResult parallelSuccessDrivenAllSat(const CircuitAllSatProblem& prob
     }
   }
 
+  // Cross-shard epilogue: the merged decision tree can serialize duplicate
+  // or overlapping cubes across shard branches; project-then-dedup and
+  // wildcard compression clean the flat cover without touching the graph.
+  applyProjectionPostpass(result.summary, options, /*disjointCubes=*/false);
+
   result.summary.stats.seconds = timer.seconds();
   result.summary.metrics.setLabel("engine", "success-driven");
   exportStatsToMetrics(result.summary.stats, result.summary.metrics);
@@ -248,6 +254,16 @@ AllSatResult parallelCnfAllSat(const Cnf& cnf, const std::vector<Var>& projectio
     result.mintermCount =
         countCubeUnionMinterms(result.cubes, static_cast<int>(projection.size()));
   }
+
+  // Cross-shard epilogue: each shard already projected/compressed its own
+  // cover (shardOptions passes the flags through), so shards exchanged
+  // compressed covers; this second pass merges wildcard pairs straddling a
+  // shard guide. It runs after the shard-partition audit on purpose — a
+  // cross-shard merge may erase guide literals, which is sound (the union
+  // is unchanged) but would no longer satisfy the per-shard guide shape.
+  bool disjointShardCubes =
+      engine != ParallelCnfEngine::kCubeBlocking || !options.liftModels || !lifter;
+  applyProjectionPostpass(result, options, disjointShardCubes);
 
   result.stats.seconds = timer.seconds();
   const char* engineLabel = "cube-blocking";

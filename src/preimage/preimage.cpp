@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "allsat/chrono_blocking.hpp"
+#include "allsat/compress.hpp"
 #include "allsat/cube_blocking.hpp"
 #include "allsat/lifting.hpp"
 #include "allsat/minterm_blocking.hpp"
@@ -245,6 +246,15 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
         // from the accumulated stats below.
         result.metrics.merge(sub.summary.metrics);
         result.graphs.push_back(std::move(sub.graph));
+      }
+      // Cross-target epilogue: each sub-run already projected/compressed its
+      // own cover, but the concatenation across target cubes can repeat or
+      // overlap cubes between sub-runs. The union — and the graph-side
+      // count below — is unchanged.
+      if (options.allsat.project) dedupCubes(result.states.cubes);
+      if (options.allsat.compress) compressCubes(result.states.cubes, options.allsat.governor);
+      if (options.allsat.project) {
+        result.metrics.setCounter("proj.cubes", result.states.cubes.size());
       }
       // Exact union count straight from the graphs (never enumerates paths).
       BddManager mgr(n);

@@ -668,11 +668,12 @@ lbool Solver::solve(const LitVec& assumptions) {
 // Chronological enumeration
 // ---------------------------------------------------------------------------
 
-void Solver::beginEnumeration(const std::vector<Var>& scope) {
+void Solver::beginEnumeration(const std::vector<Var>& scope, bool projectedWitness) {
   PRESAT_CHECK(!enumerating_) << "beginEnumeration() during an active session";
   PRESAT_CHECK(decisionLevel() == 0) << "beginEnumeration() above level 0";
   enumerating_ = true;
   enumExhausted_ = false;
+  enumProjected_ = projectedWitness;
   model_.clear();
   conflictCore_.clear();
   assumptions_.clear();
@@ -791,6 +792,16 @@ lbool Solver::enumerateNextModel() {
     }
 
     // No conflict.
+    if (enumProjected_ && projectedWitnessComplete()) {
+      // Projected early stop: the scope is fully decided and the partial
+      // assignment already satisfies every original clause, so EVERY
+      // completion of the unassigned input/aux variables is a total model.
+      // The assigned non-scope literals are the existential witness; keep
+      // them in model_ (unassigned variables stay l_Undef) so the caller's
+      // projected shrinking pass can reuse them.
+      model_ = assigns_;
+      return l_True;
+    }
     if (maxLearnts_ > 0 &&
         static_cast<double>(numLearnts_) - static_cast<double>(trail_.size()) >= maxLearnts_) {
       reduceDB();
@@ -808,11 +819,37 @@ lbool Solver::enumerateNextModel() {
   }
 }
 
+bool Solver::projectedWitnessComplete() const {
+  // Mirrors pickBranchLit's scope loop: a scope variable excluded from
+  // decisions can legitimately stay unassigned, exactly as in total-model
+  // enumeration.
+  for (Var v : scopeVars_) {
+    size_t idx = static_cast<size_t>(v);
+    if (assigns_[idx].isUndef() && decision_[idx]) return false;
+  }
+  // Only original clauses matter: learnts are implied, and clauses dropped
+  // or shrunk at add time are satisfied by level-0 assignments that are part
+  // of every partial assignment.
+  for (const auto& c : clauses_) {
+    if (c->learnt) continue;
+    bool satisfied = false;
+    for (Lit l : c->lits) {
+      if (value(l).isTrue()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
 void Solver::endEnumeration() {
   PRESAT_CHECK(enumerating_) << "endEnumeration() without a session";
   cancelUntil(0);
   enumerating_ = false;
   enumExhausted_ = false;
+  enumProjected_ = false;
   enumUnitReasons_.clear();
   inScope_.clear();
   scopeVars_.clear();

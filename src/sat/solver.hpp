@@ -104,7 +104,17 @@ class Solver {
   // During a session scope variables are decided before all others, so the
   // decision levels 1..scopePrefixLength() form a clean scope prefix and
   // every scope variable is stamped at a level inside it.
-  void beginEnumeration(const std::vector<Var>& scope);
+  //
+  // `projectedWitness` turns on projected-native enumeration: once every
+  // scope variable is assigned and the current PARTIAL assignment already
+  // satisfies every original clause, enumerateNextModel() stops and returns
+  // the partial model (unassigned non-scope variables stay l_Undef) instead
+  // of materialising one arbitrary completion per region. The assigned
+  // non-scope literals are an existential witness — every completion of the
+  // scope prefix extends to a total model — so the caller may emit the scope
+  // prefix as a projected cube without ever deciding the remaining
+  // input/aux variables.
+  void beginEnumeration(const std::vector<Var>& scope, bool projectedWitness = false);
   // l_True: model() is valid and the trail is kept. l_False: space exhausted
   // (or root UNSAT). l_Undef: conflict budget exhausted (partial result).
   lbool enumerateNextModel();
@@ -228,9 +238,14 @@ class Solver {
   std::vector<int> trailLim_;
   int qhead_ = 0;
 
+  // True when the current partial assignment covers the scope and already
+  // satisfies every original clause (the projected early-stop predicate).
+  bool projectedWitnessComplete() const;
+
   // -- chronological-enumeration session state
   bool enumerating_ = false;
   bool enumExhausted_ = false;
+  bool enumProjected_ = false;  // projected-witness early stop enabled
   std::vector<uint8_t> inScope_;   // per var; session scope membership
   std::vector<Var> scopeVars_;     // session scope, caller order
   // Parallel to trailLim_: 1 iff that level's decision is a flipped

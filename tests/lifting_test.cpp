@@ -2,6 +2,9 @@
 // justification lifter, both checked for the cube-validity contract.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "allsat/lifting.hpp"
 #include "base/rng.hpp"
 #include "circuit/simulator.hpp"
@@ -148,6 +151,117 @@ TEST(JustificationLifterProperty, LiftedCubeForcesObjectives) {
       for (uint64_t bits = 0; bits < (1ull << freeSources.size()); ++bits) {
         std::vector<bool> completion = full;
         for (size_t k = 0; k < freeSources.size(); ++k) completion[freeSources[k]] = (bits >> k) & 1;
+        auto vals = Simulator::evaluateOnce(nl, completion);
+        for (const NodeAssign& obj : objectives) {
+          ASSERT_EQ(vals[obj.first], obj.second)
+              << "seed " << seed << " trial " << trial << " bits " << bits;
+        }
+      }
+    }
+  }
+}
+
+// XOR/MUX-heavy fuzz: XOR gates have NO controlling value (both fanins are
+// always needed) and MUX justification must track the selected branch, so
+// these netlists stress exactly the lifter paths where dropping one source
+// too many silently breaks the forcing property. Built from alternating
+// XOR/MUX layers over random prior nodes, then checked against the
+// simulator on every completion of the dropped sources.
+TEST(JustificationLifterProperty, XorMuxHeavyNetlistsStayForcing) {
+  Rng rng(929);
+  for (int netIter = 0; netIter < 30; ++netIter) {
+    Netlist nl;
+    std::vector<NodeId> sources;
+    int numInputs = static_cast<int>(rng.range(4, 7));
+    for (int i = 0; i < numInputs; ++i) sources.push_back(nl.addInput("i" + std::to_string(i)));
+    std::vector<NodeId> pool = sources;
+    auto pick = [&] { return pool[rng.below(pool.size())]; };
+    int numGates = static_cast<int>(rng.range(8, 30));
+    for (int g = 0; g < numGates; ++g) {
+      NodeId n;
+      uint64_t roll = rng.range(0, 2);
+      if (roll == 0) {
+        n = nl.mkXor(pick(), pick());
+      } else if (roll == 1) {
+        n = nl.mkMux(pick(), pick(), pick());
+      } else {
+        n = nl.mkAnd(pick(), pick());
+      }
+      pool.push_back(n);
+    }
+    NodeId root = pool.back();
+    nl.markOutput(root, "o");
+
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<bool> full(nl.numNodes(), false);
+      for (NodeId s : sources) full[s] = rng.flip();
+      auto values = Simulator::evaluateOnce(nl, full);
+      NodeCube objectives = {{root, values[root]}};
+      JustificationLifter lifter(nl, objectives);
+      NodeCube cube = lifter.liftedSources(values);
+
+      // Every kept literal matches the simulated assignment.
+      for (const NodeAssign& na : cube) EXPECT_EQ(full[na.first], na.second);
+
+      std::vector<bool> pinned(nl.numNodes(), false);
+      for (const NodeAssign& na : cube) pinned[na.first] = true;
+      std::vector<NodeId> freeSources;
+      for (NodeId s : sources) {
+        if (!pinned[s]) freeSources.push_back(s);
+      }
+      ASSERT_LE(freeSources.size(), 7u);
+      for (uint64_t bits = 0; bits < (1ull << freeSources.size()); ++bits) {
+        std::vector<bool> completion = full;
+        for (size_t k = 0; k < freeSources.size(); ++k) {
+          completion[freeSources[k]] = (bits >> k) & 1;
+        }
+        auto vals = Simulator::evaluateOnce(nl, completion);
+        ASSERT_EQ(vals[root], values[root])
+            << "net " << netIter << " trial " << trial << " bits " << bits;
+      }
+    }
+  }
+}
+
+// The same forcing property through the generator's own XOR-heavy knob.
+TEST(JustificationLifterProperty, XorPercentGeneratorStaysForcing) {
+  Rng rng(977);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomCircuitParams params;
+    params.seed = seed;
+    params.numInputs = 3;
+    params.numDffs = 3;
+    params.numGates = 30;
+    params.xorPercent = 60;
+    Netlist nl = makeRandomSequential(params);
+    std::vector<NodeId> sources;
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+      if (nl.type(id) == GateType::kInput || nl.type(id) == GateType::kDff) sources.push_back(id);
+    }
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<bool> full(nl.numNodes(), false);
+      for (NodeId s : sources) full[s] = rng.flip();
+      auto values = Simulator::evaluateOnce(nl, full);
+      NodeCube objectives;
+      for (size_t k = 0; k < 2 && k < nl.dffs().size(); ++k) {
+        NodeId root = nl.dffData(nl.dffs()[k]);
+        objectives.emplace_back(root, values[root]);
+      }
+      JustificationLifter lifter(nl, objectives);
+      NodeCube cube = lifter.liftedSources(values);
+
+      std::vector<bool> pinned(nl.numNodes(), false);
+      for (const NodeAssign& na : cube) pinned[na.first] = true;
+      std::vector<NodeId> freeSources;
+      for (NodeId s : sources) {
+        if (!pinned[s]) freeSources.push_back(s);
+      }
+      ASSERT_LE(freeSources.size(), 6u);
+      for (uint64_t bits = 0; bits < (1ull << freeSources.size()); ++bits) {
+        std::vector<bool> completion = full;
+        for (size_t k = 0; k < freeSources.size(); ++k) {
+          completion[freeSources[k]] = (bits >> k) & 1;
+        }
         auto vals = Simulator::evaluateOnce(nl, completion);
         for (const NodeAssign& obj : objectives) {
           ASSERT_EQ(vals[obj.first], obj.second)

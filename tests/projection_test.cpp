@@ -1,0 +1,339 @@
+// Projection-layer tests: the hardened cube primitives (src/allsat/
+// projection), the wildcard compression pass (src/allsat/compress), and the
+// projected-native chrono enumeration mode — each checked against brute-force
+// or reference-implementation oracles.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "allsat/chrono_blocking.hpp"
+#include "allsat/compress.hpp"
+#include "allsat/projection.hpp"
+#include "base/rng.hpp"
+#include "check/audit_chrono.hpp"
+#include "gen/generators.hpp"
+#include "govern/governor.hpp"
+#include "preimage/preimage.hpp"
+#include "preimage/transition_system.hpp"
+#include "sat/dpll.hpp"
+#include "test_util.hpp"
+
+namespace presat {
+namespace {
+
+// Random well-formed cube over `vars` variables: each variable independently
+// absent, positive, or negative. `biasDisjoint` pins variable 0 so the set
+// splits into two guaranteed-disjoint halves about half the time — without it
+// nearly every random pair overlaps and the disjoint verdict is never fuzzed.
+LitVec randomCube(Rng& rng, int vars, bool pinFirst, bool firstSign) {
+  LitVec cube;
+  for (Var v = 0; v < vars; ++v) {
+    if (v == 0 && pinFirst) {
+      cube.push_back(mkLit(v, firstSign));
+      continue;
+    }
+    uint64_t roll = rng.range(0, 3);
+    if (roll == 1) cube.push_back(mkLit(v, false));
+    if (roll == 2) cube.push_back(mkLit(v, true));
+  }
+  return cube;
+}
+
+std::set<uint64_t> unionMinterms(const std::vector<LitVec>& cubes, int vars) {
+  std::set<uint64_t> out;
+  for (uint64_t bits = 0; bits < (1ull << vars); ++bits) {
+    for (const LitVec& cube : cubes) {
+      if (cubeCoversMinterm(cube, bits)) {
+        out.insert(bits);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// --- hardened primitives ------------------------------------------------------
+
+TEST(ProjectionDeath, CubeCoversMintermRejectsVarBeyondMintermSpace) {
+  // A 64-bit minterm cannot represent variable 64: before the fix the shift
+  // 1ull << 64 was UB and returned an arbitrary verdict.
+  LitVec cube = {mkLit(static_cast<Var>(64), false)};
+  EXPECT_DEATH(cubeCoversMinterm(cube, 0), "outside the 64-bit minterm space");
+}
+
+TEST(ProjectionDeath, CountDisjointRejectsOutOfRangeVariable) {
+  // Cube mentions variable 3 but the projected space has only 3 variables
+  // (0..2): before the hardening the count silently went negative-width.
+  std::vector<LitVec> cubes = {{mkLit(3, false)}};
+  EXPECT_DEATH(countDisjointCubeMinterms(cubes, 3), "");
+}
+
+TEST(ProjectionDeath, CountDisjointRejectsDuplicatedVariable) {
+  // x1 & x1 is not a well-formed cube; counting it as width-2 would halve
+  // the contribution it actually denotes.
+  std::vector<LitVec> cubes = {{mkLit(1, false), mkLit(1, false)}};
+  EXPECT_DEATH(countDisjointCubeMinterms(cubes, 3), "");
+}
+
+TEST(Projection, CountDisjointAcceptsFullRangeCubes) {
+  std::vector<LitVec> cubes = {{mkLit(0, false)}, {mkLit(0, true), mkLit(2, false)}};
+  EXPECT_EQ(countDisjointCubeMinterms(cubes, 3).toU64(), 4u + 2u);
+}
+
+// Verdict-equality fuzz: the cofactor divide-and-conquer disjointness check
+// must agree with the quadratic reference scan on every random cube set,
+// including sets engineered to be disjoint.
+TEST(ProjectionProperty, DisjointnessCheckMatchesNaiveReference) {
+  Rng rng(2024);
+  int sawDisjoint = 0;
+  int sawOverlap = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    int vars = static_cast<int>(rng.range(1, 10));
+    size_t count = rng.range(0, 12);
+    bool biasDisjoint = rng.flip();
+    std::vector<LitVec> cubes;
+    for (size_t i = 0; i < count; ++i) {
+      cubes.push_back(randomCube(rng, vars, biasDisjoint, rng.flip()));
+    }
+    bool fast = cubesPairwiseDisjoint(cubes);
+    bool naive = cubesPairwiseDisjointNaive(cubes);
+    EXPECT_EQ(fast, naive) << "iter " << iter;
+    (fast ? sawDisjoint : sawOverlap) += 1;
+  }
+  // Both verdicts must actually be exercised for the fuzz to mean anything.
+  EXPECT_GT(sawDisjoint, 20);
+  EXPECT_GT(sawOverlap, 20);
+}
+
+// --- wildcard compression -----------------------------------------------------
+
+TEST(Compress, MergesComplementaryPair) {
+  // (x0 & x1) | (x0 & ~x1) = x0.
+  std::vector<LitVec> cubes = {{mkLit(0, false), mkLit(1, false)},
+                               {mkLit(0, false), mkLit(1, true)}};
+  CompressStats stats = compressCubes(cubes);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_EQ(cubes[0], LitVec{mkLit(0, false)});
+  EXPECT_EQ(stats.merges, 1u);
+  EXPECT_EQ(stats.cubesIn, 2u);
+  EXPECT_EQ(stats.cubesOut, 1u);
+}
+
+TEST(Compress, CollapsesFullSpaceToEmptyCube) {
+  // All 8 minterms over 3 variables merge down to the single empty cube.
+  std::vector<LitVec> cubes;
+  for (uint64_t bits = 0; bits < 8; ++bits) {
+    LitVec cube;
+    for (Var v = 0; v < 3; ++v) cube.push_back(mkLit(v, ((bits >> v) & 1) == 0));
+    cubes.push_back(cube);
+  }
+  compressCubes(cubes);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_TRUE(cubes[0].empty());
+}
+
+// The compression contract: union preserved exactly, disjointness preserved
+// for disjoint inputs, never more cubes out than in, and byte-identical
+// output on a repeated run (the parallel determinism contract leans on this).
+TEST(CompressProperty, PreservesUnionAndDisjointness) {
+  Rng rng(4711);
+  for (int iter = 0; iter < 200; ++iter) {
+    int vars = static_cast<int>(rng.range(1, 9));
+    Cnf cnf = testutil::randomCnf(rng, vars, static_cast<int>(rng.range(0, 14)));
+    std::vector<Var> projection;
+    for (Var v = 0; v < vars; ++v) projection.push_back(v);
+    // Chrono's disjoint cover of a random formula is the natural input
+    // distribution: real covers, not arbitrary cube soup.
+    AllSatResult r = chronoAllSat(cnf, projection, {});
+    ASSERT_TRUE(r.complete);
+
+    std::vector<LitVec> compressed = r.cubes;
+    CompressStats stats = compressCubes(compressed);
+    EXPECT_LE(compressed.size(), r.cubes.size()) << "iter " << iter;
+    EXPECT_EQ(stats.cubesOut, compressed.size()) << "iter " << iter;
+    EXPECT_TRUE(cubesPairwiseDisjoint(compressed)) << "iter " << iter;
+    EXPECT_EQ(unionMinterms(compressed, vars), unionMinterms(r.cubes, vars))
+        << "iter " << iter;
+    EXPECT_EQ(countDisjointCubeMinterms(compressed, vars), r.mintermCount) << "iter " << iter;
+
+    std::vector<LitVec> again = r.cubes;
+    compressCubes(again);
+    EXPECT_EQ(again, compressed) << "iter " << iter;
+  }
+}
+
+TEST(CompressProperty, DedupDropsDuplicatesAndSubsumedCubes) {
+  Rng rng(1299);
+  for (int iter = 0; iter < 120; ++iter) {
+    int vars = static_cast<int>(rng.range(1, 8));
+    std::vector<LitVec> cubes;
+    size_t count = rng.range(1, 10);
+    for (size_t i = 0; i < count; ++i) {
+      cubes.push_back(randomCube(rng, vars, false, false));
+    }
+    // Salt with guaranteed duplicates and a subsumed copy-with-extra-literal.
+    cubes.push_back(cubes[0]);
+    LitVec narrowed = cubes[0];
+    if (narrowed.size() < static_cast<size_t>(vars)) {
+      for (Var v = 0; v < vars; ++v) {
+        bool used = false;
+        for (Lit l : narrowed) used |= l.var() == v;
+        if (!used) {
+          narrowed.push_back(mkLit(v, rng.flip()));
+          break;
+        }
+      }
+    }
+    cubes.push_back(narrowed);
+
+    std::set<uint64_t> before = unionMinterms(cubes, vars);
+    CompressStats stats = dedupCubes(cubes);
+    EXPECT_EQ(unionMinterms(cubes, vars), before) << "iter " << iter;
+    EXPECT_GE(stats.duplicates, 1u) << "iter " << iter;
+    // No exact duplicates can survive.
+    for (size_t i = 0; i < cubes.size(); ++i) {
+      for (size_t j = i + 1; j < cubes.size(); ++j) {
+        EXPECT_NE(cubes[i], cubes[j]) << "iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(Compress, GovernorTripStopsEarlyButStaysSound) {
+  // A zero-byte memory ceiling trips on the first round's table charge; the
+  // partially-compressed cover must still denote the same set.
+  std::vector<LitVec> cubes;
+  for (uint64_t bits = 0; bits < 8; ++bits) {
+    LitVec cube;
+    for (Var v = 0; v < 3; ++v) cube.push_back(mkLit(v, ((bits >> v) & 1) == 0));
+    cubes.push_back(cube);
+  }
+  Budget budget;
+  budget.memLimitBytes = 1;
+  Governor governor(budget);
+  std::vector<LitVec> governed = cubes;
+  compressCubes(governed, &governor);
+  EXPECT_TRUE(governor.tripped());
+  EXPECT_EQ(unionMinterms(governed, 3), unionMinterms(cubes, 3));
+  EXPECT_TRUE(cubesPairwiseDisjoint(governed));
+}
+
+// --- projected-native chrono --------------------------------------------------
+
+// The tentpole contract on random CNFs: projected chrono emits disjoint
+// cubes covering exactly the brute-force projected solution set, with a
+// cover never larger than the plain (lift-after-enumeration) baseline.
+TEST(ProjectedChronoProperty, MatchesBruteForceWithSmallerCover) {
+  Rng rng(613);
+  for (int iter = 0; iter < 150; ++iter) {
+    int vars = static_cast<int>(rng.range(2, 9));
+    Cnf cnf = testutil::randomCnf(rng, vars, static_cast<int>(rng.range(1, 16)));
+    std::vector<Var> projection;
+    for (Var v = 0; v < vars; ++v) {
+      if (rng.chance(1, 2)) projection.push_back(v);
+    }
+    std::set<uint64_t> expected = bruteForceProjectedSolutions(cnf, projection);
+
+    AllSatOptions projOpts;
+    projOpts.project = true;
+    projOpts.compress = true;
+    AllSatResult proj = chronoAllSat(cnf, projection, projOpts);
+    ASSERT_TRUE(proj.complete);
+    EXPECT_TRUE(cubesPairwiseDisjoint(proj.cubes)) << "iter " << iter;
+    EXPECT_EQ(unionMinterms(proj.cubes, static_cast<int>(projection.size())), expected)
+        << "iter " << iter;
+    EXPECT_EQ(proj.mintermCount.toU64(), expected.size()) << "iter " << iter;
+
+    AllSatResult plain = chronoAllSat(cnf, projection, {});
+    ASSERT_TRUE(plain.complete);
+    EXPECT_EQ(plain.mintermCount, proj.mintermCount) << "iter " << iter;
+    EXPECT_LE(proj.cubes.size(), plain.cubes.size()) << "iter " << iter;
+
+    ChronoAuditOptions auditOptions;
+    auditOptions.diagPrefix = "proj";
+    AuditResult audit =
+        auditChronoCubes(cnf, projection, proj.cubes, proj.complete, auditOptions);
+    EXPECT_TRUE(audit.ok()) << "iter " << iter << "\n" << audit.toString();
+  }
+}
+
+std::vector<std::string> canonicalCubes(const std::vector<LitVec>& cubes, int width) {
+  std::vector<std::string> out;
+  out.reserve(cubes.size());
+  for (const LitVec& cube : cubes) {
+    std::string s(static_cast<size_t>(width), 'x');
+    for (Lit l : cube) s[static_cast<size_t>(l.var())] = l.sign() ? '0' : '1';
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// Generator-suite equivalence: projected+compressed chrono preimages match
+// the BDD oracle's state set on every circuit, use no more cubes than the
+// plain chrono enumeration, and are bit-identical at jobs=1 vs jobs=8.
+TEST(ProjectedChronoPreimage, MatchesBddOracleOnGeneratorSuite) {
+  struct Fixture {
+    const char* name;
+    Netlist nl;
+  };
+  std::vector<Fixture> suite;
+  suite.push_back({"counter:4", makeCounter(4)});
+  suite.push_back({"gray:3", makeGrayCounter(3)});
+  suite.push_back({"lfsr:4", makeLfsr(4)});
+  suite.push_back({"arbiter:3", makeRoundRobinArbiter(3)});
+  suite.push_back({"traffic", makeTrafficLight()});
+  suite.push_back({"lock", makeCombinationLock({1, 2, 3}, 2)});
+
+  for (const Fixture& fixture : suite) {
+    TransitionSystem ts(fixture.nl);
+    const int n = ts.numStateBits();
+    StateSet target = StateSet::fromCube(n, {mkLit(0)});
+
+    PreimageResult bdd = computePreimage(ts, target, PreimageMethod::kBdd, {});
+    PreimageResult plain = computePreimage(ts, target, PreimageMethod::kChrono, {});
+
+    PreimageOptions projOpts;
+    projOpts.allsat.project = true;
+    projOpts.allsat.compress = true;
+    PreimageResult proj = computePreimage(ts, target, PreimageMethod::kChrono, projOpts);
+
+    EXPECT_TRUE(proj.complete) << fixture.name;
+    EXPECT_EQ(proj.stateCount, bdd.stateCount) << fixture.name;
+    EXPECT_TRUE(cubesPairwiseDisjoint(proj.states.cubes)) << fixture.name;
+    EXPECT_TRUE(sameStates(proj.states, bdd.states)) << fixture.name;
+    EXPECT_LE(proj.states.cubes.size(), plain.states.cubes.size()) << fixture.name;
+
+    PreimageOptions one = projOpts;
+    one.allsat.parallel.jobs = 1;
+    PreimageOptions eight = projOpts;
+    eight.allsat.parallel.jobs = 8;
+    PreimageResult r1 = computePreimage(ts, target, PreimageMethod::kChrono, one);
+    PreimageResult r8 = computePreimage(ts, target, PreimageMethod::kChrono, eight);
+    EXPECT_EQ(canonicalCubes(r1.states.cubes, n), canonicalCubes(r8.states.cubes, n))
+        << fixture.name;
+    EXPECT_EQ(r1.stateCount, bdd.stateCount) << fixture.name;
+    EXPECT_TRUE(cubesPairwiseDisjoint(r1.states.cubes)) << fixture.name;
+    EXPECT_TRUE(sameStates(r1.states, bdd.states)) << fixture.name;
+  }
+}
+
+TEST(ProjectedChronoDeath, CorruptedCoverFailsProjDisjoint) {
+  Cnf cnf(3);
+  cnf.addBinary(mkLit(0), mkLit(1));
+  std::vector<Var> projection = {0, 1, 2};
+  AllSatOptions projOpts;
+  projOpts.project = true;
+  AllSatResult r = chronoAllSat(cnf, projection, projOpts);
+  ChronoAuditOptions auditOptions;
+  auditOptions.diagPrefix = "proj";
+  ASSERT_TRUE(auditChronoCubes(cnf, projection, r.cubes, r.complete, auditOptions).ok());
+  corruptChronoCubesForTest(r.cubes, ChronoCorruption::kDuplicateCube);
+  EXPECT_DEATH(PRESAT_CHECK_AUDIT(
+                   auditChronoCubes(cnf, projection, r.cubes, r.complete, auditOptions)),
+               "proj\\.disjoint");
+}
+
+}  // namespace
+}  // namespace presat

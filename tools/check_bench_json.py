@@ -16,6 +16,10 @@ seed and feeds the file through this checker, which validates:
     must not change the result) asserted straight off the trajectory file
   * `table1` covers all four SAT enumeration engines (minterm-blocking,
     cube-blocking, success-driven, chrono)
+  * every `table1` `<circuit>/chrono` case has a `<circuit>/chrono-proj`
+    projected series whose record carries a `proj.cubes` counter equal to
+    its `pre.cubes`, with `pre.cubes` no larger than the uncompressed
+    chrono enumeration's — wildcard compression must never grow the cover
 
 `--google-benchmark FILE` additionally validates a google-benchmark
 `--benchmark_format=json` report (bench_micro): non-empty `benchmarks`
@@ -82,11 +86,36 @@ def check_table1(records: list) -> None:
         fail(f"table1 is missing engine series: {sorted(missing)}")
 
     cubes_by_case = {}
+    counters_by_case = {}
     for r in table1:
         case = r["labels"]["case"]
         if "pre.cubes" not in r["counters"]:
             fail(f"table1 case {case!r} has no pre.cubes counter")
         cubes_by_case[case] = r["counters"]["pre.cubes"]
+        counters_by_case[case] = r["counters"]
+
+    # Projected series: every plain chrono case must have a chrono-proj
+    # sibling, the projected record must expose proj.cubes (== its final
+    # pre.cubes), and compression must not have grown the cover.
+    proj_cases = 0
+    for case, cubes in sorted(cubes_by_case.items()):
+        if not case.endswith("/chrono"):
+            continue
+        proj = case + "-proj"
+        if proj not in cubes_by_case:
+            fail(f"table1 case {case!r} has no projected series {proj!r}")
+        proj_counters = counters_by_case[proj]
+        if "proj.cubes" not in proj_counters:
+            fail(f"table1 case {proj!r} has no proj.cubes counter")
+        if proj_counters["proj.cubes"] != cubes_by_case[proj]:
+            fail(f"table1 case {proj!r}: proj.cubes "
+                 f"{proj_counters['proj.cubes']} != pre.cubes {cubes_by_case[proj]}")
+        if cubes_by_case[proj] > cubes:
+            fail(f"compression regression: {proj!r} produced "
+                 f"{cubes_by_case[proj]} cubes but {case!r} produced {cubes}")
+        proj_cases += 1
+    if proj_cases == 0:
+        fail("table1 contains no chrono/chrono-proj pairs to compare")
 
     par_pairs = 0
     for case, cubes in sorted(cubes_by_case.items()):

@@ -21,6 +21,12 @@
 //   --split K   split-cube depth (2^K subcubes; default auto)
 //   --seed S    CDCL decision seed (Solver::setRandomSeed; reproducible
 //               diversification, results unchanged)
+//   --project   projected enumeration: chrono stops at existential witnesses
+//               and emits cubes natively over the projection scope; the
+//               other engines dedup their projected covers (same state set,
+//               fewer cubes)
+//   --compress  wildcard cube compression ((x & A) | (~x & A) = A) over the
+//               final cover and over each parallel shard's cover
 // and the resource-budget flags (src/govern/; any of them attaches a
 // Governor; a budgeted run that stops early prints the stop reason and exits
 // with code 2, its printed cubes being a sound under-approximation):
@@ -97,7 +103,9 @@ namespace {
                "  presat_cli bmc      <file.bench> --init CUBE --target CUBE [--depth N]\n"
                "  presat_cli audit    <file.cnf> | --gen SPEC [--target CUBE]\n"
                "\nSAT enumeration commands also take --jobs N (parallel cube-and-conquer),\n"
-               "--split K (2^K subcubes), and --seed S (CDCL decision seed).\n"
+               "--split K (2^K subcubes), --seed S (CDCL decision seed), --project\n"
+               "(projected enumeration over the scope), and --compress (wildcard cube\n"
+               "compression of the enumerated cover).\n"
                "Budgets: --timeout-ms N, --mem-limit-mb N, --conflict-limit N; a run that\n"
                "stops on a budget prints the reason and exits 2 with a sound partial result.\n"
                "CUBE: one char per state bit (bit 0 first): 0, 1, x/- for don't-care.\n"
@@ -122,13 +130,20 @@ struct Args {
     auto it = flags.find(name);
     return it == flags.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
   }
+  bool boolFlag(const std::string& name) const { return flags.count(name) != 0; }
 };
 
-// Shared --seed/--jobs/--split handling for the SAT enumeration commands.
+// Valueless switches: presence alone turns the mode on.
+bool isBooleanFlag(const std::string& name) { return name == "project" || name == "compress"; }
+
+// Shared --seed/--jobs/--split/--project/--compress handling for the SAT
+// enumeration commands.
 void applyEngineFlags(const Args& args, AllSatOptions& options) {
   options.randomSeed = args.u64Flag("seed", options.randomSeed);
   options.parallel.jobs = args.intFlag("jobs", options.parallel.jobs);
   options.parallel.splitDepth = args.intFlag("split", options.parallel.splitDepth);
+  if (args.boolFlag("project")) options.project = true;
+  if (args.boolFlag("compress")) options.compress = true;
 }
 
 // Shared --timeout-ms/--mem-limit-mb/--conflict-limit handling: builds the
@@ -158,8 +173,13 @@ Args parseArgs(int argc, char** argv, int start) {
   for (int i = start; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
+      std::string name = a.substr(2);
+      if (isBooleanFlag(name)) {
+        args.flags[name] = "1";
+        continue;
+      }
       if (i + 1 >= argc) usage(("missing value for " + a).c_str());
-      args.flags[a.substr(2)] = argv[++i];
+      args.flags[name] = argv[++i];
     } else {
       args.positional.push_back(a);
     }
@@ -548,6 +568,26 @@ int cmdAuditCnf(AuditResult& audit, const Args& args) {
     runs.push_back({"chrono", std::move(r.cubes), std::move(r.mintermCount), r.complete});
   }
   {
+    // Projected-native chrono with compression: the same state set through
+    // the witness early-stop, projected shrinking, and wildcard merging —
+    // audited under the proj.* names and cross-checked below like any other
+    // engine (the fault-injection lane rides this run too).
+    AllSatOptions projOptions;
+    applyEngineFlags(args, projOptions);
+    projOptions.project = true;
+    projOptions.compress = true;
+    AllSatResult r =
+        projOptions.parallel.enabled()
+            ? parallelCnfAllSat(file.cnf, projection, ParallelCnfEngine::kChrono, {},
+                                projOptions)
+            : chronoAllSat(file.cnf, projection, projOptions);
+    ChronoAuditOptions projAudit;
+    projAudit.diagPrefix = "proj";
+    audit.merge(auditChronoCubes(file.cnf, projection, r.cubes, r.complete, projAudit));
+    runs.push_back(
+        {"chrono-projected", std::move(r.cubes), std::move(r.mintermCount), r.complete});
+  }
+  {
     CnfCircuit circuit = cnfToCircuit(file.cnf);
     audit.merge(auditNetlist(circuit.netlist));
     CircuitAllSatProblem problem;
@@ -632,6 +672,23 @@ int cmdAuditCircuit(AuditResult& audit, const Args& args) {
     }
     runs.push_back({preimageMethodName(method), std::move(r.states.cubes),
                     std::move(r.stateCount), r.complete});
+  }
+  {
+    // Projected-native chrono with wildcard compression, cross-checked
+    // against the seven baselines above: a compressed cover must describe
+    // exactly the same state set, and must itself stay pairwise disjoint.
+    std::unique_ptr<Governor> governor = makeGovernor(args);
+    PreimageOptions projOptions = options;
+    projOptions.allsat.governor = governor.get();
+    projOptions.allsat.project = true;
+    projOptions.allsat.compress = true;
+    PreimageResult r = computePreimage(system, target, PreimageMethod::kChrono, projOptions);
+    if (!cubesPairwiseDisjoint(r.states.cubes)) {
+      audit.fail("proj.disjoint",
+                 "projected chrono produced overlapping preimage cubes on " + spec);
+    }
+    runs.push_back(
+        {"chrono-projected", std::move(r.states.cubes), std::move(r.stateCount), r.complete});
   }
 
   crossCheckRuns(audit, runs, width);
