@@ -18,6 +18,21 @@
 //
 // Keys are stored in ordered maps so the JSON is byte-stable across runs —
 // required for diffing trajectory files. Empty sections are omitted.
+//
+// Key discipline (enforced by tools/presat_analyze.py, which also emits the
+// checked-in tools/metrics_registry.json index of every registration site):
+// literal keys are dotted names matching [a-z][a-z0-9_]*(.[a-z0-9_]+)* —
+// lowercase segments joined by dots, e.g. "parallel.task_us" — and a key
+// keeps ONE kind (counter, gauge, histogram, or label) across the whole
+// repo, because the JSON schema files one section per kind and a collision
+// would silently split a key across sections.
+//
+// Threading: Metrics is thread-COMPATIBLE, not thread-safe — no locks, no
+// atomics, by design. Every engine, worker shard, and bench case fills its
+// own private instance; cross-thread aggregation happens strictly after the
+// WorkerPool join barrier via merge(). presat_analyze's sync rules keep it
+// that way: adding a shared mutable Metrics would need a GUARDED_BY-annotated
+// mutex or an explicit lockfree waiver to pass the analyze lane.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,62 @@
+// Clang thread-safety analysis annotations.
+//
+// These macros expose the -Wthread-safety capability attributes (see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) and expand to
+// nothing on compilers without them (GCC), so annotated code builds
+// identically everywhere while clang builds get compile-time checking of the
+// locking protocol. The repo's clang builds promote the whole diagnostic
+// group to errors (-Werror=thread-safety, see the top-level CMakeLists), so
+// an annotation gap is a build break, not a warning to scroll past.
+//
+// Conventions (enforced by tools/presat_analyze.py, the semantic tier of the
+// static-analysis stack — see DESIGN.md "Static analysis"):
+//
+//  * lock-protected members are declared through base/sync.hpp's
+//    CAPABILITY-annotated Mutex and carry GUARDED_BY(thatMutex);
+//  * shared members that are deliberately NOT lock-protected (atomics with a
+//    documented protocol, owner-thread-confined state read after a join
+//    barrier) carry a `// presat-analyze: lockfree(<why>)` waiver comment on
+//    or immediately above the declaration;
+//  * functions that must be called with a lock held say REQUIRES(mutex),
+//    functions that must NOT hold it (because they take it) say
+//    EXCLUDES(mutex).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PRESAT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PRESAT_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Type annotations: a class that IS a capability (a mutex wrapper), and a
+// scoped object that holds one for its lifetime (a lock guard).
+#define CAPABILITY(x) PRESAT_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY PRESAT_THREAD_ANNOTATION(scoped_lockable)
+
+// Data annotations: this member may only be touched while holding the named
+// capability (PT_ variant: the pointee, for guarded heap objects).
+#define GUARDED_BY(x) PRESAT_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) PRESAT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering declarations between capabilities (deadlock checking).
+#define ACQUIRED_BEFORE(...) PRESAT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) PRESAT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function pre/postconditions on held capabilities.
+#define REQUIRES(...) PRESAT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) PRESAT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) PRESAT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) PRESAT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) PRESAT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) PRESAT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) PRESAT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) PRESAT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) PRESAT_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) PRESAT_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for trusted leaves (the std::mutex wrapper bodies in
+// base/sync.hpp) whose implementation the analysis cannot see through. Never
+// use this to silence a finding in protocol code — that is what the waiver
+// comment convention is for, and presat_analyze treats a bare suppression in
+// src/ outside base/sync.hpp as a finding in itself.
+#define NO_THREAD_SAFETY_ANALYSIS PRESAT_THREAD_ANNOTATION(no_thread_safety_analysis)

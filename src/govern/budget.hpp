@@ -44,6 +44,9 @@ class CancelToken {
   void reset() { cancelled_.store(false, std::memory_order_release); }
 
  private:
+  // presat-analyze: lockfree(single latched flag; release store in cancel(),
+  // acquire load in cancelled(), so whatever the canceller published is
+  // visible to workers that observe the trip)
   std::atomic<bool> cancelled_{false};
 };
 

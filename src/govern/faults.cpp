@@ -16,9 +16,16 @@ constexpr size_t kMaxSiteLen = 64;
 // maybeFail calls from worker threads are safe; arming itself must happen
 // before governed work starts.
 char g_site[kMaxSiteLen] = {};
+// presat-analyze: lockfree(release store after g_site is written; maybeFail
+// acquires it before reading the site, so arming publishes the name safely)
 std::atomic<bool> g_armed{false};
+// presat-analyze: lockfree(fetch_sub countdown; exactly one caller sees the
+// 1 -> 0 transition, which is the fire-once guarantee)
 std::atomic<uint64_t> g_countdown{0};
+// presat-analyze: lockfree(relaxed telemetry counter for tests)
 std::atomic<uint64_t> g_hits{0};
+// presat-analyze: lockfree(latched fired flag; countdown's unique decrement
+// winner is the only writer after arming)
 std::atomic<bool> g_fired{false};
 
 // FNV-1a, for deriving per-site countdowns from a sweep seed.

@@ -82,10 +82,25 @@ class Governor {
 
   Budget budget_;
   Timer timer_;
+  // The governor is deliberately lock-free: poll() sits inside every engine's
+  // search loop, and a mutex here would serialize all worker shards on one
+  // cache line. The members below are independent monotone counters plus one
+  // CAS-latched flag, so relaxed ordering suffices — the only cross-field
+  // protocol is "reason_ latches first writer wins", which trip()'s
+  // compare_exchange provides on its own.
+  // presat-analyze: lockfree(relaxed monotone byte counter; ceiling enforced
+  // at the next poll, never read-modify-write dependent on another field)
   std::atomic<uint64_t> bytes_{0};
+  // presat-analyze: lockfree(CAS max-loop in charge(); monotone, report-only)
   std::atomic<uint64_t> peakBytes_{0};
+  // presat-analyze: lockfree(relaxed monotone conflict counter; compared
+  // against an immutable Budget limit at poll)
   std::atomic<uint64_t> conflicts_{0};
+  // presat-analyze: lockfree(relaxed poll tick, used only to decimate
+  // steady_clock reads; occasional off-by-a-few is harmless)
   std::atomic<uint64_t> polls_{0};
+  // presat-analyze: lockfree(trip latch: compare_exchange from kComplete so
+  // the FIRST reason wins and later polls read it unchanged)
   std::atomic<uint8_t> reason_{static_cast<uint8_t>(Outcome::kComplete)};
 };
 

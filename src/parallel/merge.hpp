@@ -29,6 +29,12 @@
 namespace presat {
 
 // One subcube's solve, in shard-index order.
+//
+// Cross-thread ownership: shards[i] is written by exactly ONE worker (the one
+// that popped task i) while the pool runs, and read only after run()'s join
+// barrier — slot i is never shared between two live threads, which is why no
+// member here needs a lock or an atomic. The parallel drivers preserve this
+// by indexing slots with the task index, never the worker index.
 struct ShardOutcome {
   LitVec guide;        // guiding cube, projected index space
   AllSatResult result; // sub-enumeration over the same projection scope

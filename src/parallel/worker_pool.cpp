@@ -1,9 +1,7 @@
 #include "parallel/worker_pool.hpp"
 
 #include <chrono>
-#include <deque>
-#include <mutex>
-#include <thread>
+#include <thread>  // presat-analyze: raw-thread(the one permitted spawn site; see WorkerPool::run)
 #include <vector>
 
 #include "base/log.hpp"
@@ -12,40 +10,33 @@ namespace presat {
 
 namespace {
 
-// One worker's task deque plus its privately-accumulated stats. The deque is
-// shared (owner pops front, thieves steal back) and mutex-guarded; the stats
-// are only ever written by the owning worker thread and only read after the
-// join barrier in run().
+// One worker's task queue plus its privately-accumulated stats. The queue is
+// shared (owner pops front, thieves steal back) behind StealQueue's lock; the
+// stats are only ever written by the owning worker thread and only read after
+// the join barrier in run().
 struct WorkerShard {
-  std::mutex mutex;
-  std::deque<size_t> tasks;
+  StealQueue queue;
+  // presat-analyze: lockfree(owner-worker private during run(); the caller
+  // aggregates only after the join barrier)
   WorkerPoolStats stats;
 };
 
-// Pops the next task for `self`: own deque first (front, LIFO-ish locality),
-// then steals from the back of a victim deque. Returns false when every
-// deque is empty — the batch is closed, so empty-everywhere means done.
+// Pops the next task for `self`: own queue first, then steals from a victim.
+// Returns false when every queue is empty — the batch is closed, so
+// empty-everywhere means done.
 bool nextTask(std::vector<WorkerShard>& shards, size_t self, size_t& taskOut, bool& stolenOut) {
-  {
-    WorkerShard& own = shards[self];
-    std::lock_guard<std::mutex> lock(own.mutex);
-    own.stats.queueDepth.record(own.tasks.size());
-    if (!own.tasks.empty()) {
-      taskOut = own.tasks.front();
-      own.tasks.pop_front();
-      stolenOut = false;
-      return true;
-    }
+  WorkerShard& own = shards[self];
+  size_t depth = 0;
+  bool got = own.queue.popOwn(taskOut, depth);
+  own.stats.queueDepth.record(depth);
+  if (got) {
+    stolenOut = false;
+    return true;
   }
   // Steal scan: probe victims in a self-offset order so idle workers do not
-  // all hammer shard 0, taking the single task with the most work left
-  // behind it (back of the deque).
+  // all hammer shard 0.
   for (size_t i = 1; i < shards.size(); ++i) {
-    WorkerShard& victim = shards[(self + i) % shards.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
-    if (!victim.tasks.empty()) {
-      taskOut = victim.tasks.back();
-      victim.tasks.pop_back();
+    if (shards[(self + i) % shards.size()].queue.steal(taskOut)) {
       stolenOut = true;
       return true;
     }
@@ -65,7 +56,7 @@ void WorkerPool::run(size_t numTasks, const std::function<void(size_t task, int 
   // Round-robin deal: contiguous task indices land on different workers, so
   // the adjacent (similar-size) subcubes of one region spread out.
   for (size_t t = 0; t < numTasks; ++t) {
-    shards[t % workers].tasks.push_back(t);
+    shards[t % workers].queue.push(t);
   }
 
   auto workerMain = [&shards, &fn, &stop](size_t self) {
@@ -89,10 +80,12 @@ void WorkerPool::run(size_t numTasks, const std::function<void(size_t task, int 
     // and engine PRESAT_CHECK failures surface with the caller's stack.
     workerMain(0);
   } else {
+    // The repo's single thread-spawn site (presat_analyze rule raw-thread):
+    // every worker is joined below, so no thread outlives the batch.
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
-      threads.emplace_back(workerMain, w);
+      threads.emplace_back(workerMain, w);  // presat-analyze: raw-thread(WorkerPool is the pool)
     }
     for (std::thread& t : threads) t.join();
   }
@@ -102,8 +95,9 @@ void WorkerPool::run(size_t numTasks, const std::function<void(size_t task, int 
   // contract still holds exactly.
   bool stopped = stop != nullptr && stop();
   for (WorkerShard& shard : shards) {
-    PRESAT_CHECK(stopped || shard.tasks.empty()) << "worker pool left tasks behind";
-    stats_.tasksSkipped += shard.tasks.size();
+    size_t abandoned = shard.queue.drain();
+    PRESAT_CHECK(stopped || abandoned == 0) << "worker pool left tasks behind";
+    stats_.tasksSkipped += abandoned;
     stats_.tasksRun += shard.stats.tasksRun;
     stats_.steals += shard.stats.steals;
     stats_.queueDepth.merge(shard.stats.queueDepth);

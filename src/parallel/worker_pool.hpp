@@ -8,6 +8,12 @@
 // pool trivially ThreadSanitizer-clean; a chase-lev deque is a drop-in
 // upgrade behind this interface if profiles ever show lock contention.
 //
+// The locking protocol is machine-checked two ways: StealQueue's deque is
+// GUARDED_BY its capability-annotated Mutex (base/sync.hpp), so clang's
+// -Wthread-safety analysis proves every access path holds the lock, and
+// tools/presat_analyze.py enforces that no other std::thread / raw deque
+// sharing grows outside this file.
+//
 // The pool runs *closed* batches: run() blocks until every task finished and
 // the workers joined, so a task body may reference stack-local state of the
 // caller. Tasks receive (taskIndex, workerIndex) and must not touch shared
@@ -16,12 +22,64 @@
 // merged result independent of scheduling.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 
 #include "base/metrics.hpp"
+#include "base/sync.hpp"
+#include "base/thread_annotations.hpp"
 
 namespace presat {
+
+// One worker's share of the task pool. Owner pops the front (LIFO-ish
+// locality over the round-robin deal), thieves pop the back (the task with
+// the most work queued behind it). All access goes through these methods —
+// the deque itself is lock-protected and never escapes.
+class StealQueue {
+ public:
+  // Enqueues a task at the back (the deal phase; also safe mid-run).
+  void push(size_t task) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    tasks_.push_back(task);
+  }
+
+  // Owner-side pop from the front. Always reports the depth observed at the
+  // attempt (including the popped task) in `depthOut`, so the caller can feed
+  // the queue-depth histogram even on a miss.
+  bool popOwn(size_t& taskOut, size_t& depthOut) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    depthOut = tasks_.size();
+    if (tasks_.empty()) return false;
+    taskOut = tasks_.front();
+    tasks_.pop_front();
+    return true;
+  }
+
+  // Thief-side pop from the back.
+  bool steal(size_t& taskOut) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (tasks_.empty()) return false;
+    taskOut = tasks_.back();
+    tasks_.pop_back();
+    return true;
+  }
+
+  // Empties the queue, returning how many tasks were abandoned. Used after
+  // the join barrier: nonzero is legal only once a stop predicate tripped
+  // (graceful degradation) — the caller asserts the batch-closed contract.
+  size_t drain() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    size_t n = tasks_.size();
+    tasks_.clear();
+    return n;
+  }
+
+ private:
+  Mutex mutex_;
+  std::deque<size_t> tasks_ GUARDED_BY(mutex_);
+};
 
 struct WorkerPoolStats {
   uint64_t tasksRun = 0;

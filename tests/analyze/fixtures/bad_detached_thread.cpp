@@ -1,0 +1,13 @@
+// Fixture: a detached thread — outlives every join barrier, so it can touch
+// shard slots after run() returned. Expect (lint.py): detached-thread.
+// presat_analyze also reports raw-thread for the construction site.
+#include <thread>
+
+namespace presat {
+
+void fireAndForget() {
+  std::thread worker([] {});  // raw-thread
+  worker.detach();            // detached-thread (lint tier)
+}
+
+}  // namespace presat

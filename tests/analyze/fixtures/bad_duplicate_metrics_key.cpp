@@ -1,0 +1,18 @@
+// Fixture: the same key+kind registered twice in one straight-line block
+// (the second clobbers the first), plus one key used under two kinds.
+// Expect: metrics-duplicate-key, metrics-kind-collision.
+#include "base/metrics.hpp"
+
+namespace presat {
+
+void fillStats(Metrics& metrics, int cubes, double seconds) {
+  metrics.setCounter("pre.cubes", cubes);
+  metrics.setGauge("time.seconds", seconds);
+  metrics.setCounter("pre.cubes", cubes + 1);  // BAD: clobbers line above
+}
+
+void fillMore(Metrics& metrics, double cubes) {
+  metrics.setGauge("pre.cubes", cubes);  // BAD: "pre.cubes" is a counter above
+}
+
+}  // namespace presat

@@ -1,0 +1,13 @@
+// Fixture: metrics key literals violating the dotted-name grammar
+// [a-z][a-z0-9_]*(.[a-z0-9_]+)*. Expect: metrics-key-grammar (three sites).
+#include "base/metrics.hpp"
+
+namespace presat {
+
+void fillBadKeys(Metrics& metrics) {
+  metrics.inc("PreCubes");          // BAD: uppercase
+  metrics.setGauge("time-seconds", 1.0);  // BAD: dash, not dot
+  metrics.inc("pre..cubes");        // BAD: empty segment
+}
+
+}  // namespace presat

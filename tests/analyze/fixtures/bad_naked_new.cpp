@@ -1,0 +1,26 @@
+// Fixture: raw new/delete and malloc outside the governor-charged
+// allocation paths. Expect: raw-alloc (three sites).
+#include <cstdlib>
+
+namespace presat {
+
+struct Node {
+  int value = 0;
+  Node* next = nullptr;
+};
+
+Node* makeNode(int v) {
+  Node* n = new Node;  // BAD: invisible to the MemoryLedger
+  n->value = v;
+  return n;
+}
+
+void freeNode(Node* n) {
+  delete n;  // BAD
+}
+
+void* scratch(std::size_t bytes) {
+  return std::malloc(bytes);  // BAD
+}
+
+}  // namespace presat

@@ -1,0 +1,21 @@
+// Fixture: a raw std::mutex member instead of the CAPABILITY-annotated
+// presat::Mutex. Expect: sync-raw-mutex, and — because the class still owns
+// a mutex — sync-unguarded-member for the member the mutex protects.
+#include <mutex>
+#include <vector>
+
+namespace presat {
+
+class HiddenLock {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_.push_back(v);
+  }
+
+ private:
+  std::mutex mutex_;  // BAD: invisible to clang thread-safety analysis
+  std::vector<int> values_;
+};
+
+}  // namespace presat

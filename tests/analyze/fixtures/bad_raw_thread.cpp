@@ -1,0 +1,12 @@
+// Fixture: std::thread constructed outside the WorkerPool. Expect:
+// raw-thread.
+#include <thread>
+
+namespace presat {
+
+void fireAndJoin() {
+  std::thread worker([] {});  // BAD: not behind the pool's join barrier
+  worker.join();
+}
+
+}  // namespace presat

@@ -1,0 +1,25 @@
+// Fixture: a class that owns a presat::Mutex but leaves a member without
+// GUARDED_BY or a waiver. Expect: sync-unguarded-member.
+#include <cstddef>
+#include <deque>
+
+#include "base/sync.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace presat {
+
+class LeakyQueue {
+ public:
+  void push(size_t task) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    tasks_.push_back(task);
+    pushes_++;
+  }
+
+ private:
+  Mutex mutex_;
+  std::deque<size_t> tasks_ GUARDED_BY(mutex_);
+  size_t pushes_ = 0;  // BAD: no GUARDED_BY, no waiver
+};
+
+}  // namespace presat

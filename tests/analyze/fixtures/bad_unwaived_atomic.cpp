@@ -1,0 +1,17 @@
+// Fixture: a std::atomic member with neither GUARDED_BY nor a lockfree
+// waiver documenting its protocol. Expect: sync-unwaived-atomic.
+#include <atomic>
+#include <cstdint>
+
+namespace presat {
+
+class SilentCounter {
+ public:
+  void bump() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> hits_{0};  // BAD: undocumented lock-free protocol
+};
+
+}  // namespace presat

@@ -1,0 +1,38 @@
+// Fixture: the approved shapes — annotated presat::Mutex with every member
+// GUARDED_BY, metrics keys on-grammar and kind-consistent. Expect: clean
+// under both lint.py and presat_analyze.
+#include <cstddef>
+#include <deque>
+
+#include "base/metrics.hpp"
+#include "base/sync.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace presat {
+
+class GuardedQueue {
+ public:
+  void push(size_t task) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    tasks_.push_back(task);
+    pushes_++;
+  }
+
+  size_t pushes() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return pushes_;
+  }
+
+ private:
+  Mutex mutex_;
+  std::deque<size_t> tasks_ GUARDED_BY(mutex_);
+  size_t pushes_ GUARDED_BY(mutex_) = 0;
+};
+
+void fillGoodKeys(Metrics& metrics, size_t cubes, double seconds) {
+  metrics.setCounter("fixture.cubes", cubes);
+  metrics.setGauge("fixture.time.seconds", seconds);
+  metrics.setLabel("fixture.engine", "good");
+}
+
+}  // namespace presat

@@ -1,0 +1,34 @@
+// Fixture: every waiver form the analyzer accepts — trailing comment,
+// standalone comment line, and a multi-line comment block above the
+// declaration. Expect: clean under both lint.py and presat_analyze.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+
+namespace presat {
+
+class WaivedFlags {
+ public:
+  void trip() { tripped_.store(true, std::memory_order_release); }
+  bool tripped() const { return tripped_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> tripped_{false};  // presat-analyze: lockfree(release store published by one writer, acquire load by readers)
+
+  // presat-analyze: lockfree(relaxed monotonic counter; readers only ever
+  // see it after the join barrier, so no ordering is required)
+  std::atomic<uint64_t> polls_{0};
+};
+
+// presat-analyze: raw-alloc(fixture exercising the waiver path for an
+// allocation the governor deliberately does not charge)
+void* waivedScratch(std::size_t bytes) { return std::malloc(bytes); }
+
+void waivedSpawn() {
+  // presat-analyze: raw-thread(fixture exercising the waiver path)
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace presat

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Fixture tests for the static-analysis stack (tools/lint.py and
+tools/presat_analyze.py).
+
+Each fixture under tests/analyze/fixtures/ is a deliberately-bad (bad_*.cpp)
+or deliberately-clean (good_*.cpp) translation unit. The test asserts, per
+fixture, exactly which rule ids each tool reports — so a rule that silently
+stops firing fails here before a real regression can slip past the CI
+analyze lane. Both tools run in --format json; the shared
+presat-analysis-v1 schema is validated on every invocation.
+
+Run directly (python3 tests/analyze_test.py) or via ctest (analyze_fixtures).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "analyze" / "fixtures"
+LINT = REPO_ROOT / "tools" / "lint.py"
+ANALYZE = REPO_ROOT / "tools" / "presat_analyze.py"
+
+# fixture -> set of rule ids presat_analyze must report (exactly).
+ANALYZE_EXPECT = {
+    "bad_unguarded_member.cpp": {"sync-unguarded-member"},
+    "bad_unwaived_atomic.cpp": {"sync-unwaived-atomic"},
+    # a raw mutex still makes its class a mutex-owning class, so the member
+    # it protects is reported unguarded as well
+    "bad_raw_mutex.cpp": {"sync-raw-mutex", "sync-unguarded-member"},
+    "bad_naked_new.cpp": {"raw-alloc"},
+    "bad_duplicate_metrics_key.cpp": {"metrics-duplicate-key",
+                                      "metrics-kind-collision"},
+    "bad_metrics_grammar.cpp": {"metrics-key-grammar"},
+    "bad_raw_thread.cpp": {"raw-thread"},
+    "bad_detached_thread.cpp": {"raw-thread"},
+    "good_annotated.cpp": set(),
+    "good_waivers.cpp": set(),
+}
+
+# fixture -> set of rule ids lint.py must report (exactly).
+LINT_EXPECT = {
+    "bad_unguarded_member.cpp": set(),
+    "bad_unwaived_atomic.cpp": set(),
+    "bad_raw_mutex.cpp": set(),
+    "bad_naked_new.cpp": set(),
+    "bad_duplicate_metrics_key.cpp": set(),
+    "bad_metrics_grammar.cpp": set(),
+    "bad_raw_thread.cpp": set(),
+    "bad_detached_thread.cpp": {"detached-thread"},
+    "good_annotated.cpp": set(),
+    "good_waivers.cpp": set(),
+}
+
+# Per-rule finding counts presat_analyze must hit where a fixture plants a
+# known number of sites.
+ANALYZE_COUNTS = {
+    ("bad_naked_new.cpp", "raw-alloc"): 3,
+    ("bad_metrics_grammar.cpp", "metrics-key-grammar"): 3,
+}
+
+failures: list[str] = []
+
+
+def fail(msg: str) -> None:
+    failures.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def run_tool(argv: list[str], expect_findings: bool) -> dict | None:
+    proc = subprocess.run([sys.executable, *argv], capture_output=True,
+                          text=True, cwd=REPO_ROOT)
+    if proc.returncode not in (0, 1):
+        fail(f"{argv}: exit {proc.returncode}\n{proc.stderr}")
+        return None
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        fail(f"{argv}: output is not JSON:\n{proc.stdout[:500]}")
+        return None
+    for field in ("tool", "schema", "files", "findings"):
+        if field not in report:
+            fail(f"{argv}: report missing field {field!r}")
+            return None
+    if report["schema"] != "presat-analysis-v1":
+        fail(f"{argv}: unexpected schema {report['schema']!r}")
+    for f in report["findings"]:
+        for field in ("rule", "file", "line", "message"):
+            if field not in f:
+                fail(f"{argv}: finding missing field {field!r}: {f}")
+    want_exit = 1 if expect_findings else 0
+    if proc.returncode != want_exit:
+        fail(f"{argv}: exit {proc.returncode}, want {want_exit} "
+             f"({len(report['findings'])} findings)")
+    return report
+
+
+def check_fixture(name: str) -> None:
+    path = FIXTURES / name
+    if not path.is_file():
+        fail(f"missing fixture {name}")
+        return
+
+    expect = ANALYZE_EXPECT[name]
+    report = run_tool([str(ANALYZE), "--files", str(path), "--format", "json"],
+                      expect_findings=bool(expect))
+    if report is not None:
+        got = {f["rule"] for f in report["findings"]}
+        if got != expect:
+            fail(f"presat_analyze({name}): rules {sorted(got)}, "
+                 f"want {sorted(expect)}")
+        for (fname, rule), want_n in ANALYZE_COUNTS.items():
+            if fname == name:
+                n = sum(1 for f in report["findings"] if f["rule"] == rule)
+                if n != want_n:
+                    fail(f"presat_analyze({name}): {n} {rule} findings, "
+                         f"want {want_n}")
+
+    expect = LINT_EXPECT[name]
+    report = run_tool([str(LINT), "--format", "json", str(path)],
+                      expect_findings=bool(expect))
+    if report is not None:
+        got = {f["rule"] for f in report["findings"]}
+        if got != expect:
+            fail(f"lint({name}): rules {sorted(got)}, want {sorted(expect)}")
+
+
+def check_fixture_walk_skip() -> None:
+    """lint.py must NOT trip over the fixtures when walking tests/ — the
+    intentionally-bad inputs are exempt from directory scans."""
+    report = run_tool([str(LINT), "--format", "json", "tests"],
+                      expect_findings=False)
+    if report is not None:
+        fixture_hits = [f for f in report["findings"]
+                        if f["file"].startswith("tests/analyze/fixtures/")]
+        if fixture_hits:
+            fail(f"lint(tests/) walked into fixtures: {fixture_hits}")
+
+
+def main() -> int:
+    on_disk = {p.name for p in FIXTURES.glob("*.cpp")}
+    expected = set(ANALYZE_EXPECT)
+    if on_disk != expected:
+        fail(f"fixture set drift: on disk {sorted(on_disk ^ expected)} "
+             "not matched by expectations")
+    for name in sorted(ANALYZE_EXPECT):
+        check_fixture(name)
+    check_fixture_walk_skip()
+    if failures:
+        print(f"\nanalyze_test: {len(failures)} failure(s)")
+        return 1
+    print(f"analyze_test: {len(ANALYZE_EXPECT)} fixtures x 2 tools OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,35 @@ TEST(WorkerPool, ClampsThreadCountAndRunsInline) {
   EXPECT_EQ(pool.stats().steals, 0u);
 }
 
+TEST(StealQueue, OwnerPopsFrontThiefStealsBack) {
+  StealQueue q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  size_t task = 0, depth = 0;
+  ASSERT_TRUE(q.popOwn(task, depth));
+  EXPECT_EQ(task, 1u);  // owner drains FIFO from the front
+  EXPECT_EQ(depth, 3u); // depth includes the popped task
+  ASSERT_TRUE(q.steal(task));
+  EXPECT_EQ(task, 3u);  // thief takes the back (largest remaining chunk)
+  ASSERT_TRUE(q.popOwn(task, depth));
+  EXPECT_EQ(task, 2u);
+  EXPECT_EQ(depth, 1u);
+  EXPECT_FALSE(q.popOwn(task, depth));
+  EXPECT_EQ(depth, 0u); // depth is reported even on a miss
+  EXPECT_FALSE(q.steal(task));
+}
+
+TEST(StealQueue, DrainReportsAbandonedTasks) {
+  StealQueue q;
+  q.push(7);
+  q.push(8);
+  EXPECT_EQ(q.drain(), 2u);
+  EXPECT_EQ(q.drain(), 0u);
+  size_t task = 0, depth = 0;
+  EXPECT_FALSE(q.popOwn(task, depth));
+}
+
 TEST(WorkerPool, ExportsMetrics) {
   WorkerPool pool(2);
   pool.run(8, [](size_t, int) {});
