@@ -12,6 +12,7 @@
 // std::mutex in the library lives here, inside the annotated wrapper.
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 
 #include "base/thread_annotations.hpp"
@@ -47,6 +48,32 @@ class SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+// Condition variable usable with the annotated Mutex. Built on
+// std::condition_variable_any (Mutex is a BasicLockable), so waiters park on
+// the same capability the analysis tracks. wait() REQUIRES the mutex: the
+// analysis cannot model the internal release/reacquire, so the body is
+// exempted, but every caller is still proven to hold the lock around the
+// wait — exactly the invariant that matters for the predicate re-check.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mu); }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu, pred);
+  }
+
+  void notifyOne() { cv_.notify_one(); }
+  void notifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 }  // namespace presat

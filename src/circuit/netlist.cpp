@@ -200,6 +200,38 @@ std::vector<NodeId> Netlist::supportOf(const std::vector<NodeId>& roots) const {
   return support;
 }
 
+namespace {
+
+// splitmix64 finalizer: cheap, well-distributed mixing for the running hash.
+inline uint64_t mix64(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  uint64_t z = h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t netlistStructuralHash(const Netlist& netlist) {
+  uint64_t h = 0x70726573617476ull;  // arbitrary non-zero seed
+  h = mix64(h, netlist.numNodes());
+  for (NodeId id = 0; id < netlist.numNodes(); ++id) {
+    const GateNode& g = netlist.node(id);
+    h = mix64(h, static_cast<uint64_t>(g.type));
+    h = mix64(h, g.fanins.size());
+    for (NodeId f : g.fanins) h = mix64(h, f);
+  }
+  // Source/sink ORDER matters: state bit i and output i are positional in
+  // the transition-system view, so permuting them changes query semantics.
+  for (NodeId id : netlist.inputs()) h = mix64(h, id);
+  h = mix64(h, 0x1d);
+  for (NodeId id : netlist.dffs()) h = mix64(h, id);
+  h = mix64(h, 0x2d);
+  for (NodeId id : netlist.outputs()) h = mix64(h, id);
+  return h == 0 ? 1 : h;  // reserve 0 as "no hash"
+}
+
 void Netlist::validate() const {
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     const GateNode& g = nodes_[id];

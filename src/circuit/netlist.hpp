@@ -133,4 +133,14 @@ class Netlist {
   std::unordered_map<std::string, NodeId> byName_;
 };
 
+// Order-sensitive 64-bit structural fingerprint of a netlist: gate types,
+// fanin wiring, input/DFF/output order — everything that determines circuit
+// *behavior* under the dense-id node numbering — and nothing else (node names
+// are ignored, so a renamed copy of a circuit hashes equal). This is the
+// cross-query cache key component of the serve layer: two requests whose
+// circuits hash equal (plus equal targets/method/flags) may share a cached
+// preimage cover, so the hash must change whenever any function the engines
+// see could change.
+uint64_t netlistStructuralHash(const Netlist& netlist);
+
 }  // namespace presat

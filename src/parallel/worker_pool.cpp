@@ -46,6 +46,113 @@ bool nextTask(std::vector<WorkerShard>& shards, size_t self, size_t& taskOut, bo
 
 }  // namespace
 
+// The shared state behind ServicePool: a FIFO of closures plus the parked
+// worker threads. Everything mutable sits behind one Mutex; workers sleep on
+// `wake` and the quiesce() caller sleeps on `idle`.
+struct ServicePoolImpl {
+  Mutex mu;
+  std::deque<std::function<void()>> queue GUARDED_BY(mu);
+  bool stopping GUARDED_BY(mu) = false;
+  uint64_t submitted GUARDED_BY(mu) = 0;
+  uint64_t completed GUARDED_BY(mu) = 0;
+  uint64_t abandoned GUARDED_BY(mu) = 0;
+  int busy GUARDED_BY(mu) = 0;  // workers currently running a closure
+  CondVar wake;  // presat-analyze: lockfree(condition variable, internally synchronized)
+  CondVar idle;  // presat-analyze: lockfree(condition variable, internally synchronized)
+  // presat-analyze: lockfree(owned and joined by the pool's owner thread only;
+  // workers never touch the vector)
+  std::vector<std::thread> threads;
+
+  void workerMain() {
+    for (;;) {
+      std::function<void()> fn;
+      {
+        MutexLock lock(mu);
+        while (queue.empty() && !stopping) wake.wait(mu);
+        if (queue.empty()) return;  // stopping and drained
+        fn = std::move(queue.front());
+        queue.pop_front();
+        ++busy;
+      }
+      fn();
+      {
+        MutexLock lock(mu);
+        ++completed;
+        --busy;
+        if (queue.empty() && busy == 0) idle.notifyAll();
+      }
+    }
+  }
+};
+
+ServicePool::ServicePool() = default;
+
+ServicePool::~ServicePool() { stop(); }
+
+void ServicePool::start(int numThreads) {
+  PRESAT_CHECK(impl_ == nullptr) << "ServicePool::start called twice";
+  numThreads_ = numThreads < 1 ? 1 : numThreads;
+  impl_ = std::make_unique<ServicePoolImpl>();
+  impl_->threads.reserve(static_cast<size_t>(numThreads_));
+  // The repo's other permitted spawn site (presat_analyze rule raw-thread):
+  // every worker parks between closures and is joined in stop(), which the
+  // destructor guarantees — no thread outlives the pool object.
+  for (int w = 0; w < numThreads_; ++w) {
+    impl_->threads.emplace_back([this] { impl_->workerMain(); });
+  }
+}
+
+bool ServicePool::submit(std::function<void()> fn) {
+  PRESAT_CHECK(fn != nullptr);
+  if (impl_ == nullptr) return false;
+  {
+    MutexLock lock(impl_->mu);
+    if (impl_->stopping) return false;
+    impl_->queue.push_back(std::move(fn));
+    ++impl_->submitted;
+  }
+  impl_->wake.notifyOne();
+  return true;
+}
+
+void ServicePool::stop() {
+  if (impl_ == nullptr) return;
+  {
+    MutexLock lock(impl_->mu);
+    if (impl_->stopping && impl_->threads.empty()) return;
+    impl_->stopping = true;
+    impl_->abandoned += impl_->queue.size();
+    impl_->queue.clear();
+  }
+  impl_->wake.notifyAll();
+  for (std::thread& t : impl_->threads) t.join();
+  impl_->threads.clear();
+}
+
+void ServicePool::quiesce() {
+  if (impl_ == nullptr) return;
+  MutexLock lock(impl_->mu);
+  while (!(impl_->queue.empty() && impl_->busy == 0)) impl_->idle.wait(impl_->mu);
+}
+
+uint64_t ServicePool::submitted() const {
+  if (impl_ == nullptr) return 0;
+  MutexLock lock(impl_->mu);
+  return impl_->submitted;
+}
+
+uint64_t ServicePool::completed() const {
+  if (impl_ == nullptr) return 0;
+  MutexLock lock(impl_->mu);
+  return impl_->completed;
+}
+
+uint64_t ServicePool::abandoned() const {
+  if (impl_ == nullptr) return 0;
+  MutexLock lock(impl_->mu);
+  return impl_->abandoned;
+}
+
 WorkerPool::WorkerPool(int numThreads) : numThreads_(numThreads < 1 ? 1 : numThreads) {}
 
 void WorkerPool::run(size_t numTasks, const std::function<void(size_t task, int worker)>& fn,

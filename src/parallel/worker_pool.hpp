@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 
 #include "base/metrics.hpp"
 #include "base/sync.hpp"
@@ -87,6 +88,60 @@ struct WorkerPoolStats {
   uint64_t tasksSkipped = 0;  // tasks drained un-run because stop() tripped
   Histogram queueDepth;       // own-deque depth observed at each pop attempt
   Histogram taskMicros;       // per-task wall time, microseconds
+};
+
+// Long-lived companion to WorkerPool for service workloads (src/serve/):
+// where WorkerPool runs one closed batch and joins, ServicePool keeps its
+// workers parked on a condition variable between submissions, so a daemon can
+// dispatch request closures onto pre-warmed threads for the lifetime of the
+// process. Same concurrency discipline as the batch pool — one annotated
+// Mutex, no lock-free structures — and the same single-spawn-site rule: its
+// threads are constructed in worker_pool.cpp only.
+//
+// Lifecycle: start(n) spawns the workers; submit() hands over a closure
+// (rejected once stopping); stop() wakes everyone, lets already-DEQUEUED
+// closures finish, abandons still-queued ones (counted, like the batch
+// pool's tasksSkipped), and joins. The destructor stops implicitly.
+// Queueing discipline is deliberately FIFO-dumb: admission control and
+// fairness live in the serve scheduler, which decides what a submitted
+// closure *does* at dequeue time.
+class ServicePool {
+ public:
+  ServicePool();  // out-of-line: ServicePoolImpl is incomplete here
+  ~ServicePool();
+
+  ServicePool(const ServicePool&) = delete;
+  ServicePool& operator=(const ServicePool&) = delete;
+
+  // Spawns `numThreads` (< 1 clamped to 1) parked workers. Call once.
+  void start(int numThreads);
+
+  // Enqueues a closure for some worker to run. Returns false (dropping the
+  // closure) once stop() has begun or before start() — callers translate
+  // that into their own shutdown/overload handling.
+  bool submit(std::function<void()> fn);
+
+  // Drains and joins: queued-but-unstarted closures are abandoned (see
+  // abandoned()), in-flight ones run to completion. Idempotent.
+  void stop();
+
+  // Blocks until every submitted closure has either run or been abandoned
+  // and no worker is mid-closure. Used by the server's clean-shutdown path
+  // (stop accepting, then quiesce, then stop()).
+  void quiesce();
+
+  int numThreads() const { return numThreads_; }
+  uint64_t submitted() const;
+  uint64_t completed() const;
+  uint64_t abandoned() const;
+
+ private:
+  friend struct ServicePoolImpl;
+
+  int numThreads_ = 0;
+  // Opaque owner of the worker threads + queue; worker_pool.cpp defines it.
+  // (unique_ptr keeps std::thread out of this header entirely.)
+  std::unique_ptr<struct ServicePoolImpl> impl_;
 };
 
 class WorkerPool {

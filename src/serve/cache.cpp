@@ -1,0 +1,240 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace presat::serve {
+
+namespace {
+
+inline uint64_t mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t hashString(uint64_t h, const std::string& s) {
+  for (char c : s) h = mix(h, static_cast<unsigned char>(c));
+  return mix(h, s.size());
+}
+
+}  // namespace
+
+size_t CacheKeyHash::operator()(const CacheKey& k) const {
+  uint64_t h = mix(0x73657276ull, k.circuitHash);
+  h = hashString(h, k.target);
+  h = hashString(h, k.method);
+  h = mix(h, (k.project ? 2u : 0u) | (k.compress ? 1u : 0u));
+  return static_cast<size_t>(h);
+}
+
+// Lifecycle: an entry is created in-flight by the leader's acquire(); it
+// becomes ready (publish of a complete cover), or is torn down (abandon /
+// publish of a partial). Followers blocked in acquire() pin the entry via
+// `followers` until the last one has copied the payload out.
+struct ServeCache::Entry {
+  bool ready = false;
+  bool abandoned = false;
+  CachedCover payload;
+  uint64_t bytes = 0;
+  uint64_t lastTouch = 0;
+  int followers = 0;
+};
+
+ServeCache::ServeCache(uint64_t maxBytes, Governor* governor) : maxBytes_(maxBytes) {
+  MutexLock lock(mu_);
+  ledger_.attach(governor);
+}
+
+ServeCache::~ServeCache() {
+  MutexLock lock(mu_);
+  ledger_.attach(nullptr);
+}
+
+uint64_t ServeCache::entryBytes(const CacheKey& key, const CachedCover& payload) const {
+  uint64_t b = 96;  // entry + table-slot overhead
+  b += key.target.size() + key.method.size();
+  b += payload.cubes.size() * (sizeof(LitVec) + 8);
+  for (const LitVec& cube : payload.cubes) b += cube.size() * sizeof(Lit);
+  return b;
+}
+
+CacheLookup ServeCache::acquire(const CacheKey& key, CachedCover& payload) {
+  MutexLock lock(mu_);
+  if (!enabled()) {
+    ++misses_;
+    return CacheLookup::kMiss;
+  }
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    table_.emplace(key, std::make_unique<Entry>());  // in-flight marker
+    ++misses_;
+    return CacheLookup::kMiss;
+  }
+  Entry& e = *it->second;
+  if (e.ready) {
+    e.lastTouch = ++clock_;
+    payload = e.payload;
+    ++hits_;
+    return CacheLookup::kHit;
+  }
+  // In-flight: become a follower of the leader computing this key.
+  ++e.followers;
+  while (!e.ready && !e.abandoned) ready_.wait(mu_);
+  payload = e.payload;
+  --e.followers;
+  if (e.abandoned && e.followers == 0) table_.erase(key);
+  ++dedups_;
+  return CacheLookup::kDedup;
+}
+
+void ServeCache::publish(const CacheKey& key, const CachedCover& payload) {
+  if (payload.outcome != Outcome::kComplete) {
+    // A partial cover is budget-specific: hand it to followers, don't retain.
+    abandon(key, payload);
+    return;
+  }
+  {
+    MutexLock lock(mu_);
+    if (!enabled()) return;
+    auto it = table_.find(key);
+    if (it == table_.end()) return;  // entry shed between acquire and publish
+    Entry& e = *it->second;
+    PRESAT_CHECK(!e.ready) << "serve cache: double publish for one key";
+    e.ready = true;
+    e.payload = payload;
+    e.bytes = entryBytes(key, payload);
+    e.lastTouch = ++clock_;
+    bytes_ += e.bytes;
+    ledger_.charge(e.bytes);
+    ++inserts_;
+  }
+  ready_.notifyAll();
+  if (bytes() > maxBytes_) shed(maxBytes_ / 2);
+}
+
+void ServeCache::abandon(const CacheKey& key, const CachedCover& partial) {
+  {
+    MutexLock lock(mu_);
+    if (!enabled()) return;
+    auto it = table_.find(key);
+    if (it == table_.end()) return;
+    Entry& e = *it->second;
+    PRESAT_CHECK(!e.ready) << "serve cache: abandon after publish";
+    e.abandoned = true;
+    e.payload = partial;
+    if (e.followers == 0) {
+      table_.erase(it);
+    }
+  }
+  ready_.notifyAll();
+}
+
+void ServeCache::evictLocked(const CacheKey& key) {
+  auto it = table_.find(key);
+  PRESAT_CHECK(it != table_.end());
+  Entry& e = *it->second;
+  bytes_ -= e.bytes;
+  ledger_.release(e.bytes);
+  table_.erase(it);
+  ++evictions_;
+}
+
+size_t ServeCache::shed(uint64_t targetBytes) {
+  MutexLock lock(mu_);
+  size_t evicted = 0;
+  if (bytes_ <= targetBytes) return 0;
+  // Generation 1: everything not touched since the previous sweep goes — the
+  // second-chance discipline the success-driven memo uses.
+  std::vector<std::pair<uint64_t, CacheKey>> survivors;
+  std::vector<CacheKey> cold;
+  for (const auto& [key, entry] : table_) {
+    if (!entry->ready || entry->followers > 0) continue;  // in-flight: pinned
+    if (entry->lastTouch <= sweepMark_) {
+      cold.push_back(key);
+    } else {
+      survivors.emplace_back(entry->lastTouch, key);
+    }
+  }
+  for (const CacheKey& key : cold) {
+    evictLocked(key);
+    ++evicted;
+  }
+  // Generation 2: strict LRU among the hot survivors until under target.
+  std::sort(survivors.begin(), survivors.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [touch, key] : survivors) {
+    if (bytes_ <= targetBytes) break;
+    evictLocked(key);
+    ++evicted;
+  }
+  sweepMark_ = clock_;
+  return evicted;
+}
+
+uint64_t ServeCache::bytes() const {
+  MutexLock lock(mu_);
+  return bytes_;
+}
+
+size_t ServeCache::entries() const {
+  MutexLock lock(mu_);
+  return table_.size();
+}
+
+void ServeCache::exportMetrics(Metrics& m) const {
+  MutexLock lock(mu_);
+  m.setCounter("serve.cache.hits", hits_);
+  m.setCounter("serve.cache.misses", misses_);
+  m.setCounter("serve.cache.dedups", dedups_);
+  m.setCounter("serve.cache.evictions", evictions_);
+  m.setCounter("serve.cache.inserts", inserts_);
+  m.setCounter("serve.cache.entries", table_.size());
+  m.setCounter("serve.cache.bytes", bytes_);
+}
+
+ContextPool::ContextPool(size_t maxContexts) : maxContexts_(maxContexts < 1 ? 1 : maxContexts) {}
+
+CircuitContextPtr ContextPool::resolve(const std::string& sourceKey,
+                                       const std::function<CircuitContextPtr()>& build) {
+  {
+    MutexLock lock(mu_);
+    auto it = pool_.find(sourceKey);
+    if (it != pool_.end()) {
+      it->second.lastTouch = ++clock_;
+      ++reuses_;
+      return it->second.context;
+    }
+  }
+  // Build outside the lock: parsing/encoding a big circuit must not stall
+  // resolution of unrelated circuits. A racing builder for the same key is
+  // harmless — contexts are immutable and the second insert is dropped.
+  CircuitContextPtr ctx = build();
+  if (ctx == nullptr) return nullptr;
+  MutexLock lock(mu_);
+  auto [it, inserted] = pool_.emplace(sourceKey, Slot{ctx, ++clock_});
+  if (!inserted) {
+    it->second.lastTouch = clock_;
+    return it->second.context;
+  }
+  if (pool_.size() > maxContexts_) {
+    auto lru = pool_.begin();
+    for (auto scan = pool_.begin(); scan != pool_.end(); ++scan) {
+      if (scan->second.lastTouch < lru->second.lastTouch) lru = scan;
+    }
+    if (lru != it) pool_.erase(lru);
+  }
+  return ctx;
+}
+
+size_t ContextPool::entries() const {
+  MutexLock lock(mu_);
+  return pool_.size();
+}
+
+uint64_t ContextPool::reuses() const {
+  MutexLock lock(mu_);
+  return reuses_;
+}
+
+}  // namespace presat::serve

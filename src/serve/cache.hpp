@@ -1,0 +1,171 @@
+// Cross-query reuse for the serve layer: the result cache and the pooled
+// circuit contexts.
+//
+// ServeCache memoizes finished preimage covers across requests, keyed by
+// (circuit structural hash, target cube, method, project/compress flags) —
+// everything that determines the answer, and nothing that doesn't (budgets
+// and jobs are excluded: results are budget-independent when complete, and
+// the parallel merge is bit-identical for every jobs >= 1). Only COMPLETE
+// results are retained: a partial cover is an artifact of one request's
+// budget and must not be served to a request that could afford the full
+// answer. Concurrent same-key requests dedup to one computation: the first
+// becomes the *leader* (kMiss — it must publish() or abandon()), later ones
+// block as *followers* and receive the leader's payload when it lands.
+//
+// Memory: entry bytes are charged to a MemoryLedger (so a server-wide
+// governor sees cache pressure in its tracked-byte pool) and bounded by
+// maxBytes with generational second-chance eviction — a sweep first drops
+// every entry untouched since the previous sweep, then falls back to
+// strict LRU if the survivors still exceed the target. shed() is also
+// callable from admission control, so memory pressure sheds cache before it
+// sheds requests.
+//
+// ContextPool shares parsed circuits (netlist + transition system) across
+// requests: a hot circuit is parsed and encoded once, then served from the
+// pool by structural identity. Contexts are immutable after construction
+// and safely shared across concurrent engine runs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/biguint.hpp"
+#include "base/metrics.hpp"
+#include "base/sync.hpp"
+#include "base/thread_annotations.hpp"
+#include "base/types.hpp"
+#include "circuit/netlist.hpp"
+#include "govern/budget.hpp"
+#include "govern/governor.hpp"
+#include "preimage/transition_system.hpp"
+
+namespace presat::serve {
+
+struct CacheKey {
+  uint64_t circuitHash = 0;
+  std::string target;
+  std::string method;
+  bool project = false;
+  bool compress = false;
+
+  bool operator==(const CacheKey& o) const = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const;
+};
+
+// The cached payload: a finished cover plus its exact count. Bit-identical
+// to what the engine produced — the cache stores and returns the cube
+// vector verbatim, which is what the hit-equivalence test pins down.
+struct CachedCover {
+  std::vector<LitVec> cubes;
+  BigUint count;
+  Outcome outcome = Outcome::kComplete;
+  int width = 0;
+};
+
+enum class CacheLookup {
+  kHit,    // ready entry; payload filled
+  kDedup,  // waited on an in-flight leader; payload filled
+  kMiss,   // caller is now the leader and MUST publish() or abandon()
+};
+
+class ServeCache {
+ public:
+  // maxBytes = 0 disables caching entirely (every acquire is a kMiss with a
+  // no-op publish). `governor` (nullable) receives the byte charges.
+  ServeCache(uint64_t maxBytes, Governor* governor);
+  ~ServeCache();
+
+  ServeCache(const ServeCache&) = delete;
+  ServeCache& operator=(const ServeCache&) = delete;
+
+  CacheLookup acquire(const CacheKey& key, CachedCover& payload);
+
+  // Leader epilogue: store the finished payload, wake followers. Retains the
+  // entry only when payload.outcome == kComplete and caching is enabled.
+  void publish(const CacheKey& key, const CachedCover& payload);
+
+  // Leader epilogue for failed/partial runs: wake followers with the partial
+  // payload (sound for any budget), drop the entry.
+  void abandon(const CacheKey& key, const CachedCover& partial);
+
+  // Generational shed toward `targetBytes` tracked bytes. Returns the number
+  // of entries evicted. In-flight entries are never evicted.
+  size_t shed(uint64_t targetBytes);
+
+  uint64_t bytes() const;
+  size_t entries() const;
+  uint64_t maxBytes() const { return maxBytes_; }
+  bool enabled() const { return maxBytes_ > 0; }
+
+  // serve.cache.* block.
+  void exportMetrics(Metrics& m) const;
+
+ private:
+  struct Entry;
+
+  uint64_t entryBytes(const CacheKey& key, const CachedCover& payload) const;
+  void evictLocked(const CacheKey& key) REQUIRES(mu_);
+
+  const uint64_t maxBytes_;  // presat-analyze: lockfree(immutable after construction)
+  mutable Mutex mu_;
+  std::unordered_map<CacheKey, std::unique_ptr<Entry>, CacheKeyHash> table_ GUARDED_BY(mu_);
+  MemoryLedger ledger_ GUARDED_BY(mu_);
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t clock_ GUARDED_BY(mu_) = 0;      // LRU touch counter
+  uint64_t sweepMark_ GUARDED_BY(mu_) = 0;  // clock at the last sweep
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t dedups_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint64_t inserts_ GUARDED_BY(mu_) = 0;
+  CondVar ready_;  // presat-analyze: lockfree(condition variable, internally synchronized)
+};
+
+// One parsed circuit shared by every request that names it. Immutable after
+// construction; `system` views `netlist`, so the struct is neither movable
+// nor copyable once built (always held by shared_ptr).
+struct CircuitContext {
+  Netlist netlist;
+  uint64_t structuralHash = 0;
+  std::optional<TransitionSystem> system;
+};
+
+using CircuitContextPtr = std::shared_ptr<const CircuitContext>;
+
+class ContextPool {
+ public:
+  // Bounded by context count (circuits are few and hot; byte-precision here
+  // buys nothing). LRU eviction; pinned shared_ptrs keep evicted contexts
+  // alive until their last request finishes.
+  explicit ContextPool(size_t maxContexts);
+
+  // Returns the pooled context for `sourceKey` ("gen:<spec>" or
+  // "bench:<hash>"), building it with `build` on first use. `build` returns
+  // null on invalid input (reported upstream as bad_request); negative
+  // results are not cached.
+  CircuitContextPtr resolve(const std::string& sourceKey,
+                            const std::function<CircuitContextPtr()>& build);
+
+  size_t entries() const;
+  uint64_t reuses() const;
+
+ private:
+  const size_t maxContexts_;  // presat-analyze: lockfree(immutable after construction)
+  mutable Mutex mu_;
+  struct Slot {
+    CircuitContextPtr context;
+    uint64_t lastTouch = 0;
+  };
+  std::unordered_map<std::string, Slot> pool_ GUARDED_BY(mu_);
+  uint64_t clock_ GUARDED_BY(mu_) = 0;
+  uint64_t reuses_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace presat::serve

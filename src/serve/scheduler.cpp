@@ -1,0 +1,97 @@
+#include "serve/scheduler.hpp"
+
+#include <utility>
+
+#include "base/check.hpp"
+
+namespace presat::serve {
+
+Scheduler::Scheduler(ServicePool& pool, size_t maxQueueDepth)
+    : pool_(pool), maxQueueDepth_(maxQueueDepth < 1 ? 1 : maxQueueDepth) {}
+
+bool Scheduler::admit(bool interactive, std::function<void()> job) {
+  uint64_t seq = 0;
+  {
+    MutexLock lock(mu_);
+    size_t depth = interactive_.size() + batch_.size();
+    queueDepth_.record(depth);
+    if (depth >= maxQueueDepth_) {
+      ++rejectedOverload_;
+      return false;
+    }
+    Item item;
+    item.seq = seq = ++nextSeq_;
+    item.job = std::move(job);
+    if (interactive) {
+      interactive_.push_back(std::move(item));
+    } else {
+      batch_.push_back(std::move(item));
+    }
+    ++admitted_;
+  }
+  if (!pool_.submit([this] { pump(); })) {
+    // Pool is stopping: our pump will never run. Roll back exactly our item
+    // (by ticket — a pump raced in ahead of us may already have taken it, in
+    // which case the job DID run and this admit succeeded after all).
+    MutexLock lock(mu_);
+    auto eraseSeq = [seq](std::deque<Item>& q) {
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->seq == seq) {
+          q.erase(it);
+          return true;
+        }
+      }
+      return false;
+    };
+    if (eraseSeq(interactive_) || eraseSeq(batch_)) {
+      ++rejectedOverload_;
+      --admitted_;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Scheduler::takeNext(Item* out) {
+  MutexLock lock(mu_);
+  std::deque<Item>* first = &interactive_;
+  std::deque<Item>* second = &batch_;
+  bool firstIsInteractive = true;
+  // Alternate classes: prefer the one NOT served last time, falling back to
+  // whichever has work.
+  if (lastServedInteractive_) {
+    std::swap(first, second);
+    firstIsInteractive = false;
+  }
+  std::deque<Item>* pick = !first->empty() ? first : (!second->empty() ? second : nullptr);
+  if (pick == nullptr) return false;
+  lastServedInteractive_ = (pick == first) ? firstIsInteractive : !firstIsInteractive;
+  *out = std::move(pick->front());
+  pick->pop_front();
+  queueWaitUs_.record(static_cast<uint64_t>(out->waited.seconds() * 1e6));
+  return true;
+}
+
+void Scheduler::pump() {
+  Item item;
+  // One pump per admitted job, so the queue can only be empty here if a
+  // failed submit() rolled its job back — in that case there is nothing to
+  // do and the pump retires quietly.
+  if (!takeNext(&item)) return;
+  item.job();
+}
+
+size_t Scheduler::queued() const {
+  MutexLock lock(mu_);
+  return interactive_.size() + batch_.size();
+}
+
+void Scheduler::exportMetrics(Metrics& m) const {
+  MutexLock lock(mu_);
+  m.setCounter("serve.admitted", admitted_);
+  m.setCounter("serve.rejects.overload", rejectedOverload_);
+  m.histogram("serve.queue_depth").merge(queueDepth_);
+  m.histogram("serve.queue_us").merge(queueWaitUs_);
+}
+
+}  // namespace presat::serve

@@ -1,0 +1,71 @@
+// Admission control and fairness for the serve layer.
+//
+// The ServicePool's own queue is FIFO-dumb on purpose; this scheduler is
+// where policy lives. Admitted jobs go into one of two class queues —
+// interactive (small budgets, a human or a latency-sensitive caller is
+// waiting) and batch (soak queries, unbounded budgets) — and workers drain
+// them ROUND-ROBIN BETWEEN CLASSES, so a burst of hour-long soak requests
+// can delay a small interactive query by at most one dequeue turn, never
+// starve it. Within a class, FIFO.
+//
+// Admission is bounded: once the total queued depth reaches the configured
+// cap, admit() refuses and the server answers with a structured
+// "overloaded" error (backpressure the client can see and retry on), rather
+// than buffering unboundedly and falling over later.
+//
+// Mechanically, every admitted job submits one generic pump() closure to
+// the pool; the pump decides *at dequeue time* which class to serve. The
+// one-pump-per-job invariant keeps pool and scheduler counts aligned with
+// no idle-worker bookkeeping.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "base/metrics.hpp"
+#include "base/sync.hpp"
+#include "base/thread_annotations.hpp"
+#include "base/timer.hpp"
+#include "parallel/worker_pool.hpp"
+
+namespace presat::serve {
+
+class Scheduler {
+ public:
+  // `pool` must outlive the scheduler and be started by the caller.
+  Scheduler(ServicePool& pool, size_t maxQueueDepth);
+
+  // Queues `job` in the given class. Returns false — without queueing —
+  // when the queue is at capacity or the pool is stopping.
+  bool admit(bool interactive, std::function<void()> job);
+
+  size_t queued() const;
+  void exportMetrics(Metrics& m) const;
+
+ private:
+  struct Item {
+    uint64_t seq = 0;  // admission ticket, for exact rollback on a failed submit
+    std::function<void()> job;
+    Timer waited;  // queue residency, admit -> dequeue
+  };
+
+  void pump();
+  bool takeNext(Item* out);
+
+  // presat-analyze: lockfree(internally synchronized; see worker_pool.hpp)
+  ServicePool& pool_;
+  const size_t maxQueueDepth_;  // presat-analyze: lockfree(immutable after construction)
+  mutable Mutex mu_;
+  std::deque<Item> interactive_ GUARDED_BY(mu_);
+  std::deque<Item> batch_ GUARDED_BY(mu_);
+  // Round-robin pointer: the class served by the LAST dequeue; the next
+  // dequeue prefers the other class when it has work.
+  bool lastServedInteractive_ GUARDED_BY(mu_) = false;
+  uint64_t nextSeq_ GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ GUARDED_BY(mu_) = 0;
+  uint64_t rejectedOverload_ GUARDED_BY(mu_) = 0;
+  Histogram queueDepth_ GUARDED_BY(mu_);   // depth observed at each admit
+  Histogram queueWaitUs_ GUARDED_BY(mu_);  // per-job queue residency, microseconds
+};
+
+}  // namespace presat::serve

@@ -1,0 +1,273 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+#include "base/timer.hpp"
+#include "serve/version.hpp"
+
+namespace presat::serve {
+
+Server::Server(const ServerConfig& config)
+    : config_(config),
+      governor_(Budget{}),
+      scheduler_(pool_, config.queueDepth),
+      cache_(config.cacheBytes, &governor_),
+      contexts_(config.maxContexts) {
+  pool_.start(config_.workers);
+}
+
+Server::~Server() { pool_.stop(); }
+
+void Server::sendLine(const std::string& line) {
+  {
+    MutexLock lock(writeMu_);
+    if (transport_ != nullptr) transport_->writeLine(line);
+  }
+  MutexLock lock(mu_);
+  ++responses_;
+}
+
+void Server::sendError(const std::string& id, const ServeError& error) {
+  sendLine(errorResponse(id, error));
+}
+
+bool Server::admitMemory() {
+  if (config_.memLimitBytes == 0) return true;
+  if (governor_.trackedBytes() <= config_.memLimitBytes) return true;
+  // Shed cache before shedding requests: the cache is the server's only
+  // elastic consumer of the tracked-byte pool.
+  cache_.shed(config_.memLimitBytes / 2);
+  return governor_.trackedBytes() <= config_.memLimitBytes;
+}
+
+void Server::executeRequest(const ServeRequest& req, const std::shared_ptr<CancelToken>& cancel,
+                            Timer started) {
+  auto eraseInflight = [this, &req] {
+    MutexLock lock(mu_);
+    inflight_.erase(req.id);
+  };
+  std::string contextError;
+  CircuitContextPtr context = contexts_.resolve(circuitSourceKey(req), [&]() -> CircuitContextPtr {
+    std::string err;
+    CircuitContextPtr c = buildCircuitContext(req, config_.limits, &err);
+    if (c == nullptr) contextError = err;
+    return c;
+  });
+  if (context == nullptr) {
+    {
+      MutexLock lock(mu_);
+      ++errorsBadRequest_;
+    }
+    eraseInflight();
+    sendError(req.id, {"bad_request", contextError, 0});
+    return;
+  }
+  ExecResult result;
+  ServeError error = runPreimage(req, context, cache_, cancel.get(), config_.limits, &result);
+  if (!error.ok()) {
+    {
+      MutexLock lock(mu_);
+      ++errorsBadRequest_;
+    }
+    eraseInflight();
+    sendError(req.id, error);
+    return;
+  }
+  sendLine(resultResponse(req, result));
+  finishRequest(req.id, started.seconds());
+}
+
+void Server::finishRequest(const std::string& id, double seconds) {
+  MutexLock lock(mu_);
+  inflight_.erase(id);
+  requestUs_.record(static_cast<uint64_t>(seconds * 1e6));
+}
+
+void Server::handlePreimage(const ServeRequest& req, int lineNo) {
+  if (!admitMemory()) {
+    {
+      MutexLock lock(mu_);
+      ++rejectsMemory_;
+    }
+    sendError(req.id, {"overloaded", "server memory limit reached", lineNo});
+    return;
+  }
+  auto cancel = std::make_shared<CancelToken>();
+  bool duplicate = false;
+  {
+    MutexLock lock(mu_);
+    if (!inflight_.emplace(req.id, cancel).second) {
+      ++errorsBadRequest_;
+      duplicate = true;
+    }
+  }
+  if (duplicate) {
+    sendError(req.id,
+              {"bad_request", "request id '" + req.id + "' is already in flight", lineNo});
+    return;
+  }
+  // Fairness class: explicit wins; otherwise a small wall-clock budget marks
+  // the request interactive (someone is waiting on it), unbounded or large
+  // budgets are batch.
+  const bool interactive =
+      req.budgetClass == "interactive" ||
+      (req.budgetClass.empty() && req.timeoutMs != 0 && req.timeoutMs <= 2000);
+  Timer started;
+  bool admitted = scheduler_.admit(
+      interactive, [this, req, cancel, started] { executeRequest(req, cancel, started); });
+  if (!admitted) {
+    {
+      MutexLock lock(mu_);
+      inflight_.erase(req.id);
+    }
+    sendError(req.id, {"overloaded", "request queue full", lineNo});
+  }
+}
+
+void Server::handleCancel(const ServeRequest& req) {
+  bool found = false;
+  {
+    MutexLock lock(mu_);
+    auto it = inflight_.find(req.targetId);
+    if (it != inflight_.end()) {
+      it->second->cancel();
+      found = true;
+      ++cancels_;
+    }
+  }
+  JsonObjectWriter w;
+  w.field("id", req.id);
+  w.field("status", "ok");
+  w.field("cancelled", found);
+  sendLine(w.str());
+}
+
+void Server::handleStats(const ServeRequest& req) {
+  Metrics m;
+  exportMetrics(m);
+  JsonObjectWriter w;
+  w.field("id", req.id);
+  w.field("status", "ok");
+  w.fieldRaw("metrics", m.toJson(0));
+  sendLine(w.str());
+}
+
+void Server::cancelAllInflight() {
+  MutexLock lock(mu_);
+  for (auto& [id, token] : inflight_) token->cancel();
+}
+
+int Server::serve(LineTransport& transport) {
+  {
+    MutexLock lock(writeMu_);
+    transport_ = &transport;
+  }
+  if (config_.banner) {
+    JsonObjectWriter w;
+    w.field("status", "hello");
+    w.field("protocol", 1);
+    w.fieldRaw("version", buildInfoJson());
+    sendLine(w.str());
+  }
+
+  std::string line;
+  std::string shutdownId;
+  bool shutdown = false;
+  int lineNo = 0;
+  while (!shutdown && transport.readLine(&line)) {
+    ++lineNo;
+    ServeRequest req;
+    ServeError error;
+    if (!parseRequest(line, lineNo, req, error)) {
+      {
+        MutexLock lock(mu_);
+        if (error.code == "parse") {
+          ++errorsParse_;
+        } else {
+          ++errorsBadRequest_;
+        }
+      }
+      sendError(req.id, error);
+      continue;
+    }
+    {
+      MutexLock lock(mu_);
+      ++requests_;
+    }
+    switch (req.op) {
+      case ServeOp::kPing: {
+        JsonObjectWriter w;
+        w.field("id", req.id);
+        w.field("status", "ok");
+        w.field("op", "ping");
+        sendLine(w.str());
+        break;
+      }
+      case ServeOp::kVersion: {
+        JsonObjectWriter w;
+        w.field("id", req.id);
+        w.field("status", "ok");
+        w.fieldRaw("version", buildInfoJson());
+        sendLine(w.str());
+        break;
+      }
+      case ServeOp::kStats:
+        handleStats(req);
+        break;
+      case ServeOp::kCancel:
+        handleCancel(req);
+        break;
+      case ServeOp::kShutdown:
+        shutdownId = req.id;
+        shutdown = true;
+        break;
+      case ServeOp::kPreimage:
+        handlePreimage(req, lineNo);
+        break;
+    }
+  }
+
+  if (shutdown) {
+    // Graceful drain: queued and running requests finish and flush before
+    // the shutdown ack — the ack being the LAST line is the client's flush
+    // barrier.
+    pool_.quiesce();
+    JsonObjectWriter w;
+    w.field("id", shutdownId);
+    w.field("status", "ok");
+    w.field("op", "shutdown");
+    sendLine(w.str());
+  } else {
+    // Disconnect: nobody reads further responses; cancel in-flight work so
+    // engines unwind at their next governor poll instead of soaking on.
+    cancelAllInflight();
+  }
+  pool_.stop();
+  {
+    MutexLock lock(writeMu_);
+    transport_ = nullptr;
+  }
+  return 0;
+}
+
+void Server::exportMetrics(Metrics& m) const {
+  {
+    MutexLock lock(mu_);
+    m.inc("serve.requests", requests_);
+    m.inc("serve.responses", responses_);
+    m.inc("serve.errors.parse", errorsParse_);
+    m.inc("serve.errors.bad_request", errorsBadRequest_);
+    m.inc("serve.rejects.memory", rejectsMemory_);
+    m.inc("serve.cancelled", cancels_);
+    m.histogram("serve.request_us").merge(requestUs_);
+  }
+  scheduler_.exportMetrics(m);
+  cache_.exportMetrics(m);
+  m.setCounter("serve.contexts", contexts_.entries());
+  m.setCounter("serve.context.reuses", contexts_.reuses());
+  m.setCounter("serve.workers", static_cast<uint64_t>(pool_.numThreads()));
+  m.setCounter("serve.pool.completed", pool_.completed());
+  m.setCounter("serve.pool.abandoned", pool_.abandoned());
+}
+
+}  // namespace presat::serve

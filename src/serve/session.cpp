@@ -1,0 +1,463 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "circuit/bench_io.hpp"
+#include "circuit/netlist.hpp"
+#include "gen/generators.hpp"
+#include "govern/governor.hpp"
+#include "preimage/preimage.hpp"
+
+namespace presat::serve {
+
+namespace {
+
+std::string trimWs(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string upperCopy(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+// Strictly-decimal integer in [lo, hi]; rejects the empty string, signs, and
+// trailing garbage (unlike atoi, which the CLI can afford).
+bool parseBoundedInt(const std::string& s, int lo, int hi, int* out) {
+  if (s.empty() || s.size() > 9) return false;
+  long v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  if (v < lo || v > hi) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+// --- generator specs --------------------------------------------------------
+
+bool buildGeneratorChecked(const std::string& spec, const SessionLimits& limits, Netlist* out,
+                           std::string* error) {
+  std::string name = spec;
+  std::string arg;
+  if (size_t colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    arg = spec.substr(colon + 1);
+  }
+  const bool takesWidth = name == "counter" || name == "gray" || name == "lfsr" ||
+                          name == "shift" || name == "accum" || name == "arbiter";
+  if (name == "traffic" || name == "lock") {
+    if (!arg.empty()) {
+      *error = "generator '" + name + "' takes no size argument";
+      return false;
+    }
+    *out = name == "traffic" ? makeTrafficLight() : makeCombinationLock({1, 2, 3}, 2);
+    return true;
+  }
+  if (!takesWidth) {
+    *error = "unknown generator spec '" + spec +
+             "' (expected counter:N gray:N lfsr:N shift:N arbiter:N accum:N traffic lock)";
+    return false;
+  }
+  // Width bounds mirror the generators' own PRESAT_CHECK contracts, tightened
+  // by the service cap so one request can't ask for a 2^60-state circuit.
+  int lo = 1;
+  int hi = limits.maxGenBits;
+  if (name == "lfsr") lo = 2;
+  if (name == "arbiter") {
+    lo = 2;
+    hi = std::min(hi, 8);
+  }
+  int n = 0;
+  if (!parseBoundedInt(arg, lo, hi, &n)) {
+    *error = "generator '" + name + "' needs a width in [" + std::to_string(lo) + ", " +
+             std::to_string(hi) + "], got '" + arg + "'";
+    return false;
+  }
+  if (name == "counter") *out = makeCounter(n);
+  else if (name == "gray") *out = makeGrayCounter(n);
+  else if (name == "lfsr") *out = makeLfsr(n);
+  else if (name == "shift") *out = makeShiftRegister(n);
+  else if (name == "accum") *out = makeAccumulator(n);
+  else *out = makeRoundRobinArbiter(n);
+  return true;
+}
+
+// --- .bench pre-validation --------------------------------------------------
+
+namespace {
+
+// Mirror of bench_io's gate vocabulary; returns false for unknown names.
+bool benchGateArity(const std::string& rawName, size_t* lo, size_t* hi) {
+  std::string n = upperCopy(rawName);
+  *lo = 1;
+  *hi = SIZE_MAX;
+  if (n == "NOT" || n == "INV" || n == "BUF" || n == "BUFF" || n == "DFF") {
+    *lo = *hi = 1;
+  } else if (n == "MUX") {
+    *lo = *hi = 3;
+  } else if (n == "CONST0" || n == "CONST1") {
+    *lo = *hi = 0;
+  } else if (n != "AND" && n != "OR" && n != "NAND" && n != "NOR" && n != "XOR" && n != "XNOR") {
+    return false;
+  }
+  return true;
+}
+
+bool isDffName(const std::string& rawName) { return upperCopy(rawName) == "DFF"; }
+
+struct BenchDef {
+  std::vector<std::string> fanins;
+  bool isDff = false;
+  int line = 0;
+};
+
+}  // namespace
+
+bool validateBenchText(const std::string& text, const SessionLimits& limits, std::string* error) {
+  auto fail = [error](int lineNo, const std::string& msg) {
+    *error = ".bench line " + std::to_string(lineNo) + ": " + msg;
+    return false;
+  };
+  if (text.size() > static_cast<size_t>(limits.maxBenchBytes)) {
+    *error = ".bench text exceeds " + std::to_string(limits.maxBenchBytes) + " bytes";
+    return false;
+  }
+  std::istringstream in(text);
+  std::map<std::string, int> definedAt;  // signal -> defining line (INPUT or def)
+  std::map<std::string, BenchDef> defs;
+  std::vector<std::pair<std::string, int>> outputs;
+  std::set<std::string> inputs;
+  int dffCount = 0;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (lineNo > limits.maxBenchLines) {
+      *error = ".bench text exceeds " + std::to_string(limits.maxBenchLines) + " lines";
+      return false;
+    }
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trimWs(line);
+    if (line.empty()) continue;
+
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      size_t open = line.find('(');
+      size_t close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close <= open) {
+        return fail(lineNo, "expected INPUT(...)/OUTPUT(...): " + line);
+      }
+      std::string kind = upperCopy(trimWs(line.substr(0, open)));
+      std::string name = trimWs(line.substr(open + 1, close - open - 1));
+      if (name.empty()) return fail(lineNo, "empty signal name");
+      if (kind == "INPUT") {
+        if (!definedAt.emplace(name, lineNo).second) {
+          return fail(lineNo, "redefinition of '" + name + "'");
+        }
+        inputs.insert(name);
+      } else if (kind == "OUTPUT") {
+        outputs.emplace_back(name, lineNo);
+      } else {
+        return fail(lineNo, "unknown directive " + kind);
+      }
+      continue;
+    }
+
+    std::string lhs = trimWs(line.substr(0, eq));
+    std::string rhs = trimWs(line.substr(eq + 1));
+    if (lhs.empty()) return fail(lineNo, "missing signal name before '='");
+    size_t open = rhs.find('(');
+    size_t close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close <= open) {
+      return fail(lineNo, "expected name = GATE(...): " + line);
+    }
+    std::string gateName = trimWs(rhs.substr(0, open));
+    size_t lo = 0;
+    size_t hi = 0;
+    if (!benchGateArity(gateName, &lo, &hi)) {
+      return fail(lineNo, "unknown gate type '" + gateName + "'");
+    }
+    BenchDef def;
+    def.isDff = isDffName(gateName);
+    def.line = lineNo;
+    std::string args = rhs.substr(open + 1, close - open - 1);
+    std::istringstream as(args);
+    std::string arg;
+    while (std::getline(as, arg, ',')) {
+      arg = trimWs(arg);
+      if (!arg.empty()) def.fanins.push_back(arg);
+    }
+    if (def.fanins.size() < lo || def.fanins.size() > hi) {
+      return fail(lineNo, gateName + " gate '" + lhs + "' has " +
+                              std::to_string(def.fanins.size()) + " fanins");
+    }
+    if (!definedAt.emplace(lhs, lineNo).second) {
+      return fail(lineNo, "redefinition of '" + lhs + "'");
+    }
+    if (def.isDff) ++dffCount;
+    defs.emplace(lhs, std::move(def));
+  }
+
+  if (dffCount == 0) {
+    *error = ".bench circuit has no DFFs (no state bits to compute a preimage over)";
+    return false;
+  }
+  if (dffCount > limits.maxStateBits) {
+    *error = ".bench circuit has " + std::to_string(dffCount) + " state bits (cap " +
+             std::to_string(limits.maxStateBits) + ")";
+    return false;
+  }
+
+  // Every referenced signal must resolve to an INPUT or a definition.
+  auto known = [&](const std::string& name) {
+    return inputs.count(name) != 0 || defs.count(name) != 0;
+  };
+  for (const auto& [name, def] : defs) {
+    for (const std::string& f : def.fanins) {
+      if (!known(f)) return fail(def.line, "undefined signal '" + f + "'");
+    }
+  }
+  for (const auto& [name, lineAt] : outputs) {
+    if (!known(name)) return fail(lineAt, "undefined output signal '" + name + "'");
+  }
+
+  // Combinational acyclicity (cycles are only legal through a DFF). Iterative
+  // 3-color DFS over combinational definitions; inputs and DFF outputs are
+  // terminals.
+  std::map<std::string, int> color;  // 0 unseen / 1 on stack / 2 done
+  for (const auto& [root, rootDef] : defs) {
+    if (rootDef.isDff || color[root] == 2) continue;
+    std::vector<std::pair<std::string, size_t>> stack;
+    stack.emplace_back(root, 0);
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [name, next] = stack.back();
+      const BenchDef& def = defs.at(name);
+      if (next >= def.fanins.size()) {
+        color[name] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const std::string& f = def.fanins[next++];
+      auto it = defs.find(f);
+      if (it == defs.end() || it->second.isDff) continue;  // terminal
+      int c = color[f];
+      if (c == 1) return fail(it->second.line, "combinational cycle through '" + f + "'");
+      if (c == 0) {
+        color[f] = 1;
+        stack.emplace_back(f, 0);
+      }
+    }
+  }
+  return true;
+}
+
+// --- cubes and methods ------------------------------------------------------
+
+bool parseTargetCube(const std::string& text, int numStateBits, LitVec* cube, std::string* error) {
+  if (text.size() != static_cast<size_t>(numStateBits)) {
+    *error = "target cube has " + std::to_string(text.size()) + " characters, circuit has " +
+             std::to_string(numStateBits) + " state bits";
+    return false;
+  }
+  cube->clear();
+  for (int i = 0; i < numStateBits; ++i) {
+    char c = text[static_cast<size_t>(i)];
+    if (c == '1') {
+      cube->push_back(mkLit(i, false));
+    } else if (c == '0') {
+      cube->push_back(mkLit(i, true));
+    } else if (c != 'x' && c != 'X' && c != '-') {
+      *error = std::string("bad target cube character '") + c + "' at state bit " +
+               std::to_string(i) + " (expected 0, 1, or x)";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string cubeToText(const LitVec& cube, int width) {
+  std::string s(static_cast<size_t>(width), 'x');
+  for (Lit l : cube) {
+    if (l.var() >= 0 && l.var() < width) s[static_cast<size_t>(l.var())] = l.sign() ? '0' : '1';
+  }
+  return s;
+}
+
+bool parsePreimageMethod(const std::string& name, PreimageMethod* method) {
+  for (PreimageMethod m : kAllPreimageMethods) {
+    if (name == preimageMethodName(m)) {
+      *method = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- circuit contexts -------------------------------------------------------
+
+std::string circuitSourceKey(const ServeRequest& req) {
+  if (!req.gen.empty()) return "gen:" + req.gen;
+  // Content-address the bench text so byte-identical circuits pool together
+  // without keeping the full text as a map key.
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  for (char c : req.bench) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return std::string("bench:") + buf;
+}
+
+CircuitContextPtr buildCircuitContext(const ServeRequest& req, const SessionLimits& limits,
+                                      std::string* error) {
+  auto ctx = std::make_shared<CircuitContext>();
+  if (!req.gen.empty()) {
+    if (!buildGeneratorChecked(req.gen, limits, &ctx->netlist, error)) return nullptr;
+  } else {
+    if (!validateBenchText(req.bench, limits, error)) return nullptr;
+    ctx->netlist = parseBenchString(req.bench);
+  }
+  if (ctx->netlist.dffs().empty()) {
+    *error = "circuit has no DFFs (no state bits to compute a preimage over)";
+    return nullptr;
+  }
+  ctx->structuralHash = netlistStructuralHash(ctx->netlist);
+  // The TransitionSystem holds a pointer into ctx->netlist; the shared_ptr
+  // keeps both alive together and the struct is never moved after this.
+  ctx->system.emplace(ctx->netlist);
+  return ctx;
+}
+
+// --- execution --------------------------------------------------------------
+
+namespace {
+
+uint64_t coverPayloadBytes(const CachedCover& cover) {
+  uint64_t b = 0;
+  for (const LitVec& cube : cover.cubes) b += cube.size() * sizeof(Lit) + sizeof(LitVec);
+  return b;
+}
+
+CachedCover runEngine(const ServeRequest& req, const CircuitContext& ctx, PreimageMethod method,
+                      const LitVec& targetCube, CancelToken* cancel, const SessionLimits& limits,
+                      double* seconds) {
+  Budget budget;
+  uint64_t timeoutMs = req.timeoutMs != 0 ? req.timeoutMs : limits.defaultTimeoutMs;
+  budget.deadlineSeconds = static_cast<double>(timeoutMs) / 1000.0;
+  budget.memLimitBytes = req.memLimitMb * (uint64_t{1} << 20);
+  budget.conflictLimit = req.conflictLimit;
+  budget.cancel = cancel;
+  Governor governor(budget);
+
+  PreimageOptions options;
+  options.allsat.maxCubes = req.maxCubes;
+  options.allsat.project = req.project;
+  options.allsat.compress = req.compress;
+  options.allsat.parallel.jobs = std::clamp(req.jobs, 1, limits.maxJobs);
+  options.allsat.governor = &governor;
+
+  const int width = ctx.system->numStateBits();
+  StateSet target = StateSet::fromCube(width, targetCube);
+  PreimageResult result = computePreimage(*ctx.system, target, method, options);
+
+  CachedCover cover;
+  cover.cubes = std::move(result.states.cubes);
+  cover.count = std::move(result.stateCount);
+  cover.outcome = result.outcome;
+  cover.width = width;
+  *seconds = result.seconds;
+  return cover;
+}
+
+}  // namespace
+
+ServeError runPreimage(const ServeRequest& req, const CircuitContextPtr& context,
+                       ServeCache& cache, CancelToken* cancel, const SessionLimits& limits,
+                       ExecResult* out) {
+  PreimageMethod method = PreimageMethod::kSuccessDriven;
+  if (!parsePreimageMethod(req.method, &method)) {
+    return {"bad_request", "unknown method '" + req.method + "'", 0};
+  }
+  const int width = context->system->numStateBits();
+  LitVec targetCube;
+  std::string cubeError;
+  if (!parseTargetCube(req.target, width, &targetCube, &cubeError)) {
+    return {"bad_request", cubeError, 0};
+  }
+
+  const bool useCache = req.cache && cache.enabled();
+  CacheKey key;
+  key.circuitHash = context->structuralHash;
+  key.target = cubeToText(targetCube, width);  // canonical: '-'/'X' fold to 'x'
+  key.method = preimageMethodName(method);
+  key.project = req.project;
+  key.compress = req.compress;
+
+  if (useCache) {
+    CacheLookup lookup = cache.acquire(key, out->cover);
+    if (lookup == CacheLookup::kHit) {
+      out->cacheDisposition = "hit";
+      return {};
+    }
+    if (lookup == CacheLookup::kDedup) {
+      out->cacheDisposition = "dedup";
+      return {};
+    }
+    // Leader: run the engine, then publish (or abandon) no matter what —
+    // followers are parked on this key.
+    out->cacheDisposition = "miss";
+    out->cover = runEngine(req, *context, method, targetCube, cancel, limits, &out->seconds);
+    if (coverPayloadBytes(out->cover) > limits.maxCacheablePayload) {
+      cache.abandon(key, out->cover);  // too big to retain; followers still served
+    } else {
+      cache.publish(key, out->cover);
+    }
+    return {};
+  }
+
+  out->cacheDisposition = "off";
+  out->cover = runEngine(req, *context, method, targetCube, cancel, limits, &out->seconds);
+  return {};
+}
+
+std::string resultResponse(const ServeRequest& req, const ExecResult& result) {
+  JsonObjectWriter w;
+  w.field("id", req.id);
+  w.field("status", "ok");
+  w.field("outcome", outcomeName(result.cover.outcome));
+  w.field("complete", result.cover.outcome == Outcome::kComplete);
+  w.field("width", result.cover.width);
+  w.field("count", result.cover.count.toDecimal());
+  std::string cubes = "[";
+  for (size_t i = 0; i < result.cover.cubes.size(); ++i) {
+    if (i != 0) cubes += ',';
+    cubes += '"';
+    cubes += jsonEscape(cubeToText(result.cover.cubes[i], result.cover.width));
+    cubes += '"';
+  }
+  cubes += ']';
+  w.fieldRaw("cubes", cubes);
+  w.field("cache", result.cacheDisposition);
+  w.field("seconds", result.seconds);
+  return w.str();
+}
+
+}  // namespace presat::serve

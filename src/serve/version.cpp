@@ -1,0 +1,36 @@
+#include "serve/version.hpp"
+
+#include "base/check.hpp"
+#include "serve/protocol.hpp"
+
+// Stamped per-source-file by src/CMakeLists.txt at configure time.
+#ifndef PRESAT_GIT_HASH
+#define PRESAT_GIT_HASH "unknown"
+#endif
+#ifndef PRESAT_BUILD_TYPE
+#define PRESAT_BUILD_TYPE "unknown"
+#endif
+
+namespace presat::serve {
+
+std::string buildInfoJson() {
+  JsonObjectWriter w;
+  w.field("name", "presat");
+  w.field("git", PRESAT_GIT_HASH);
+  w.field("build_type", PRESAT_BUILD_TYPE);
+#if defined(__VERSION__)
+  w.field("compiler", __VERSION__);
+#else
+  w.field("compiler", "unknown");
+#endif
+  w.field("cxx_standard", static_cast<uint64_t>(__cplusplus));
+  w.field("audit", auditLevelName(kAuditLevel));
+#if defined(PRESAT_FAULTS)
+  w.field("faults", true);
+#else
+  w.field("faults", false);
+#endif
+  return w.str();
+}
+
+}  // namespace presat::serve

@@ -1,0 +1,17 @@
+// Build identification: one JSON object describing this binary, used by
+// `presat_cli version` and as the payload of the presat_serve handshake
+// banner — so a client (or an incident responder reading logs) can tell
+// exactly which build, audit level, and fault configuration answered.
+#pragma once
+
+#include <string>
+
+namespace presat::serve {
+
+// Compact one-line JSON: {"name":"presat","git":...,"build_type":...,
+// "compiler":...,"cxx_standard":...,"audit":...,"faults":...}. Deterministic
+// for a given build; git hash is stamped at CMake configure time
+// ("unknown" outside a git checkout).
+std::string buildInfoJson();
+
+}  // namespace presat::serve

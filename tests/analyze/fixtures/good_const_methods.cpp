@@ -1,0 +1,51 @@
+// Fixture: a mutex-owning class whose const METHODS are declared
+// out-of-line (`size_t entries() const;` — the serve-layer shape). The
+// `) const` qualifier tail is a function declarator, not a data member named
+// `const`; immutable config members carry lockfree waivers. Expect: clean
+// under both lint.py and presat_analyze.
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/sync.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace presat {
+
+class GuardedTable {
+ public:
+  explicit GuardedTable(uint64_t maxBytes);
+
+  void insert(uint64_t key, uint64_t value) EXCLUDES(mu_);
+
+  uint64_t bytes() const EXCLUDES(mu_);
+  size_t entries() const;
+  bool empty() const noexcept;
+
+ private:
+  // presat-analyze: lockfree(immutable after construction)
+  const uint64_t maxBytes_;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, uint64_t> table_ GUARDED_BY(mu_);
+};
+
+GuardedTable::GuardedTable(uint64_t maxBytes) : maxBytes_(maxBytes) {}
+
+void GuardedTable::insert(uint64_t key, uint64_t value) {
+  MutexLock lock(mu_);
+  if (table_.size() * sizeof(uint64_t) * 2 < maxBytes_) table_[key] = value;
+}
+
+uint64_t GuardedTable::bytes() const {
+  MutexLock lock(mu_);
+  return table_.size() * sizeof(uint64_t) * 2;
+}
+
+size_t GuardedTable::entries() const {
+  MutexLock lock(mu_);
+  return table_.size();
+}
+
+bool GuardedTable::empty() const noexcept { return entries() == 0; }
+
+}  // namespace presat

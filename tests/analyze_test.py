@@ -39,6 +39,7 @@ ANALYZE_EXPECT = {
     "bad_detached_thread.cpp": {"raw-thread"},
     "good_annotated.cpp": set(),
     "good_waivers.cpp": set(),
+    "good_const_methods.cpp": set(),
 }
 
 # fixture -> set of rule ids lint.py must report (exactly).
@@ -53,6 +54,7 @@ LINT_EXPECT = {
     "bad_detached_thread.cpp": {"detached-thread"},
     "good_annotated.cpp": set(),
     "good_waivers.cpp": set(),
+    "good_const_methods.cpp": set(),
 }
 
 # Per-rule finding counts presat_analyze must hit where a fixture plants a

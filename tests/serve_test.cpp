@@ -1,0 +1,577 @@
+// Tests for the serve layer (src/serve/): protocol hardening, cross-query
+// cache semantics (bit-identical hits, generational eviction soundness,
+// same-key dedup), scheduler fairness, and the server end to end over an
+// in-memory transport.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/bench_io.hpp"
+#include "circuit/netlist.hpp"
+#include "gen/generators.hpp"
+#include "govern/governor.hpp"
+#include "parallel/worker_pool.hpp"
+#include "preimage/preimage.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/version.hpp"
+
+namespace presat::serve {
+namespace {
+
+// --- protocol ---------------------------------------------------------------
+
+ServeError parseExpectFail(const std::string& line, int lineNo = 7) {
+  ServeRequest req;
+  ServeError err;
+  EXPECT_FALSE(parseRequest(line, lineNo, req, err));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.line, lineNo);
+  return err;
+}
+
+TEST(ServeProtocol, ParsesMinimalPreimageRequest) {
+  ServeRequest req;
+  ServeError err;
+  ASSERT_TRUE(parseRequest(
+      R"({"id":"a1","op":"preimage","gen":"counter:4","target":"1xxx"})", 1, req, err))
+      << err.message;
+  EXPECT_EQ(req.id, "a1");
+  EXPECT_EQ(req.op, ServeOp::kPreimage);
+  EXPECT_EQ(req.gen, "counter:4");
+  EXPECT_EQ(req.target, "1xxx");
+  EXPECT_EQ(req.method, "success-driven");  // default
+  EXPECT_TRUE(req.cache);
+}
+
+TEST(ServeProtocol, RejectsMalformedJsonWithLineNumber) {
+  ServeError err = parseExpectFail("not json at all", 42);
+  EXPECT_EQ(err.code, "parse");
+  EXPECT_EQ(err.line, 42);
+}
+
+TEST(ServeProtocol, RejectsOversizedLine) {
+  std::string big(kMaxLineBytes + 1, 'x');
+  ServeError err = parseExpectFail(big);
+  EXPECT_EQ(err.code, "parse");
+}
+
+TEST(ServeProtocol, RejectsUnknownField) {
+  ServeError err = parseExpectFail(
+      R"({"id":"a","op":"preimage","gen":"counter:4","target":"1xxx","tarqet":"oops"})");
+  EXPECT_EQ(err.code, "bad_request");
+  EXPECT_NE(err.message.find("tarqet"), std::string::npos);
+}
+
+TEST(ServeProtocol, RejectsDuplicateKeys) {
+  ServeError err = parseExpectFail(R"({"id":"a","id":"b","op":"ping"})");
+  EXPECT_EQ(err.code, "parse");
+}
+
+TEST(ServeProtocol, RejectsFieldCountBomb) {
+  std::string line = R"({"id":"a","op":"ping")";
+  for (size_t i = 0; i < kMaxFields + 8; ++i) {
+    line += ",\"f" + std::to_string(i) + "\":1";
+  }
+  line += "}";
+  ServeError err = parseExpectFail(line);
+  EXPECT_EQ(err.code, "parse");
+}
+
+TEST(ServeProtocol, RejectsDepthBomb) {
+  ServeRequest req;
+  ServeError err;
+  std::string line(static_cast<size_t>(kMaxDepth) + 4, '[');
+  EXPECT_FALSE(parseRequest(line, 1, req, err));
+  EXPECT_EQ(err.code, "parse");
+}
+
+TEST(ServeProtocol, RejectsMissingCircuitAndBothCircuits) {
+  EXPECT_EQ(parseExpectFail(R"({"id":"a","op":"preimage","target":"1"})").code, "bad_request");
+  EXPECT_EQ(parseExpectFail(
+                R"({"id":"a","op":"preimage","gen":"counter:4","bench":"x","target":"1"})")
+                .code,
+            "bad_request");
+}
+
+TEST(ServeProtocol, ErrorResponseEchoesIdAndLine) {
+  ServeError err{"parse", "bad thing", 3};
+  std::string line = errorResponse("q7", err);
+  JsonValue v;
+  std::string perr;
+  ASSERT_TRUE(parseJson(line, v, perr)) << perr;
+  ASSERT_NE(v.find("id"), nullptr);
+  EXPECT_EQ(v.find("id")->text, "q7");
+  EXPECT_EQ(v.find("status")->text, "error");
+  const JsonValue* e = v.find("error");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->find("code")->text, "parse");
+  EXPECT_EQ(e->find("line")->number, 3.0);
+}
+
+TEST(ServeVersion, BuildInfoIsParseableJsonWithRequiredFields) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(parseJson(buildInfoJson(), v, err)) << err;
+  for (const char* key : {"name", "git", "build_type", "compiler", "audit"}) {
+    ASSERT_NE(v.find(key), nullptr) << key;
+    EXPECT_EQ(v.find(key)->kind, JsonValue::Kind::kString) << key;
+  }
+  ASSERT_NE(v.find("faults"), nullptr);
+  EXPECT_EQ(v.find("faults")->kind, JsonValue::Kind::kBool);
+}
+
+// --- structural hash --------------------------------------------------------
+
+TEST(StructuralHash, IgnoresNamesButSeesStructure) {
+  uint64_t counter = netlistStructuralHash(makeCounter(6));
+  EXPECT_EQ(counter, netlistStructuralHash(makeCounter(6)));
+  EXPECT_NE(counter, netlistStructuralHash(makeCounter(7)));
+  EXPECT_NE(counter, netlistStructuralHash(makeGrayCounter(6)));
+  EXPECT_NE(counter, 0u);
+}
+
+// --- session validation -----------------------------------------------------
+
+TEST(ServeSession, GeneratorSpecValidation) {
+  SessionLimits limits;
+  Netlist nl;
+  std::string err;
+  EXPECT_TRUE(buildGeneratorChecked("counter:4", limits, &nl, &err)) << err;
+  EXPECT_TRUE(buildGeneratorChecked("traffic", limits, &nl, &err)) << err;
+  EXPECT_TRUE(buildGeneratorChecked("arbiter:4", limits, &nl, &err)) << err;
+  EXPECT_FALSE(buildGeneratorChecked("counter:0", limits, &nl, &err));
+  EXPECT_FALSE(buildGeneratorChecked("counter:33", limits, &nl, &err));
+  EXPECT_FALSE(buildGeneratorChecked("counter:-3", limits, &nl, &err));
+  EXPECT_FALSE(buildGeneratorChecked("counter:4x", limits, &nl, &err));
+  EXPECT_FALSE(buildGeneratorChecked("arbiter:9", limits, &nl, &err));
+  EXPECT_FALSE(buildGeneratorChecked("lfsr:1", limits, &nl, &err));
+  EXPECT_FALSE(buildGeneratorChecked("traffic:3", limits, &nl, &err));
+  EXPECT_FALSE(buildGeneratorChecked("nonsense:4", limits, &nl, &err));
+}
+
+TEST(ServeSession, BenchValidationCatchesWhatTheParserWouldAbortOn) {
+  SessionLimits limits;
+  std::string err;
+  const std::string good = "INPUT(a)\nq = DFF(d)\nd = AND(a, q)\nOUTPUT(q)\n";
+  EXPECT_TRUE(validateBenchText(good, limits, &err)) << err;
+
+  // Each of these would PRESAT_CHECK-abort inside parseBenchString.
+  const char* bad[] = {
+      "INPUT(a)\nq = DFF(d)\nd = FROB(a)\n",          // unknown gate
+      "INPUT(a)\nq = DFF(a, a)\n",                    // DFF arity
+      "INPUT(a)\nINPUT(a)\nq = DFF(a)\n",             // redefinition
+      "INPUT(a)\nq = DFF(zzz)\n",                     // undefined signal
+      "q = DFF(a)\na = BUF(b)\nb = BUF(a)\n",         // combinational cycle
+      "INPUT(a)\nb = AND(a)\n",                       // no DFFs
+      "garbage line\n",                               // grammar
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(validateBenchText(text, limits, &err)) << text;
+  }
+  // The validated-good text must actually parse without aborting.
+  Netlist nl = parseBenchString(good);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+}
+
+TEST(ServeSession, TargetCubeParsing) {
+  LitVec cube;
+  std::string err;
+  EXPECT_TRUE(parseTargetCube("1x0-", 4, &cube, &err)) << err;
+  EXPECT_EQ(cube.size(), 2u);  // bits 0 and 2 bound
+  EXPECT_EQ(cubeToText(cube, 4), "1x0x");
+  EXPECT_FALSE(parseTargetCube("1x", 4, &cube, &err));    // wrong width
+  EXPECT_FALSE(parseTargetCube("1x0z", 4, &cube, &err));  // bad char
+}
+
+// --- cache ------------------------------------------------------------------
+
+CachedCover coldRun(const std::string& gen, const std::string& target) {
+  ServeRequest req;
+  req.gen = gen;
+  req.target = target;
+  SessionLimits limits;
+  std::string err;
+  CircuitContextPtr ctx = buildCircuitContext(req, limits, &err);
+  EXPECT_NE(ctx, nullptr) << err;
+  ServeCache off(0, nullptr);
+  ExecResult result;
+  ServeError e = runPreimage(req, ctx, off, nullptr, limits, &result);
+  EXPECT_TRUE(e.ok()) << e.message;
+  return result.cover;
+}
+
+TEST(ServeCacheTest, HitReturnsBitIdenticalCover) {
+  CachedCover cold = coldRun("gray:5", "1xxxx");
+  ASSERT_EQ(cold.outcome, Outcome::kComplete);
+
+  Governor governor{Budget{}};
+  ServeCache cache(1 << 20, &governor);
+  CacheKey key{netlistStructuralHash(makeGrayCounter(5)), "1xxxx", "success-driven", false,
+               false};
+  CachedCover payload;
+  ASSERT_EQ(cache.acquire(key, payload), CacheLookup::kMiss);
+  cache.publish(key, cold);
+
+  CachedCover hit;
+  ASSERT_EQ(cache.acquire(key, hit), CacheLookup::kHit);
+  EXPECT_EQ(hit.cubes, cold.cubes);  // verbatim, order included
+  EXPECT_EQ(hit.count.toDecimal(), cold.count.toDecimal());
+  EXPECT_EQ(hit.width, cold.width);
+  EXPECT_EQ(governor.trackedBytes(), cache.bytes());
+}
+
+TEST(ServeCacheTest, PartialResultsAreNotRetained) {
+  ServeCache cache(1 << 20, nullptr);
+  CacheKey key{1, "1", "chrono", false, false};
+  CachedCover payload;
+  ASSERT_EQ(cache.acquire(key, payload), CacheLookup::kMiss);
+  CachedCover partial;
+  partial.outcome = Outcome::kDeadline;
+  partial.width = 1;
+  cache.publish(key, partial);  // routes to abandon
+  EXPECT_EQ(cache.entries(), 0u);
+  ASSERT_EQ(cache.acquire(key, payload), CacheLookup::kMiss);  // still cold
+  cache.abandon(key, partial);
+}
+
+TEST(ServeCacheTest, GenerationalEvictionStaysWithinBudgetAndReleasesLedger) {
+  Governor governor{Budget{}};
+  ServeCache cache(2048, &governor);
+  CachedCover cover;
+  cover.width = 8;
+  cover.cubes.assign(16, LitVec{mkLit(0, false), mkLit(1, true)});
+  cover.count = BigUint(1);
+  for (int i = 0; i < 32; ++i) {
+    CacheKey key{static_cast<uint64_t>(i) + 1, "t", "chrono", false, false};
+    CachedCover scratch;
+    ASSERT_EQ(cache.acquire(key, scratch), CacheLookup::kMiss);
+    cache.publish(key, cover);
+  }
+  // publish() sheds to maxBytes/2 whenever it overflows, so the steady state
+  // is bounded and the ledger tracks it exactly.
+  EXPECT_LE(cache.bytes(), cache.maxBytes());
+  EXPECT_GT(cache.entries(), 0u);
+  EXPECT_EQ(governor.trackedBytes(), cache.bytes());
+
+  // Survivors still serve sound, bit-identical payloads.
+  bool sawHit = false;
+  for (int i = 0; i < 32; ++i) {
+    CacheKey key{static_cast<uint64_t>(i) + 1, "t", "chrono", false, false};
+    CachedCover got;
+    if (cache.acquire(key, got) == CacheLookup::kHit) {
+      sawHit = true;
+      EXPECT_EQ(got.cubes, cover.cubes);
+    } else {
+      cache.abandon(key, {});  // we became the leader; clean up
+    }
+  }
+  EXPECT_TRUE(sawHit);
+
+  // Full shed returns every byte to the governor.
+  cache.shed(0);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(governor.trackedBytes(), 0u);
+}
+
+TEST(ServeCacheTest, ShedNeverEvictsInflightEntries) {
+  ServeCache cache(1 << 20, nullptr);
+  CacheKey key{9, "t", "chrono", false, false};
+  CachedCover scratch;
+  ASSERT_EQ(cache.acquire(key, scratch), CacheLookup::kMiss);  // in-flight leader
+  EXPECT_EQ(cache.shed(0), 0u);
+  CachedCover cover;
+  cover.width = 1;
+  cover.count = BigUint(1);
+  cover.cubes = {LitVec{mkLit(0, false)}};
+  cache.publish(key, cover);  // entry survived the shed; publish still lands
+  CachedCover got;
+  EXPECT_EQ(cache.acquire(key, got), CacheLookup::kHit);
+  EXPECT_EQ(got.cubes, cover.cubes);
+}
+
+TEST(ServeCacheTest, ConcurrentSameKeyRequestsDedupToOneComputation) {
+  ServeCache cache(1 << 20, nullptr);
+  CacheKey key{7, "1xx", "success-driven", false, false};
+  CachedCover scratch;
+  ASSERT_EQ(cache.acquire(key, scratch), CacheLookup::kMiss);  // main = leader
+
+  constexpr int kFollowers = 4;
+  ServicePool pool;
+  pool.start(kFollowers);
+  std::atomic<int> dedups{0};
+  std::atomic<int> started{0};
+  CachedCover expect;
+  expect.width = 3;
+  expect.count = BigUint(2);
+  expect.cubes = {LitVec{mkLit(0, false)}, LitVec{mkLit(1, true)}};
+  for (int i = 0; i < kFollowers; ++i) {
+    pool.submit([&] {
+      started.fetch_add(1);
+      CachedCover got;
+      CacheLookup lk = cache.acquire(key, got);
+      if (lk == CacheLookup::kDedup && got.cubes == expect.cubes) dedups.fetch_add(1);
+    });
+  }
+  // Wait until every follower is parked on the in-flight entry (or at least
+  // running), then publish once.
+  while (started.load() < kFollowers) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.publish(key, expect);
+  pool.quiesce();
+  pool.stop();
+  EXPECT_EQ(dedups.load(), kFollowers);
+}
+
+// --- scheduler fairness -----------------------------------------------------
+
+TEST(SchedulerTest, InteractiveIsNotStarvedByBatchBacklog) {
+  ServicePool pool;
+  pool.start(1);  // single lane: ordering is fully observable
+  Scheduler sched(pool, 64);
+
+  std::atomic<bool> gate{false};
+  std::vector<std::string> order;
+  Mutex orderMu;
+  auto record = [&](const char* tag) {
+    MutexLock lock(orderMu);
+    order.push_back(tag);
+  };
+  // Blocker occupies the worker while we stack the queue behind it.
+  ASSERT_TRUE(sched.admit(false, [&] {
+    while (!gate.load()) std::this_thread::yield();
+  }));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sched.admit(false, [&] { record("batch"); }));
+  }
+  ASSERT_TRUE(sched.admit(true, [&] { record("interactive"); }));
+  gate.store(true);
+  pool.quiesce();
+  pool.stop();
+
+  ASSERT_EQ(order.size(), 6u);
+  // Round-robin between classes: the interactive job is served no later than
+  // second, despite five batch jobs queued ahead of it.
+  bool inFirstTwo = order[0] == "interactive" || order[1] == "interactive";
+  EXPECT_TRUE(inFirstTwo) << "interactive ran at position "
+                          << (std::find(order.begin(), order.end(), "interactive") -
+                              order.begin());
+}
+
+TEST(SchedulerTest, BoundedQueueRejectsWhenFull) {
+  ServicePool pool;
+  pool.start(1);
+  Scheduler sched(pool, 2);
+  std::atomic<bool> gate{false};
+  std::atomic<bool> running{false};
+  ASSERT_TRUE(sched.admit(false, [&] {
+    running.store(true);
+    while (!gate.load()) std::this_thread::yield();
+  }));
+  // Wait until the single worker has DEQUEUED the blocker, so the queue is
+  // empty and capacity is exactly 2 for what follows.
+  while (!running.load()) std::this_thread::yield();
+  EXPECT_TRUE(sched.admit(false, [] {}));
+  EXPECT_TRUE(sched.admit(false, [] {}));
+  EXPECT_FALSE(sched.admit(false, [] {}));  // full: structured backpressure
+  EXPECT_EQ(sched.queued(), 2u);
+  gate.store(true);
+  pool.quiesce();
+  pool.stop();
+  Metrics m;
+  sched.exportMetrics(m);
+  EXPECT_EQ(m.counter("serve.rejects.overload"), 1u);
+  EXPECT_EQ(m.counter("serve.admitted"), 3u);
+}
+
+// --- server end to end ------------------------------------------------------
+
+class StringTransport : public LineTransport {
+ public:
+  explicit StringTransport(std::vector<std::string> lines) : lines_(std::move(lines)) {}
+
+  bool readLine(std::string* line) override {
+    if (next_ >= lines_.size()) return false;
+    *line = lines_[next_++];
+    return true;
+  }
+
+  // Serialized by the server's write lock.
+  void writeLine(const std::string& line) override { out.push_back(line); }
+
+  std::vector<std::string> out;
+
+ private:
+  std::vector<std::string> lines_;
+  size_t next_ = 0;
+};
+
+// Finds the response line with the given id; fails the test if absent.
+JsonValue findResponse(const std::vector<std::string>& lines, const std::string& id) {
+  for (const std::string& line : lines) {
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(parseJson(line, v, err)) << line;
+    const JsonValue* idField = v.find("id");
+    if (idField != nullptr && idField->text == id) return v;
+  }
+  ADD_FAILURE() << "no response with id " << id;
+  return {};
+}
+
+TEST(ServeServerTest, EndToEndMixedScript) {
+  ServerConfig config;
+  config.workers = 4;
+  Server server(config);
+  StringTransport transport({
+      R"({"id":"p","op":"ping"})",
+      R"({"id":"v","op":"version"})",
+      R"({"id":"r1","op":"preimage","gen":"counter:4","target":"1xxx"})",
+      R"({"id":"r2","op":"preimage","gen":"counter:4","target":"1xxx"})",
+      R"({"id":"r3","op":"preimage","gen":"counter:4","target":"1xxx","method":"bdd","cache":false})",
+      "this is not json",
+      R"({"id":"dup","op":"preimage","gen":"traffic","target":"xxxx"})",
+      R"({"id":"c","op":"cancel","target_id":"no-such"})",
+      R"({"id":"q","op":"shutdown"})",
+  });
+  EXPECT_EQ(server.serve(transport), 0);
+
+  // Banner first, shutdown ack last (the drain barrier).
+  ASSERT_GE(transport.out.size(), 3u);
+  EXPECT_NE(transport.out.front().find("\"hello\""), std::string::npos);
+  JsonValue last;
+  std::string perr;
+  ASSERT_TRUE(parseJson(transport.out.back(), last, perr));
+  EXPECT_EQ(last.find("id")->text, "q");
+
+  EXPECT_EQ(findResponse(transport.out, "p").find("status")->text, "ok");
+  EXPECT_NE(findResponse(transport.out, "v").find("version"), nullptr);
+
+  JsonValue r1 = findResponse(transport.out, "r1");
+  JsonValue r2 = findResponse(transport.out, "r2");
+  JsonValue r3 = findResponse(transport.out, "r3");
+  for (const JsonValue* r : {&r1, &r2, &r3}) {
+    EXPECT_EQ(r->find("status")->text, "ok");
+    EXPECT_EQ(r->find("outcome")->text, "complete");
+    EXPECT_EQ(r->find("count")->text, "16");
+  }
+  // Same key: r1/r2 share one computation (one ran cold, the other hit or
+  // deduped) and return identical cube arrays.
+  ASSERT_NE(r1.find("cubes"), nullptr);
+  ASSERT_NE(r2.find("cubes"), nullptr);
+  ASSERT_EQ(r1.find("cubes")->items.size(), r2.find("cubes")->items.size());
+  for (size_t i = 0; i < r1.find("cubes")->items.size(); ++i) {
+    EXPECT_EQ(r1.find("cubes")->items[i].text, r2.find("cubes")->items[i].text);
+  }
+  EXPECT_EQ(r3.find("cache")->text, "off");
+
+  EXPECT_EQ(findResponse(transport.out, "dup").find("status")->text, "ok");
+  EXPECT_EQ(findResponse(transport.out, "c").find("cancelled")->boolean, false);
+
+  // The parse error carries its 1-based line number (6th request line).
+  bool sawParseError = false;
+  for (const std::string& line : transport.out) {
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(line, v, err));
+    const JsonValue* e = v.find("error");
+    if (e != nullptr && e->find("code")->text == "parse") {
+      sawParseError = true;
+      EXPECT_EQ(e->find("line")->number, 6.0);
+    }
+  }
+  EXPECT_TRUE(sawParseError);
+
+  // Exactly one cold computation for the r1/r2 pair (the second was a hit or
+  // a dedup); "dup" is the only other cacheable computation.
+  Metrics m;
+  server.exportMetrics(m);
+  EXPECT_EQ(m.counter("serve.cache.misses"), 2u);
+  EXPECT_EQ(m.counter("serve.cache.hits") + m.counter("serve.cache.dedups"), 1u);
+  EXPECT_EQ(m.counter("serve.errors.parse"), 1u);
+}
+
+TEST(ServeServerTest, SameIdConcurrentlyInFlightIsRejected) {
+  // A slow first request keeps the id in flight while the duplicate arrives.
+  ServerConfig config;
+  config.workers = 2;
+  Server server(config);
+  StringTransport transport({
+      R"({"id":"dup","op":"preimage","gen":"gray:12","target":"xxxxxxxxxxxx","method":"minterm-blocking","timeout_ms":10000})",
+      R"({"id":"dup","op":"preimage","gen":"counter:2","target":"xx"})",
+      R"({"id":"q","op":"shutdown"})",
+  });
+  EXPECT_EQ(server.serve(transport), 0);
+  bool sawDuplicateError = false;
+  for (const std::string& line : transport.out) {
+    JsonValue v;
+    std::string err;
+    // The request-side parser caps documents at kMaxFields; the slow
+    // request's big cube array legitimately exceeds that, so skip it.
+    if (!parseJson(line, v, err)) continue;
+    const JsonValue* e = v.find("error");
+    if (e != nullptr && e->find("message")->text.find("already in flight") != std::string::npos) {
+      sawDuplicateError = true;
+    }
+  }
+  EXPECT_TRUE(sawDuplicateError);
+}
+
+TEST(ServeServerTest, BudgetedRequestDegradesToSoundPartial) {
+  ServerConfig config;
+  config.workers = 1;
+  Server server(config);
+  // An 8-cube cap on a 1024-minterm enumeration: must stop early, answer
+  // status ok with a partial outcome, and stay up for the next request.
+  StringTransport transport({
+      R"({"id":"tiny","op":"preimage","gen":"gray:10","target":"xxxxxxxxxx","method":"minterm-blocking","max_cubes":8,"cache":false})",
+      R"({"id":"after","op":"preimage","gen":"counter:3","target":"1xx"})",
+      R"({"id":"q","op":"shutdown"})",
+  });
+  EXPECT_EQ(server.serve(transport), 0);
+  JsonValue tiny = findResponse(transport.out, "tiny");
+  EXPECT_EQ(tiny.find("status")->text, "ok");
+  EXPECT_EQ(tiny.find("complete")->boolean, false);
+  EXPECT_NE(tiny.find("outcome")->text, "complete");
+  JsonValue after = findResponse(transport.out, "after");
+  EXPECT_EQ(after.find("status")->text, "ok");
+  EXPECT_EQ(after.find("outcome")->text, "complete");
+}
+
+TEST(ServeServerTest, OverloadAnswersStructuredError) {
+  ServerConfig config;
+  config.workers = 1;
+  config.queueDepth = 1;
+  Server server(config);
+  // One slow request to occupy the worker + queued requests beyond depth.
+  std::vector<std::string> lines = {
+      R"({"id":"slow","op":"preimage","gen":"gray:12","target":"xxxxxxxxxxxx","method":"minterm-blocking","timeout_ms":5000,"cache":false})",
+  };
+  for (int i = 0; i < 8; ++i) {
+    lines.push_back(R"({"id":"f)" + std::to_string(i) +
+                    R"(","op":"preimage","gen":"counter:2","target":"xx"})");
+  }
+  lines.push_back(R"({"id":"q","op":"shutdown"})");
+  StringTransport transport(lines);
+  EXPECT_EQ(server.serve(transport), 0);
+  int overloaded = 0;
+  for (const std::string& line : transport.out) {
+    JsonValue v;
+    std::string err;
+    if (!parseJson(line, v, err)) continue;  // the slow run's big cube array
+    const JsonValue* e = v.find("error");
+    if (e != nullptr && e->find("code")->text == "overloaded") ++overloaded;
+  }
+  EXPECT_GT(overloaded, 0);
+}
+
+}  // namespace
+}  // namespace presat::serve

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Shape- and acceptance-check a presat_client.py soak report.
+
+Validates the "presat-soak-v1" JSON that tools/presat_client.py --report
+emits, instead of grepping for a single number:
+
+  * `requests` >= --min-requests (default 100) and `clients` >= --min-clients
+    (default 8), so the soak actually exercised concurrency;
+  * `repeat_fraction` >= --min-repeat (default 0.3), so the cross-query cache
+    saw repeated (circuit, target) pairs;
+  * `protocol_errors` == 0 and `unsound` == 0 and `clean` is true — every
+    response parsed, matched its request, and was complete or a sound partial
+    against the BDD oracle;
+  * every `outcomes` key is a known engine outcome and the counts sum to
+    `requests` minus retried/errored ones (<= requests);
+  * when `cache_compare` is present (--compare-cache runs), it recorded at
+    least one hit and `speedup` >= --min-speedup (default 2.0) — the
+    cache-hit acceptance bar.
+
+Usage: check_soak_json.py SOAK.json [--min-speedup 2.0] [--no-compare]
+Exit status: 0 on a clean report, 1 otherwise (with a reason on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+KNOWN_OUTCOMES = {"complete", "deadline", "memory", "conflicts", "cancelled",
+                  "cube-cap"}
+
+
+def fail(reason: str) -> None:
+    print(f"check_soak_json.py: FAIL: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("report", help="soak report JSON from presat_client.py")
+    parser.add_argument("--min-requests", type=int, default=100)
+    parser.add_argument("--min-clients", type=int, default=8)
+    parser.add_argument("--min-repeat", type=float, default=0.3)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--no-compare", action="store_true",
+                        help="do not require a cache_compare section")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read report: {e}")
+
+    if report.get("schema") != "presat-soak-v1":
+        fail(f"unknown schema {report.get('schema')!r}")
+
+    for key in ("requests", "clients", "unique_pairs", "protocol_errors",
+                "unsound", "overload_retries"):
+        v = report.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(f"{key} must be a non-negative integer, got {v!r}")
+
+    if report["requests"] < args.min_requests:
+        fail(f"only {report['requests']} requests (need >= {args.min_requests})")
+    if report["clients"] < args.min_clients:
+        fail(f"only {report['clients']} clients (need >= {args.min_clients})")
+
+    repeat = report.get("repeat_fraction")
+    if not isinstance(repeat, (int, float)) or isinstance(repeat, bool):
+        fail("repeat_fraction must be a number")
+    if repeat < args.min_repeat:
+        fail(f"repeat_fraction {repeat} < {args.min_repeat}")
+
+    if report["protocol_errors"] != 0:
+        fail(f"{report['protocol_errors']} protocol errors "
+             f"(detail: {report.get('protocol_error_detail')})")
+    if report["unsound"] != 0:
+        fail(f"{report['unsound']} unsound responses "
+             f"(detail: {report.get('unsound_detail')})")
+    if report.get("clean") is not True:
+        fail("report is not marked clean")
+
+    outcomes = report.get("outcomes")
+    if not isinstance(outcomes, dict) or not outcomes:
+        fail("outcomes must be a non-empty object")
+    for name, n in outcomes.items():
+        if name not in KNOWN_OUTCOMES:
+            fail(f"unknown outcome {name!r}")
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            fail(f"outcome {name!r} count must be a non-negative integer")
+    if sum(outcomes.values()) > report["requests"]:
+        fail("outcome counts exceed the request count")
+
+    cache = report.get("cache")
+    if not isinstance(cache, dict):
+        fail("cache must be an object")
+    for key in ("hit", "miss", "dedup", "off"):
+        if key not in cache:
+            fail(f"cache.{key} is missing")
+
+    compare = report.get("cache_compare")
+    if compare is None:
+        if not args.no_compare:
+            fail("cache_compare section is missing (run with --compare-cache, "
+                 "or pass --no-compare)")
+    else:
+        if not isinstance(compare, dict):
+            fail("cache_compare must be an object")
+        if not isinstance(compare.get("hits"), int) or compare["hits"] < 1:
+            fail("cache_compare.hits must be >= 1")
+        speedup = compare.get("speedup")
+        if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+            fail("cache_compare.speedup must be a number")
+        if speedup < args.min_speedup:
+            fail(f"cache-hit speedup {speedup} < {args.min_speedup} "
+                 f"(hit {compare.get('median_hit_ms')}ms vs cold "
+                 f"{compare.get('median_cold_ms')}ms)")
+
+    summary = (f"{report['requests']} requests / {report['clients']} clients, "
+               f"repeat {repeat:.2f}, outcomes {outcomes}")
+    if compare is not None:
+        summary += f", cache-hit speedup {compare['speedup']}x"
+    print(f"check_soak_json.py: OK ({summary})")
+
+
+if __name__ == "__main__":
+    main()

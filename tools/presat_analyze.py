@@ -515,6 +515,15 @@ class Analyzer:
         last = tail[-1]
         if last.text in ("delete", "default"):
             return False
+        # `...(...) const noexcept` etc. is a function declaration's
+        # qualifier tail, not a data member named `const` — out-of-line const
+        # methods of mutex-owning classes would otherwise all need bogus
+        # waivers.
+        k = len(tail)
+        while k > 0 and tail[k - 1].text in ("const", "noexcept", "override", "final"):
+            k -= 1
+        if k < len(tail) and k > 0 and tail[k - 1].text == ")":
+            return False
         if last.kind in ("id", "num") or last.text in ("]", "{}", ">"):
             return True
         return False

@@ -81,6 +81,7 @@
 #include "preimage/reachability.hpp"
 #include "preimage/safety.hpp"
 #include "sat/solver.hpp"
+#include "serve/version.hpp"
 
 using namespace presat;
 
@@ -100,6 +101,7 @@ namespace {
                "                                   [--method NAME] [--stats json]\n"
                "  presat_cli safety   <file.bench>|--gen SPEC --init CUBE --bad CUBE\n"
                "                                   [--depth N] [--method NAME] [--stats json]\n"
+               "  presat_cli version\n"
                "  presat_cli bmc      <file.bench> --init CUBE --target CUBE [--depth N]\n"
                "  presat_cli audit    <file.cnf> | --gen SPEC [--target CUBE]\n"
                "\nSAT enumeration commands also take --jobs N (parallel cube-and-conquer),\n"
@@ -708,6 +710,12 @@ int cmdAudit(const Args& args) {
 int main(int argc, char** argv) {
   // No-op unless built with PRESAT_FAULTS and PRESAT_FAULT_SITE is set.
   faults::armFaultsFromEnv();
+  if (argc >= 2 && std::strcmp(argv[1], "version") == 0) {
+    // Build-info JSON: the same payload presat_serve sends as its handshake
+    // banner, so scripts interrogate one source of truth either way.
+    std::printf("%s\n", serve::buildInfoJson().c_str());
+    return 0;
+  }
   if (argc < 3) usage();
   std::string command = argv[1];
   Args args = parseArgs(argc, argv, 2);
