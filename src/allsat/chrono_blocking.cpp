@@ -4,6 +4,7 @@
 
 #include "allsat/compress.hpp"
 #include "allsat/lifting.hpp"
+#include "allsat/preprocess_adapter.hpp"
 #include "base/log.hpp"
 #include "base/timer.hpp"
 #include "check/audit_chrono.hpp"
@@ -14,6 +15,11 @@ namespace presat {
 
 AllSatResult chronoAllSat(const Cnf& cnf, const std::vector<Var>& projection,
                           const AllSatOptions& options) {
+  if (options.preprocess) {
+    return runWithPreprocess(cnf, projection, /*lifter=*/{}, options,
+                             [](const Cnf& c, const std::vector<Var>& p, const ModelLifter&,
+                                const AllSatOptions& o) { return chronoAllSat(c, p, o); });
+  }
   Timer timer;
   AllSatResult result;
   Governor* governor = options.governor;

@@ -1,9 +1,7 @@
 #include "allsat/compress.hpp"
 
 #include <algorithm>
-#include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "allsat/projection.hpp"
@@ -23,37 +21,60 @@ void canonicalizeCube(LitVec& cube) {
   }
 }
 
-void appendCode(std::string& key, int32_t code) {
-  key.append(reinterpret_cast<const char*>(&code), sizeof(code));
+// Order-dependent 64-bit combine (splitmix64 finalizer on each value folded
+// into an FNV-style accumulator). Cubes are canonical (sorted), so the
+// order-dependence is deterministic; collisions are handled by the exact
+// comparisons below, never by trusting the hash.
+uint64_t mix64(uint64_t h, uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  return (h * 0x100000001b3ULL) ^ v;
 }
 
-std::string cubeKey(const LitVec& cube) {
-  std::string key;
-  key.reserve(cube.size() * sizeof(int32_t));
-  for (Lit l : cube) appendCode(key, l.code());
-  return key;
+uint64_t cubeHash(const LitVec& cube) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (Lit l : cube) h = mix64(h, static_cast<uint32_t>(l.code()));
+  return h;
 }
 
-// Key identifying (cube minus the literal at `skip`, that literal's
+// Hash identifying (cube minus the literal at `skip`, that literal's
 // variable): two alive cubes probe to the same key with opposite signs
-// exactly when they are wildcard-mergeable.
-std::string mergeKey(const LitVec& cube, size_t skip) {
-  std::string key;
-  key.reserve(cube.size() * sizeof(int32_t));
+// exactly when they are wildcard-mergeable. Hashing the codes directly
+// (instead of materializing a byte-string key per probe) keeps the round
+// allocation-free on the hot path.
+uint64_t mergeHash(const LitVec& cube, size_t skip) {
+  uint64_t h = 0xcbf29ce484222325ULL;
   for (size_t i = 0; i < cube.size(); ++i) {
     if (i == skip) continue;
-    appendCode(key, cube[i].code());
+    h = mix64(h, static_cast<uint32_t>(cube[i].code()));
   }
-  appendCode(key, static_cast<int32_t>(cube[skip].var()));
-  return key;
+  h = mix64(h, (1ULL << 32) | static_cast<uint32_t>(cube[skip].var()));
+  return h;
 }
 
-// Approximate resident bytes of one round's hash table: key bytes plus a
-// flat per-entry overhead for the node and bookkeeping.
+// Exact equality of the merge keys (a minus position p, a[p].var()) and
+// (b minus position q, b[q].var()) — the collision check behind mergeHash.
+bool mergeKeyEquals(const LitVec& a, size_t p, const LitVec& b, size_t q) {
+  if (a.size() != b.size()) return false;
+  if (a[p].var() != b[q].var()) return false;
+  for (size_t i = 0, j = 0; i < a.size(); ++i, ++j) {
+    if (i == p) ++i;
+    if (j == q) ++j;
+    if (i >= a.size()) break;
+    if (a[i] != b[j]) return false;
+  }
+  return true;
+}
+
+// Approximate resident bytes of one round's hash table: one multimap node
+// (hash key, cube index, position, bucket bookkeeping) per literal of every
+// cube.
 uint64_t roundTableBytes(const std::vector<LitVec>& cubes) {
   uint64_t bytes = 0;
   for (const LitVec& c : cubes) {
-    bytes += c.size() * (c.size() * sizeof(int32_t) + 64);
+    bytes += c.size() * 48;
   }
   return bytes;
 }
@@ -61,16 +82,26 @@ uint64_t roundTableBytes(const std::vector<LitVec>& cubes) {
 // Drops exact duplicates in place (first occurrence wins). Returns the
 // number dropped.
 uint64_t dropDuplicates(std::vector<LitVec>& cubes) {
-  std::unordered_set<std::string> seen;
+  std::unordered_multimap<uint64_t, uint32_t> seen;
   seen.reserve(cubes.size() * 2);
   uint64_t dropped = 0;
   size_t out = 0;
   for (size_t i = 0; i < cubes.size(); ++i) {
-    if (!seen.insert(cubeKey(cubes[i])).second) {
+    uint64_t h = cubeHash(cubes[i]);
+    bool duplicate = false;
+    auto range = seen.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (cubes[static_cast<size_t>(it->second)] == cubes[i]) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
       ++dropped;
       continue;
     }
     if (out != i) cubes[out] = std::move(cubes[i]);
+    seen.emplace(h, static_cast<uint32_t>(out));
     ++out;
   }
   cubes.resize(out);
@@ -118,16 +149,30 @@ CompressStats compressCubes(std::vector<LitVec>& cubes, Governor* governor) {
 
     // Greedy one-merge-per-cube round: each cube registers every
     // (cube - literal, variable) key; an opposite-sign partner merges and
-    // both parents die for the rest of the round.
-    std::unordered_map<std::string, std::pair<size_t, size_t>> table;
+    // both parents die for the rest of the round. Only the first cube to
+    // probe a key registers it (later non-merging probes are dropped, as
+    // with the map-emplace formulation this replaces); the multimap exists
+    // to resolve 64-bit hash collisions by exact comparison.
+    std::unordered_multimap<uint64_t, std::pair<uint32_t, uint32_t>> table;
     table.reserve(cubes.size() * 4);
     std::vector<uint8_t> dead(cubes.size(), 0);
     std::vector<LitVec> merged;
     uint64_t roundMerges = 0;
     for (size_t i = 0; i < cubes.size(); ++i) {
       for (size_t p = 0; p < cubes[i].size() && !dead[i]; ++p) {
-        auto [it, inserted] = table.emplace(mergeKey(cubes[i], p), std::make_pair(i, p));
-        if (inserted) continue;
+        uint64_t h = mergeHash(cubes[i], p);
+        auto range = table.equal_range(h);
+        auto it = range.first;
+        for (; it != range.second; ++it) {
+          if (mergeKeyEquals(cubes[static_cast<size_t>(it->second.first)], it->second.second,
+                             cubes[i], p)) {
+            break;
+          }
+        }
+        if (it == range.second) {
+          table.emplace(h, std::make_pair(static_cast<uint32_t>(i), static_cast<uint32_t>(p)));
+          continue;
+        }
         auto [j, q] = it->second;
         if (dead[j] || cubes[j][q] != ~cubes[i][p]) continue;
         LitVec wide;

@@ -1,6 +1,7 @@
 #include "allsat/cube_blocking.hpp"
 
 #include "allsat/compress.hpp"
+#include "allsat/preprocess_adapter.hpp"
 #include "base/log.hpp"
 #include "base/timer.hpp"
 #include "check/audit_solver.hpp"
@@ -10,6 +11,11 @@ namespace presat {
 
 AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projection,
                                 const ModelLifter& lifter, const AllSatOptions& options) {
+  if (options.preprocess) {
+    return runWithPreprocess(cnf, projection, lifter, options,
+                             [](const Cnf& c, const std::vector<Var>& p, const ModelLifter& l,
+                                const AllSatOptions& o) { return cubeBlockingAllSat(c, p, l, o); });
+  }
   Timer timer;
   AllSatResult result;
 

@@ -1,6 +1,7 @@
 #include "allsat/minterm_blocking.hpp"
 
 #include "allsat/compress.hpp"
+#include "allsat/preprocess_adapter.hpp"
 #include "base/log.hpp"
 #include "base/timer.hpp"
 #include "check/audit_solver.hpp"
@@ -10,6 +11,11 @@ namespace presat {
 
 AllSatResult mintermBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projection,
                                    const AllSatOptions& options) {
+  if (options.preprocess) {
+    return runWithPreprocess(cnf, projection, /*lifter=*/{}, options,
+                             [](const Cnf& c, const std::vector<Var>& p, const ModelLifter&,
+                                const AllSatOptions& o) { return mintermBlockingAllSat(c, p, o); });
+  }
   Timer timer;
   AllSatResult result;
   Governor* governor = options.governor;

@@ -1,0 +1,39 @@
+#include "allsat/preprocess_adapter.hpp"
+
+#include "cnf/preprocess.hpp"
+
+namespace presat {
+
+AllSatResult runWithPreprocess(const Cnf& cnf, const std::vector<Var>& projection,
+                               const ModelLifter& lifter, const AllSatOptions& options,
+                               const AllSatRunner& run) {
+  PreprocessedCnf pre = preprocessCnf(cnf, projection, options.governor);
+
+  // Projection vars are frozen, so every one of them is mapped; translating
+  // elementwise keeps index i of the projected cube space pointing at the
+  // same variable.
+  std::vector<Var> internalProjection;
+  internalProjection.reserve(projection.size());
+  for (Var v : projection) internalProjection.push_back(pre.internalVar(v));
+
+  // The caller's lifter speaks original numbering: feed it the lifted model
+  // and translate its cube back (lifter-contract literals are projection
+  // vars, which are frozen, so internalLit always succeeds).
+  ModelLifter wrappedLifter;
+  if (lifter) {
+    wrappedLifter = [&pre, &lifter](const std::vector<lbool>& internalModel) {
+      LitVec cube = lifter(pre.originalModel(internalModel));
+      for (Lit& l : cube) l = pre.internalLit(l);
+      return cube;
+    };
+  }
+
+  AllSatOptions inner = options;
+  inner.preprocess = false;
+  AllSatResult result = run(pre.cnf, internalProjection, wrappedLifter, inner);
+
+  exportPreprocessMetrics(pre.stats, result.metrics);
+  return result;
+}
+
+}  // namespace presat

@@ -90,6 +90,14 @@ enum class BranchOrder {
 
 struct AllSatOptions {
   uint64_t maxCubes = 0;  // 0 = unlimited
+  // CNF engines (minterm/cube/chrono, serial and parallel): run the one-shot
+  // preprocessing pass (cnf/preprocess.hpp — pure-literal + subsumption
+  // elimination + dense remapping, projection vars frozen) before
+  // enumeration, translating models/cubes back so results keep the projected
+  // index space unchanged. Callers that preprocess upstream (the preimage
+  // layer's shared TransitionEncoding, parallel shard dispatch) clear this to
+  // avoid a redundant second pass.
+  bool preprocess = true;
   // Blocking engines: lift models to cubes before blocking.
   bool liftModels = true;
   // CDCL engines (minterm/cube blocking AND chrono): per-SAT-call conflict

@@ -6,7 +6,6 @@
 
 #include "base/log.hpp"
 #include "sat/solver.hpp"
-#include "sat/solver_internal.hpp"
 
 namespace presat {
 
@@ -28,37 +27,61 @@ struct WatchCount {
 AuditResult auditSolver(const Solver& s) {
   AuditResult r;
   const size_t numVars = s.assigns_.size();
+  const ClauseArena& arena = s.arena_;
+
+  auto litsOf = [&arena](ClauseRef c) {
+    return LitVec(arena.lits(c), arena.lits(c) + arena.size(c));
+  };
 
   // -- clause database vs counters -----------------------------------------
+  // Reasons may reference either a stored clause or a synthetic enumeration
+  // unit reason (never in clauses_), so the db set spans both.
   size_t learnt = 0;
   size_t original = 0;
-  std::unordered_set<const Solver::InternalClause*> db;
-  for (const auto& c : s.clauses_) {
-    db.insert(c.get());
-    if (c->learnt) {
+  std::unordered_set<ClauseRef> db;
+  for (ClauseRef c : s.clauses_) {
+    db.insert(c);
+    if (arena.dead(c)) {
+      r.fail("solver.clause.size",
+             "clause database holds a freed arena clause (missing sweepDeadClauses?)");
+      continue;
+    }
+    const LitVec lits = litsOf(c);
+    if (arena.learnt(c)) {
       ++learnt;
     } else {
       ++original;
     }
-    if (c->lits.size() < 2) {
+    if (lits.size() < 2) {
       r.fail("solver.clause.size",
-             "stored clause " + toString(c->lits) + " has size < 2 (units are enqueued, not stored)");
+             "stored clause " + toString(lits) + " has size < 2 (units are enqueued, not stored)");
     }
-    for (size_t i = 0; i + 1 < c->lits.size(); ++i) {
-      for (size_t j = i + 1; j < c->lits.size(); ++j) {
-        if (c->lits[i].var() == c->lits[j].var()) {
+    for (size_t i = 0; i + 1 < lits.size(); ++i) {
+      for (size_t j = i + 1; j < lits.size(); ++j) {
+        if (lits[i].var() == lits[j].var()) {
           r.fail("solver.clause.duplicate-var",
-                 "clause " + toString(c->lits) + " mentions x" +
-                     std::to_string(c->lits[i].var()) + " twice");
+                 "clause " + toString(lits) + " mentions x" +
+                     std::to_string(lits[i].var()) + " twice");
         }
       }
     }
-    for (Lit l : c->lits) {
+    for (Lit l : lits) {
       if (l.var() < 0 || static_cast<size_t>(l.var()) >= numVars) {
         r.fail("solver.clause.var-range",
                "clause literal " + toString(l) + " out of range (numVars=" +
                    std::to_string(numVars) + ")");
       }
+    }
+  }
+  for (ClauseRef c : s.enumUnitReasons_) {
+    db.insert(c);
+    if (arena.dead(c)) {
+      r.fail("solver.clause.size", "enumeration unit reason references a freed arena clause");
+      continue;
+    }
+    if (arena.size(c) != 1) {
+      r.fail("solver.clause.size",
+             "enumeration unit reason " + toString(litsOf(c)) + " has size != 1");
     }
   }
   if (learnt != s.numLearnts_ || original != s.numOriginal_) {
@@ -76,16 +99,16 @@ AuditResult auditSolver(const Solver& s) {
   }
 
   // -- watch lists ----------------------------------------------------------
-  std::unordered_map<const Solver::InternalClause*, WatchCount> watched;
+  std::unordered_map<ClauseRef, WatchCount> watched;
   for (size_t code = 0; code < s.watches_.size(); ++code) {
     const Lit listLit = Lit::fromCode(static_cast<int32_t>(code));
     for (const Solver::Watcher& w : s.watches_[code]) {
-      if (db.find(w.clause) == db.end()) {
+      if (db.find(w.clause) == db.end() || arena.dead(w.clause)) {
         r.fail("solver.watch.dangling",
                "watch list of " + toString(listLit) + " references a clause not in the database");
         continue;
       }
-      const LitVec& lits = w.clause->lits;
+      const LitVec lits = litsOf(w.clause);
       WatchCount& count = watched[w.clause];
       if (lits.size() >= 2 && listLit == ~lits[0]) {
         ++count.onFirst;
@@ -104,12 +127,12 @@ AuditResult auditSolver(const Solver& s) {
       }
     }
   }
-  for (const auto& c : s.clauses_) {
-    if (c->lits.size() < 2) continue;  // already reported above
-    const WatchCount count = watched.count(c.get()) ? watched[c.get()] : WatchCount{};
+  for (ClauseRef c : s.clauses_) {
+    if (arena.dead(c) || arena.size(c) < 2) continue;  // already reported above
+    const WatchCount count = watched.count(c) ? watched[c] : WatchCount{};
     if (count.onFirst != 1 || count.onSecond != 1) {
       r.fail("solver.watch.pair",
-             "clause " + toString(c->lits) + " watched " + std::to_string(count.onFirst) +
+             "clause " + toString(litsOf(c)) + " watched " + std::to_string(count.onFirst) +
                  "x on ~lits[0] and " + std::to_string(count.onSecond) +
                  "x on ~lits[1] (expected exactly 1x each)");
     }
@@ -175,19 +198,19 @@ AuditResult auditSolver(const Solver& s) {
 
   // -- reason clauses -------------------------------------------------------
   for (size_t v = 0; v < numVars; ++v) {
-    const Solver::InternalClause* reason = s.reason_[v];
-    if (reason == nullptr) continue;
+    const ClauseRef reason = s.reason_[v];
+    if (reason == kNullClauseRef) continue;
     if (s.assigns_[v].isUndef()) {
       r.fail("solver.reason.implied",
              "unassigned x" + std::to_string(v) + " still has a reason clause");
       continue;
     }
-    if (db.find(reason) == db.end()) {
+    if (db.find(reason) == db.end() || arena.dead(reason)) {
       r.fail("solver.reason.implied",
              "reason of x" + std::to_string(v) + " is not in the clause database");
       continue;
     }
-    const LitVec& lits = reason->lits;
+    const LitVec lits = litsOf(reason);
     if (lits.empty() || lits[0].var() != static_cast<Var>(v) || !s.value(lits[0]).isTrue()) {
       r.fail("solver.reason.implied",
              "reason clause " + toString(lits) + " of x" + std::to_string(v) +
@@ -254,9 +277,10 @@ AuditResult auditSolver(const Solver& s) {
 void corruptSolverForTest(Solver& s, SolverCorruption kind) {
   switch (kind) {
     case SolverCorruption::kSwapWatchedLiteral: {
-      for (auto& c : s.clauses_) {
-        if (c->lits.size() >= 3) {
-          std::swap(c->lits[1], c->lits[2]);
+      for (ClauseRef c : s.clauses_) {
+        if (s.arena_.size(c) >= 3) {
+          Lit* lits = s.arena_.lits(c);
+          std::swap(lits[1], lits[2]);
           return;
         }
       }
@@ -281,11 +305,12 @@ void corruptSolverForTest(Solver& s, SolverCorruption kind) {
     }
     case SolverCorruption::kReasonFirstLiteral: {
       for (size_t v = 0; v < s.reason_.size(); ++v) {
-        Solver::InternalClause* reason = s.reason_[v];
-        if (reason != nullptr && reason->lits.size() >= 2) {
+        ClauseRef reason = s.reason_[v];
+        if (reason != kNullClauseRef && s.arena_.size(reason) >= 2) {
           // Swapping the two watched positions keeps the watch-pair set
           // intact, so only the reason invariant fires.
-          std::swap(reason->lits[0], reason->lits[1]);
+          Lit* lits = s.arena_.lits(reason);
+          std::swap(lits[0], lits[1]);
           return;
         }
       }
@@ -294,5 +319,7 @@ void corruptSolverForTest(Solver& s, SolverCorruption kind) {
   }
   PRESAT_CHECK(false) << "corruptSolverForTest: unknown corruption kind";
 }
+
+void compactSolverForTest(Solver& s) { s.garbageCollect(); }
 
 }  // namespace presat

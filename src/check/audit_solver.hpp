@@ -45,4 +45,12 @@ enum class SolverCorruption : int {
 };
 void corruptSolverForTest(Solver& solver, SolverCorruption kind);
 
+// Test-only: force an unconditional arena compaction right now, regardless of
+// the waste fraction. Lets tests exercise clause relocation at chosen points
+// (notably mid-enumeration, where reason_ and enumUnitReasons_ refs must
+// survive) without having to manufacture a quarter-arena of garbage first.
+// Same quiescence requirement as the solver's internal trigger: call it
+// between enumerateNextModel() calls or between solve() calls.
+void compactSolverForTest(Solver& solver);
+
 }  // namespace presat

@@ -29,6 +29,8 @@ inline constexpr const char* kSites[] = {
     "govern.memory",    // Governor::poll — injects memory-ceiling trip
     "govern.cancel",    // Governor::poll — injects external cancellation
     "sat.alloc",        // Solver clause allocation — injects alloc failure
+    "sat.arena.compact",  // clause-arena compaction — injects memory trip
+    "cnf.preprocess",   // CNF preprocessing — falls back to identity pass
     "bdd.alloc",        // BddManager::mkNode — injects node-pool exhaustion
     "sd.node",          // success-driven solution-graph growth
     "parallel.shard",   // worker-shard fault — cancels the shared token

@@ -5,6 +5,7 @@
 #include "allsat/chrono_blocking.hpp"
 #include "allsat/compress.hpp"
 #include "allsat/minterm_blocking.hpp"
+#include "allsat/preprocess_adapter.hpp"
 #include "base/log.hpp"
 #include "base/timer.hpp"
 #include "bdd/bdd.hpp"
@@ -179,6 +180,16 @@ AllSatResult parallelCnfAllSat(const Cnf& cnf, const std::vector<Var>& projectio
                                ParallelCnfEngine engine, const ModelLifter& lifter,
                                const AllSatOptions& options) {
   PRESAT_CHECK(options.parallel.enabled()) << "parallel engine called with jobs == 0";
+  if (options.preprocess) {
+    // Preprocess ONCE, before the split: every shard then copies the reduced
+    // formula, and because the split plan is a deterministic function of the
+    // (internal) formula and splitDepth, jobs=1 vs jobs=N bit-identity holds
+    // on the internal space exactly as it did on the original one.
+    return runWithPreprocess(
+        cnf, projection, lifter, options,
+        [engine](const Cnf& c, const std::vector<Var>& p, const ModelLifter& l,
+                 const AllSatOptions& o) { return parallelCnfAllSat(c, p, engine, l, o); });
+  }
   Timer timer;
 
   SplitPlan plan = planCnfSplit(cnf, projection, options.parallel.splitDepth);

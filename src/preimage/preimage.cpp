@@ -33,34 +33,38 @@ const char* preimageMethodName(PreimageMethod method) {
   return "?";
 }
 
+bool preimageMethodUsesCnf(PreimageMethod method) {
+  return method == PreimageMethod::kMintermBlocking || method == PreimageMethod::kCubeBlocking ||
+         method == PreimageMethod::kCubeBlockingLifted || method == PreimageMethod::kChrono;
+}
+
 namespace {
 
 struct SatProblem {
-  CircuitEncoding enc;
-  std::vector<Var> projection;  // CNF var of state bit i at position i
+  Cnf cnf;                      // INTERNAL numbering: base formula + target clauses
+  std::vector<Var> projection;  // internal CNF var of state bit i at position i
 };
 
-// Encodes the next-state cones plus the target-membership constraint
-// T(δ(s, x)) into enc.cnf.
-SatProblem buildSatProblem(const TransitionSystem& system, const StateSet& target) {
+// Instantiates the shared encoding for one target: copies the preprocessed
+// base formula and adds the target-membership constraint T(δ(s, x)),
+// translated into the internal space (next-state-root variables are frozen,
+// so every target literal maps; selector variables are fresh internal vars
+// with no original counterpart — originalModel simply ignores them).
+SatProblem buildSatProblem(const TransitionEncoding& te, const TransitionSystem& system,
+                           const StateSet& target) {
   PRESAT_CHECK(target.numStateBits == system.numStateBits());
-  const Netlist& nl = system.netlist();
-
-  std::vector<NodeId> roots = system.nextStateRoots();
-  // State sources must be encoded even when unused by any next-state cone,
-  // so the projection scope is always the full state space.
-  for (NodeId s : system.stateNodes()) roots.push_back(s);
 
   SatProblem problem;
-  problem.enc = encodeCircuit(nl, roots);
-  Cnf& cnf = problem.enc.cnf;
+  problem.cnf = te.base.cnf;
+  Cnf& cnf = problem.cnf;
 
+  auto rootLit = [&](Lit l) {
+    return te.base.internalLit(te.enc.litOf(system.nextStateRoot(l.var()), !l.sign()));
+  };
   if (target.cubes.empty()) {
     cnf.addClause({});  // empty target: the query is vacuously UNSAT
   } else if (target.cubes.size() == 1) {
-    for (Lit l : target.cubes[0]) {
-      cnf.addUnit(problem.enc.litOf(system.nextStateRoot(l.var()), !l.sign()));
-    }
+    for (Lit l : target.cubes[0]) cnf.addUnit(rootLit(l));
   } else {
     // Union target: selector variable per cube, (sel_i -> cube_i) plus
     // (sel_1 | ... | sel_k).
@@ -68,29 +72,33 @@ SatProblem buildSatProblem(const TransitionSystem& system, const StateSet& targe
     for (const LitVec& cube : target.cubes) {
       Lit sel = mkLit(cnf.newVar());
       atLeastOne.push_back(sel);
-      for (Lit l : cube) {
-        cnf.addBinary(~sel, problem.enc.litOf(system.nextStateRoot(l.var()), !l.sign()));
-      }
+      for (Lit l : cube) cnf.addBinary(~sel, rootLit(l));
     }
     cnf.addClause(std::move(atLeastOne));
   }
 
-  problem.projection.reserve(static_cast<size_t>(system.numStateBits()));
-  for (NodeId s : system.stateNodes()) problem.projection.push_back(problem.enc.varOf(s));
+  problem.projection.reserve(te.projection.size());
+  for (Var v : te.projection) problem.projection.push_back(te.base.internalVar(v));
   return problem;
 }
 
 // Builds the circuit-justification model lifter for the lifted-cube engine.
+// The justification machinery speaks the ORIGINAL encoding; internal models
+// are lifted through base.originalModel first (eliminated pure variables get
+// their forced polarity, so the reconstruction is a genuine model of the
+// original formula) and the resulting state cube is translated back (state
+// variables are frozen, so internalLit always succeeds).
 ModelLifter makeJustificationLifter(const TransitionSystem& system, const StateSet& target,
-                                    const SatProblem& problem) {
+                                    const TransitionEncoding& te) {
   const Netlist& nl = system.netlist();
-  return [&system, &target, &problem, &nl](const std::vector<lbool>& model) -> LitVec {
+  return [&system, &target, &te, &nl](const std::vector<lbool>& internalModel) -> LitVec {
+    const std::vector<lbool> model = te.base.originalModel(internalModel);
     // Reconstruct source values from the model (sources outside the encoded
     // cone are irrelevant to the objectives; default them to 0).
     std::vector<bool> sources(nl.numNodes(), false);
     for (NodeId id = 0; id < nl.numNodes(); ++id) {
-      if (isCombinational(nl.type(id)) || !problem.enc.isEncoded(id)) continue;
-      Var v = problem.enc.nodeVar[id];
+      if (isCombinational(nl.type(id)) || !te.enc.isEncoded(id)) continue;
+      Var v = te.enc.nodeVar[id];
       sources[id] = model[static_cast<size_t>(v)].isTrue();
     }
     std::vector<bool> values = Simulator::evaluateOnce(nl, sources);
@@ -125,7 +133,7 @@ ModelLifter makeJustificationLifter(const TransitionSystem& system, const StateS
     LitVec cube;
     for (const NodeAssign& a : sources2) {
       if (!isState[a.first]) continue;
-      cube.push_back(mkLit(problem.enc.varOf(a.first), !a.second));
+      cube.push_back(te.base.internalLit(mkLit(te.enc.varOf(a.first), !a.second)));
     }
     return cube;
   };
@@ -157,6 +165,26 @@ void finishPreimage(PreimageResult& result, const Governor* governor) {
 
 }  // namespace
 
+TransitionEncoding buildTransitionEncoding(const TransitionSystem& system, Governor* governor) {
+  TransitionEncoding te;
+
+  std::vector<NodeId> roots = system.nextStateRoots();
+  // State sources must be encoded even when unused by any next-state cone,
+  // so the projection scope is always the full state space.
+  for (NodeId s : system.stateNodes()) roots.push_back(s);
+  te.enc = encodeCircuit(system.netlist(), roots);
+
+  te.projection.reserve(static_cast<size_t>(system.numStateBits()));
+  for (NodeId s : system.stateNodes()) te.projection.push_back(te.enc.varOf(s));
+
+  // Frozen: the projection scope plus every variable later target clauses
+  // constrain (next-state roots). Input/aux variables stay eliminable.
+  std::vector<Var> frozen = te.projection;
+  for (NodeId root : system.nextStateRoots()) frozen.push_back(te.enc.varOf(root));
+  te.base = preprocessCnf(te.enc.cnf, frozen, governor);
+  return te;
+}
+
 PreimageResult computePreimage(const TransitionSystem& system, const StateSet& target,
                                PreimageMethod method, const PreimageOptions& options) {
   const int n = system.numStateBits();
@@ -169,52 +197,77 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
     TransitionSystem simplified(swept.netlist);
     PreimageOptions inner = options;
     inner.presimplify = false;
+    // Any caller-shared encoding speaks the pre-sweep netlist; the recursive
+    // call builds a fresh one over the simplified system.
+    inner.encoding = nullptr;
     return computePreimage(simplified, target, method, inner);
   }
 
+  // The CNF engines run on the shared (or locally built) preprocessed
+  // encoding, so the per-engine preprocess pass would be a redundant second
+  // round over an already-reduced formula — clear it.
+  std::optional<TransitionEncoding> localEncoding;
+  const TransitionEncoding* te = options.encoding;
+  AllSatOptions satOpts = options.allsat;
+  if (preimageMethodUsesCnf(method)) {
+    if (te == nullptr) {
+      localEncoding = buildTransitionEncoding(system, options.allsat.governor);
+      te = &*localEncoding;
+    }
+    satOpts.preprocess = false;
+  }
+  auto withPreprocessMetrics = [&te](PreimageResult&& r) {
+    exportPreprocessMetrics(te->base.stats, r.metrics);
+    return std::move(r);
+  };
+
   switch (method) {
     case PreimageMethod::kMintermBlocking: {
-      SatProblem problem = buildSatProblem(system, target);
-      if (options.allsat.parallel.enabled()) {
-        return fromAllSat(parallelCnfAllSat(problem.enc.cnf, problem.projection,
-                                            ParallelCnfEngine::kMintermBlocking, {},
-                                            options.allsat),
-                          n);
+      SatProblem problem = buildSatProblem(*te, system, target);
+      if (satOpts.parallel.enabled()) {
+        return withPreprocessMetrics(
+            fromAllSat(parallelCnfAllSat(problem.cnf, problem.projection,
+                                         ParallelCnfEngine::kMintermBlocking, {}, satOpts),
+                       n));
       }
-      return fromAllSat(
-          mintermBlockingAllSat(problem.enc.cnf, problem.projection, options.allsat), n);
+      return withPreprocessMetrics(
+          fromAllSat(mintermBlockingAllSat(problem.cnf, problem.projection, satOpts), n));
     }
     case PreimageMethod::kCubeBlocking: {
-      SatProblem problem = buildSatProblem(system, target);
-      AllSatOptions opts = options.allsat;
+      SatProblem problem = buildSatProblem(*te, system, target);
+      AllSatOptions opts = satOpts;
       opts.liftModels = false;
       if (opts.parallel.enabled()) {
-        return fromAllSat(parallelCnfAllSat(problem.enc.cnf, problem.projection,
-                                            ParallelCnfEngine::kCubeBlocking, {}, opts),
-                          n);
+        return withPreprocessMetrics(
+            fromAllSat(parallelCnfAllSat(problem.cnf, problem.projection,
+                                         ParallelCnfEngine::kCubeBlocking, {}, opts),
+                       n));
       }
-      return fromAllSat(cubeBlockingAllSat(problem.enc.cnf, problem.projection, {}, opts), n);
+      return withPreprocessMetrics(
+          fromAllSat(cubeBlockingAllSat(problem.cnf, problem.projection, {}, opts), n));
     }
     case PreimageMethod::kCubeBlockingLifted: {
-      SatProblem problem = buildSatProblem(system, target);
-      ModelLifter lifter = makeJustificationLifter(system, target, problem);
-      if (options.allsat.parallel.enabled()) {
-        return fromAllSat(parallelCnfAllSat(problem.enc.cnf, problem.projection,
-                                            ParallelCnfEngine::kCubeBlocking, lifter,
-                                            options.allsat),
-                          n);
+      SatProblem problem = buildSatProblem(*te, system, target);
+      ModelLifter lifter = makeJustificationLifter(system, target, *te);
+      if (satOpts.parallel.enabled()) {
+        return withPreprocessMetrics(
+            fromAllSat(parallelCnfAllSat(problem.cnf, problem.projection,
+                                         ParallelCnfEngine::kCubeBlocking, lifter, satOpts),
+                       n));
       }
-      return fromAllSat(
-          cubeBlockingAllSat(problem.enc.cnf, problem.projection, lifter, options.allsat), n);
+      return withPreprocessMetrics(
+          fromAllSat(cubeBlockingAllSat(problem.cnf, problem.projection, lifter, satOpts), n));
     }
     case PreimageMethod::kChrono: {
-      SatProblem problem = buildSatProblem(system, target);
-      if (options.allsat.parallel.enabled()) {
-        return fromAllSat(parallelCnfAllSat(problem.enc.cnf, problem.projection,
-                                            ParallelCnfEngine::kChrono, {}, options.allsat),
-                          n);
+      SatProblem problem = buildSatProblem(*te, system, target);
+      if (satOpts.parallel.enabled()) {
+        return withPreprocessMetrics(fromAllSat(
+            parallelCnfAllSat(problem.cnf, problem.projection, ParallelCnfEngine::kChrono, {},
+                              satOpts),
+            n));
       }
-      return fromAllSat(chronoAllSat(problem.enc.cnf, problem.projection, options.allsat), n);
+      return withPreprocessMetrics(
+          fromAllSat(chronoAllSat(problem.cnf, problem.projection, satOpts), n));
     }
     case PreimageMethod::kSuccessDriven: {
       Timer timer;

@@ -20,6 +20,8 @@
 
 #include "allsat/projection.hpp"
 #include "allsat/solution_graph.hpp"
+#include "circuit/tseitin.hpp"
+#include "cnf/preprocess.hpp"
 #include "preimage/target.hpp"
 #include "preimage/transition_system.hpp"
 
@@ -37,6 +39,10 @@ enum class PreimageMethod {
 
 const char* preimageMethodName(PreimageMethod method);
 
+// True for the engines that solve a CNF encoding of the transition function
+// (and therefore benefit from a shared TransitionEncoding, below).
+bool preimageMethodUsesCnf(PreimageMethod method);
+
 inline constexpr PreimageMethod kAllPreimageMethods[] = {
     PreimageMethod::kMintermBlocking, PreimageMethod::kCubeBlocking,
     PreimageMethod::kCubeBlockingLifted, PreimageMethod::kSuccessDriven,
@@ -44,12 +50,36 @@ inline constexpr PreimageMethod kAllPreimageMethods[] = {
     PreimageMethod::kBddRelational,
 };
 
+// Target-independent, shareable encoding of a transition system for the CNF
+// preimage engines: the Tseitin encoding of the next-state cones (original
+// numbering) plus the one-shot preprocessed base formula (cnf/preprocess.hpp)
+// with the state and next-state-root variables frozen. Per-query target
+// clauses are added on a copy of `base.cnf` (translated through
+// base.internalLit), so frontier loops (reachability/safety) and the
+// presat_serve context pool pay for encoding + preprocessing once per
+// circuit instead of once per query.
+struct TransitionEncoding {
+  CircuitEncoding enc;          // roots = next-state roots + state nodes
+  PreprocessedCnf base;         // preprocessed enc.cnf, internal numbering
+  std::vector<Var> projection;  // ORIGINAL cnf var of state bit i
+};
+
+// `governor` is only consulted by the cnf.preprocess fault site (may be
+// null). Deterministic in `system`.
+TransitionEncoding buildTransitionEncoding(const TransitionSystem& system,
+                                           Governor* governor = nullptr);
+
 struct PreimageOptions {
   AllSatOptions allsat;
   // Run the structural-hashing / constant sweep (circuit/strash.hpp) on the
   // netlist before encoding. State-bit order is preserved, so results are
   // identical; the SAT engines then solve a smaller formula.
   bool presimplify = false;
+  // Shared per-circuit encoding, built with buildTransitionEncoding on the
+  // SAME TransitionSystem this query runs on. Null (the default) builds one
+  // locally per query. Not owned; must outlive the call. Ignored by the
+  // success-driven and BDD engines (they work on the netlist directly).
+  const TransitionEncoding* encoding = nullptr;
 };
 
 struct PreimageResult {

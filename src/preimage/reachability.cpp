@@ -60,6 +60,16 @@ ReachabilityResult backwardReach(const TransitionSystem& system, const StateSet&
   // counts against the memory budget, and a trip unwinds via GovernorStop to
   // the catch below with `reached` still holding its last consistent value.
   Governor* governor = options.allsat.governor;
+
+  // One circuit encoding + preprocessing pass for the whole frontier loop:
+  // every depth's CNF query instantiates the same preprocessed base formula.
+  std::optional<TransitionEncoding> sharedEncoding;
+  PreimageOptions preOptions = options;
+  if (!options.presimplify && options.encoding == nullptr && preimageMethodUsesCnf(method)) {
+    sharedEncoding = buildTransitionEncoding(system, governor);
+    preOptions.encoding = &*sharedEncoding;
+  }
+
   Timer algebra;
   BddManager mgr(n);
   mgr.setGovernor(governor);
@@ -81,7 +91,7 @@ ReachabilityResult backwardReach(const TransitionSystem& system, const StateSet&
       frontierSet.cubes = mgr.enumerateCubes(frontier);
       double stepAlgebra = algebra.seconds();
 
-      PreimageResult pre = computePreimage(system, frontierSet, method, options);
+      PreimageResult pre = computePreimage(system, frontierSet, method, preOptions);
 
       algebra.reset();
       BddRef preBdd = pre.states.toBdd(mgr);

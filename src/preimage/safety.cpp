@@ -105,6 +105,16 @@ SafetyResult checkSafety(const TransitionSystem& system, const StateSet& initial
   // unwinds via GovernorStop to the catch below, and the verdict degrades to
   // kUnknown with the backward sets accumulated so far.
   Governor* governor = options.preimage.allsat.governor;
+
+  // One circuit encoding + preprocessing pass for the whole backward sweep.
+  std::optional<TransitionEncoding> sharedEncoding;
+  SafetyOptions safeOptions = options;
+  if (!options.preimage.presimplify && options.preimage.encoding == nullptr &&
+      preimageMethodUsesCnf(options.method)) {
+    sharedEncoding = buildTransitionEncoding(system, governor);
+    safeOptions.preimage.encoding = &*sharedEncoding;
+  }
+
   BddManager mgr(n);
   mgr.setGovernor(governor);
   BddRef initBdd = BddManager::kFalse;
@@ -137,7 +147,8 @@ SafetyResult checkSafety(const TransitionSystem& system, const StateSet& initial
       }
       ++depth;
       StateSet frontierSet = snapshot(frontier);
-      PreimageResult pre = computePreimage(system, frontierSet, options.method, options.preimage);
+      PreimageResult pre =
+          computePreimage(system, frontierSet, options.method, safeOptions.preimage);
       BddRef preBdd = pre.states.toBdd(mgr);
       frontier = mgr.bddAnd(preBdd, mgr.bddNot(reached));
       reached = mgr.bddOr(reached, preBdd);

@@ -1,0 +1,91 @@
+#include "sat/clause_arena.hpp"
+
+#include <cstdlib>
+
+namespace presat {
+
+ClauseArena::~ClauseArena() {
+  // presat-analyze: raw-alloc(the arena IS the charged allocation layer: it
+  // owns one raw word buffer, every clause inside it is charged to the
+  // solver's MemoryLedger per clauseBytes, and realloc-based growth is the
+  // point — unique_ptr arrays cannot grow in place)
+  std::free(data_);
+}
+
+ClauseArena& ClauseArena::operator=(ClauseArena&& other) noexcept {
+  if (this != &other) {
+    // presat-analyze: raw-alloc(releases the buffer this arena owned before
+    // stealing the other arena's; see the destructor waiver)
+    std::free(data_);
+    data_ = other.data_;
+    size_ = other.size_;
+    cap_ = other.cap_;
+    wasted_ = other.wasted_;
+    other.data_ = nullptr;
+    other.size_ = other.cap_ = other.wasted_ = 0;
+  }
+  return *this;
+}
+
+void ClauseArena::grow(uint32_t minCapacity) {
+  uint32_t newCap = cap_ == 0 ? 1024 * 1024 / sizeof(uint32_t) : cap_;
+  while (newCap < minCapacity) {
+    PRESAT_CHECK(newCap <= (kNullClauseRef >> 1)) << "clause arena exceeds 2^31 words";
+    newCap *= 2;
+  }
+  // presat-analyze: raw-alloc(single growth point of the arena's word buffer;
+  // clause bytes inside it are governor-charged by the solver)
+  auto* grown = static_cast<uint32_t*>(std::realloc(data_, newCap * sizeof(uint32_t)));
+  PRESAT_CHECK(grown != nullptr) << "clause arena allocation failed";
+  data_ = grown;
+  cap_ = newCap;
+}
+
+void ClauseArena::reserveWords(uint32_t words) {
+  if (words > cap_) grow(words);
+}
+
+ClauseRef ClauseArena::alloc(const Lit* lits, uint32_t size, bool learnt) {
+  PRESAT_DCHECK(size >= 1 && size <= kSizeMask);
+  uint32_t header = size | (learnt ? kLearntBit : 0);
+  uint32_t words = clauseWords(header);
+  if (size_ + words > cap_) grow(size_ + words);
+  ClauseRef ref = size_;
+  size_ += words;
+  data_[ref] = header;
+  if (learnt) {
+    data_[ref + 1] = 0;  // lbd
+    data_[ref + 2] = 0;  // activity (0.0f bit pattern)
+  }
+  std::memcpy(data_ + ref + litOffset(header), lits, size * sizeof(Lit));
+  return ref;
+}
+
+// presat-analyze: raw-alloc(definition of the arena's own free() member —
+// dead-bit marking inside the charged word buffer, no libc involved)
+void ClauseArena::free(ClauseRef ref) {
+  uint32_t& h = header(ref);
+  PRESAT_DCHECK((h & kDeadBit) == 0) << "double free of arena clause";
+  h |= kDeadBit;
+  wasted_ += clauseWords(h);
+}
+
+void ClauseArena::reloc(ClauseRef& ref, ClauseArena& to) {
+  uint32_t h = header(ref);
+  if ((h & kRelocedBit) != 0) {
+    ref = data_[ref + 1];
+    return;
+  }
+  PRESAT_DCHECK((h & kDeadBit) == 0) << "relocating a freed clause";
+  ClauseRef moved = to.alloc(lits(ref), h & kSizeMask, (h & kLearntBit) != 0);
+  to.header(moved) = h & ~kRelocedBit;  // preserve used bit
+  if ((h & kLearntBit) != 0) {
+    to.data_[moved + 1] = data_[ref + 1];
+    to.data_[moved + 2] = data_[ref + 2];
+  }
+  header(ref) = h | kRelocedBit;
+  data_[ref + 1] = moved;
+  ref = moved;
+}
+
+}  // namespace presat

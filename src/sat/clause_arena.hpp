@@ -1,0 +1,146 @@
+// Arena clause storage for the CDCL solver.
+//
+// Clauses live in one contiguous word array and are addressed by 32-bit word
+// offsets (ClauseRef) instead of pointers. This halves the watcher size,
+// makes clause headers and literals cache-adjacent, and allows stop-the-world
+// compaction: freed clauses only mark their span as wasted, and when the
+// waste fraction crosses a threshold the solver relocates every live clause
+// into a fresh arena (MiniSat RegionAllocator style, with forwarding refs so
+// multiply-referenced clauses relocate exactly once).
+//
+// Layout per clause (32-bit words):
+//
+//   [header] ( [lbd] [activity] )  [lit 0] [lit 1] ... [lit size-1]
+//              \__ learnt only __/
+//
+//   header bits 0..27  size (literal count)
+//   header bit  28     learnt
+//   header bit  29     used   — touched by conflict analysis since the last
+//                               reduceDB sweep (second-chance retention)
+//   header bit  30     reloced — word 1 holds the forwarding ClauseRef
+//   header bit  31     dead   — freed; the span is wasted until compaction
+//
+// The arena does NOT charge a MemoryLedger itself: the solver charges
+// clauseBytes(ref) per live clause on alloc/free, exactly as the previous
+// per-clause heap allocation did, so the governor's tracked-byte pool sees
+// the same live-clause accounting across the representation change.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "base/check.hpp"
+#include "base/types.hpp"
+
+namespace presat {
+
+using ClauseRef = uint32_t;
+constexpr ClauseRef kNullClauseRef = 0xFFFFFFFFu;
+
+class ClauseArena {
+ public:
+  ClauseArena() = default;
+  ~ClauseArena();
+
+  ClauseArena(const ClauseArena&) = delete;
+  ClauseArena& operator=(const ClauseArena&) = delete;
+  ClauseArena(ClauseArena&& other) noexcept { *this = static_cast<ClauseArena&&>(other); }
+  ClauseArena& operator=(ClauseArena&& other) noexcept;
+
+  // Allocates a clause holding `size` literals. LBD and activity start at 0;
+  // the caller stamps them after allocation.
+  ClauseRef alloc(const Lit* lits, uint32_t size, bool learnt);
+
+  // Marks the clause dead and its span wasted. The header stays readable
+  // (size/learnt/dead) until the next compaction, which is what lets callers
+  // batch-sweep their ref lists after a bulk free.
+  // presat-analyze: raw-alloc(declaration of the arena's own free() member —
+  // it marks a span dead inside the charged word buffer, no libc involved)
+  void free(ClauseRef ref);
+
+  // Relocates the clause behind `ref` into `to` (first visit copies, later
+  // visits follow the forwarding ref) and rewrites `ref` in place.
+  void reloc(ClauseRef& ref, ClauseArena& to);
+
+  // Pre-sizes the backing store (words). Used by compaction to build the
+  // target arena in one allocation.
+  void reserveWords(uint32_t words);
+
+  uint32_t size(ClauseRef r) const { return header(r) & kSizeMask; }
+  bool learnt(ClauseRef r) const { return (header(r) & kLearntBit) != 0; }
+  bool dead(ClauseRef r) const { return (header(r) & kDeadBit) != 0; }
+
+  bool used(ClauseRef r) const { return (header(r) & kUsedBit) != 0; }
+  void setUsed(ClauseRef r, bool on) {
+    if (on) {
+      header(r) |= kUsedBit;
+    } else {
+      header(r) &= ~kUsedBit;
+    }
+  }
+
+  uint32_t lbd(ClauseRef r) const {
+    PRESAT_DCHECK(learnt(r));
+    return data_[r + 1];
+  }
+  void setLbd(ClauseRef r, uint32_t lbd) {
+    PRESAT_DCHECK(learnt(r));
+    data_[r + 1] = lbd;
+  }
+
+  float activity(ClauseRef r) const {
+    PRESAT_DCHECK(learnt(r));
+    float a;
+    std::memcpy(&a, &data_[r + 2], sizeof(a));
+    return a;
+  }
+  void setActivity(ClauseRef r, float a) {
+    PRESAT_DCHECK(learnt(r));
+    std::memcpy(&data_[r + 2], &a, sizeof(a));
+  }
+
+  Lit* lits(ClauseRef r) { return reinterpret_cast<Lit*>(data_ + r + litOffset(header(r))); }
+  const Lit* lits(ClauseRef r) const {
+    return reinterpret_cast<const Lit*>(data_ + r + litOffset(header(r)));
+  }
+  Lit lit(ClauseRef r, uint32_t i) const { return lits(r)[i]; }
+
+  // Resident bytes of one clause — the unit the solver charges against the
+  // governor's tracked-byte pool.
+  uint64_t clauseBytes(ClauseRef r) const {
+    return static_cast<uint64_t>(clauseWords(header(r))) * sizeof(uint32_t);
+  }
+
+  uint32_t sizeWords() const { return size_; }
+  uint32_t wastedWords() const { return wasted_; }
+
+ private:
+  static constexpr uint32_t kSizeMask = (1u << 28) - 1;
+  static constexpr uint32_t kLearntBit = 1u << 28;
+  static constexpr uint32_t kUsedBit = 1u << 29;
+  static constexpr uint32_t kRelocedBit = 1u << 30;
+  static constexpr uint32_t kDeadBit = 1u << 31;
+
+  static uint32_t litOffset(uint32_t header) { return (header & kLearntBit) != 0 ? 3 : 1; }
+  static uint32_t clauseWords(uint32_t header) {
+    return litOffset(header) + (header & kSizeMask);
+  }
+
+  uint32_t& header(ClauseRef r) {
+    PRESAT_DCHECK(r < size_);
+    return data_[r];
+  }
+  uint32_t header(ClauseRef r) const {
+    PRESAT_DCHECK(r < size_);
+    return data_[r];
+  }
+
+  void grow(uint32_t minCapacity);
+
+  uint32_t* data_ = nullptr;
+  uint32_t size_ = 0;    // words in use
+  uint32_t cap_ = 0;     // words allocated
+  uint32_t wasted_ = 0;  // words behind dead clauses
+};
+
+}  // namespace presat

@@ -5,7 +5,6 @@
 
 #include "base/check.hpp"
 #include "govern/faults.hpp"
-#include "sat/solver_internal.hpp"
 
 namespace presat {
 
@@ -26,6 +25,19 @@ double luby(double y, int x) {
 
 constexpr double kRestartBase = 100.0;
 
+// Learnt clauses with LBD at or below this are "glue": kept forever, like
+// binaries. Two is the classic Glucose threshold — a glue clause bridges
+// exactly one pair of decision levels.
+constexpr uint32_t kGlueLbd = 2;
+
+// Conflict-cadence reduceDB schedule (Glucose style): the first sweep after
+// this many conflicts in a call, each subsequent interval stretched by the
+// increment. The size trigger (maxLearnts_) alone is not enough — its
+// per-restart growth outruns the Luby schedule on long single calls, so
+// without a cadence a hard solve would never reduce at all.
+constexpr uint64_t kReduceDBFirst = 2000;
+constexpr uint64_t kReduceDBInc = 300;
+
 }  // namespace
 
 Solver::Solver() = default;
@@ -39,8 +51,11 @@ Var Solver::newVar() {
   Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(l_Undef);
   polarity_.push_back(false);
+  polaritySeeded_.push_back(0);
+  occPos_.push_back(0);
+  occNeg_.push_back(0);
   decision_.push_back(true);
-  reason_.push_back(nullptr);
+  reason_.push_back(kNullClauseRef);
   level_.push_back(0);
   activity_.push_back(0.0);
   heapIndex_.push_back(-1);
@@ -72,16 +87,27 @@ bool Solver::addClause(const LitVec& lits) {
     if (!v.isFalse()) cleaned.push_back(c[i]);
   }
 
+  // Occurrence-count polarity priors: decide a fresh variable toward the
+  // polarity its clauses mention more often (phase saving takes over once
+  // the search has assigned it at least once).
+  for (Lit l : cleaned) {
+    if (l.sign()) {
+      ++occNeg_[static_cast<size_t>(l.var())];
+    } else {
+      ++occPos_[static_cast<size_t>(l.var())];
+    }
+  }
+
   if (cleaned.empty()) {
     ok_ = false;
     return false;
   }
   if (cleaned.size() == 1) {
-    uncheckedEnqueue(cleaned[0], nullptr);
-    ok_ = (propagate() == nullptr);
+    uncheckedEnqueue(cleaned[0], kNullClauseRef);
+    ok_ = (propagate() == kNullClauseRef);
     return ok_;
   }
-  InternalClause* clause = allocClause(cleaned, /*learnt=*/false);
+  ClauseRef clause = allocClause(cleaned, /*learnt=*/false);
   attachClause(clause);
   return true;
 }
@@ -94,14 +120,11 @@ bool Solver::addCnf(const Cnf& cnf) {
   return true;
 }
 
-Solver::InternalClause* Solver::allocClause(const LitVec& lits, bool learnt) {
-  auto clause = std::make_unique<InternalClause>();
-  clause->lits = lits;
-  clause->learnt = learnt;
-  InternalClause* raw = clause.get();
-  clauses_.push_back(std::move(clause));
+ClauseRef Solver::allocClause(const LitVec& lits, bool learnt) {
+  ClauseRef clause = arena_.alloc(lits.data(), static_cast<uint32_t>(lits.size()), learnt);
+  clauses_.push_back(clause);
   if (governor_ != nullptr) {
-    arenaLedger_.charge(clauseBytes(*raw));
+    arenaLedger_.charge(arena_.clauseBytes(clause));
     // Injected allocation failure: modeled as hitting the memory ceiling —
     // the trip latches and the search unwinds at its next poll.
     if (faults::maybeFail("sat.alloc")) governor_->trip(Outcome::kMemory);
@@ -113,18 +136,20 @@ Solver::InternalClause* Solver::allocClause(const LitVec& lits, bool learnt) {
     ++numOriginal_;
   }
   stats_.dbClausesPeak = std::max<uint64_t>(stats_.dbClausesPeak, clauses_.size());
-  return raw;
+  return clause;
 }
 
-void Solver::attachClause(InternalClause* c) {
-  PRESAT_DCHECK(c->lits.size() >= 2);
-  watches_[static_cast<size_t>((~c->lits[0]).code())].push_back({c, c->lits[1]});
-  watches_[static_cast<size_t>((~c->lits[1]).code())].push_back({c, c->lits[0]});
+void Solver::attachClause(ClauseRef c) {
+  PRESAT_DCHECK(arena_.size(c) >= 2);
+  const Lit* lits = arena_.lits(c);
+  watches_[static_cast<size_t>((~lits[0]).code())].push_back({c, lits[1]});
+  watches_[static_cast<size_t>((~lits[1]).code())].push_back({c, lits[0]});
 }
 
-void Solver::detachClause(InternalClause* c) {
+void Solver::detachClause(ClauseRef c) {
+  const Lit* lits = arena_.lits(c);
   for (int w = 0; w < 2; ++w) {
-    auto& list = watches_[static_cast<size_t>((~c->lits[w]).code())];
+    auto& list = watches_[static_cast<size_t>((~lits[w]).code())];
     for (size_t i = 0; i < list.size(); ++i) {
       if (list[i].clause == c) {
         list[i] = list.back();
@@ -135,13 +160,9 @@ void Solver::detachClause(InternalClause* c) {
   }
 }
 
-bool Solver::locked(const InternalClause* c) const {
-  Var v = c->lits[0].var();
-  return reason_[static_cast<size_t>(v)] == c && value(c->lits[0]).isTrue();
-}
-
-uint64_t Solver::clauseBytes(const InternalClause& c) {
-  return sizeof(InternalClause) + c.lits.capacity() * sizeof(Lit);
+bool Solver::locked(ClauseRef c) const {
+  Lit first = arena_.lit(c, 0);
+  return reason_[static_cast<size_t>(first.var())] == c && value(first).isTrue();
 }
 
 void Solver::setGovernor(Governor* governor) {
@@ -150,35 +171,67 @@ void Solver::setGovernor(Governor* governor) {
   if (governor != nullptr) {
     // Clauses added before attach (the original problem) join the pool too,
     // so the ceiling covers the whole arena, not just post-attach growth.
-    for (const auto& c : clauses_) arenaLedger_.charge(clauseBytes(*c));
+    for (ClauseRef c : clauses_) arenaLedger_.charge(arena_.clauseBytes(c));
   }
 }
 
-void Solver::removeClause(InternalClause* c) {
-  if (governor_ != nullptr) arenaLedger_.release(clauseBytes(*c));
+void Solver::removeClause(ClauseRef c) {
+  if (governor_ != nullptr) arenaLedger_.release(arena_.clauseBytes(c));
   detachClause(c);
-  if (locked(c)) reason_[static_cast<size_t>(c->lits[0].var())] = nullptr;
-  if (c->learnt) {
+  if (locked(c)) reason_[static_cast<size_t>(arena_.lit(c, 0).var())] = kNullClauseRef;
+  if (arena_.learnt(c)) {
     --numLearnts_;
     ++stats_.deletedClauses;
   } else {
     --numOriginal_;
   }
+  arena_.free(c);
+}
+
+void Solver::sweepDeadClauses() {
+  size_t j = 0;
   for (size_t i = 0; i < clauses_.size(); ++i) {
-    if (clauses_[i].get() == c) {
-      clauses_[i] = std::move(clauses_.back());
-      clauses_.pop_back();
-      return;
-    }
+    if (!arena_.dead(clauses_[i])) clauses_[j++] = clauses_[i];
   }
-  PRESAT_CHECK(false) << "removeClause: clause not found";
+  clauses_.resize(j);
+}
+
+void Solver::maybeGarbageCollect() {
+  // A quarter of the arena behind freed clauses triggers compaction — rare
+  // enough to amortize, frequent enough that the resident set tracks the
+  // live clause database instead of its high-water mark.
+  if (arena_.wastedWords() * 4 > arena_.sizeWords()) garbageCollect();
+}
+
+void Solver::garbageCollect() {
+  ++stats_.arenaCompactions;
+  // Injected compaction failure: modeled as hitting the memory ceiling. The
+  // compaction itself still completes (the arena stays consistent); the trip
+  // latches and the search unwinds at its next governor poll.
+  if (faults::maybeFail("sat.arena.compact") && governor_ != nullptr) {
+    governor_->trip(Outcome::kMemory);
+  }
+  ClauseArena to;
+  to.reserveWords(arena_.sizeWords() - arena_.wastedWords());
+  // clauses_ relocates first so the new arena preserves insertion order —
+  // together with the index tie-break in reduceDB this keeps every retention
+  // decision independent of when compactions happen.
+  for (ClauseRef& c : clauses_) arena_.reloc(c, to);
+  for (ClauseRef& c : enumUnitReasons_) arena_.reloc(c, to);
+  for (auto& list : watches_) {
+    for (Watcher& w : list) arena_.reloc(w.clause, to);
+  }
+  for (ClauseRef& r : reason_) {
+    if (r != kNullClauseRef) arena_.reloc(r, to);
+  }
+  arena_ = std::move(to);
 }
 
 // ---------------------------------------------------------------------------
 // Trail & propagation
 // ---------------------------------------------------------------------------
 
-void Solver::uncheckedEnqueue(Lit l, InternalClause* from) {
+void Solver::uncheckedEnqueue(Lit l, ClauseRef from) {
   size_t v = static_cast<size_t>(l.var());
   PRESAT_DCHECK(assigns_[v].isUndef());
   assigns_[v] = lbool(!l.sign());
@@ -187,8 +240,8 @@ void Solver::uncheckedEnqueue(Lit l, InternalClause* from) {
   trail_.push_back(l);
 }
 
-Solver::InternalClause* Solver::propagate() {
-  InternalClause* conflict = nullptr;
+ClauseRef Solver::propagate() {
+  ClauseRef conflict = kNullClauseRef;
   while (qhead_ < static_cast<int>(trail_.size())) {
     Lit p = trail_[static_cast<size_t>(qhead_++)];
     ++stats_.propagations;
@@ -200,23 +253,25 @@ Solver::InternalClause* Solver::propagate() {
         ws[j++] = ws[i++];
         continue;
       }
-      InternalClause& c = *w.clause;
+      ClauseRef cref = w.clause;
+      Lit* lits = arena_.lits(cref);
       ++i;
       Lit falseLit = ~p;
-      if (c.lits[0] == falseLit) std::swap(c.lits[0], c.lits[1]);
-      PRESAT_DCHECK(c.lits[1] == falseLit);
-      Lit first = c.lits[0];
-      Watcher keep{&c, first};
+      if (lits[0] == falseLit) std::swap(lits[0], lits[1]);
+      PRESAT_DCHECK(lits[1] == falseLit);
+      Lit first = lits[0];
+      Watcher keep{cref, first};
       if (first != w.blocker && value(first).isTrue()) {
         ws[j++] = keep;
         continue;
       }
       // Find a new literal to watch.
+      const uint32_t size = arena_.size(cref);
       bool rewatched = false;
-      for (size_t k = 2; k < c.lits.size(); ++k) {
-        if (!value(c.lits[k]).isFalse()) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[static_cast<size_t>((~c.lits[1]).code())].push_back(keep);
+      for (uint32_t k = 2; k < size; ++k) {
+        if (!value(lits[k]).isFalse()) {
+          std::swap(lits[1], lits[k]);
+          watches_[static_cast<size_t>((~lits[1]).code())].push_back(keep);
           rewatched = true;
           break;
         }
@@ -225,15 +280,15 @@ Solver::InternalClause* Solver::propagate() {
       // Clause is unit or conflicting under the current assignment.
       ws[j++] = keep;
       if (value(first).isFalse()) {
-        conflict = &c;
+        conflict = cref;
         qhead_ = static_cast<int>(trail_.size());
         while (i < ws.size()) ws[j++] = ws[i++];
       } else {
-        uncheckedEnqueue(first, &c);
+        uncheckedEnqueue(first, cref);
       }
     }
     ws.resize(j);
-    if (conflict) break;
+    if (conflict != kNullClauseRef) break;
   }
   return conflict;
 }
@@ -244,8 +299,9 @@ void Solver::cancelUntil(int targetLevel) {
   for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
     size_t v = static_cast<size_t>(trail_[static_cast<size_t>(i)].var());
     polarity_[v] = assigns_[v].isTrue();  // phase saving
+    polaritySeeded_[v] = 1;
     assigns_[v] = l_Undef;
-    reason_[v] = nullptr;
+    reason_[v] = kNullClauseRef;
     insertVarOrder(static_cast<Var>(v));
   }
   trail_.resize(static_cast<size_t>(bound));
@@ -258,7 +314,24 @@ void Solver::cancelUntil(int targetLevel) {
 // Conflict analysis
 // ---------------------------------------------------------------------------
 
-void Solver::analyze(InternalClause* conflict, LitVec& outLearnt, int& outBtLevel) {
+uint32_t Solver::computeLbd(const LitVec& lits) {
+  ++lbdStampGen_;
+  uint32_t distinct = 0;
+  for (Lit l : lits) {
+    int lvl = level_[static_cast<size_t>(l.var())];
+    if (lvl <= 0) continue;
+    if (lbdStamp_.size() <= static_cast<size_t>(lvl)) {
+      lbdStamp_.resize(static_cast<size_t>(lvl) + 1, 0);
+    }
+    if (lbdStamp_[static_cast<size_t>(lvl)] != lbdStampGen_) {
+      lbdStamp_[static_cast<size_t>(lvl)] = lbdStampGen_;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
+void Solver::analyze(ClauseRef conflict, LitVec& outLearnt, int& outBtLevel) {
   auto abstractLevel = [this](Var v) -> uint32_t {
     return 1u << (level_[static_cast<size_t>(v)] & 31);
   };
@@ -268,14 +341,21 @@ void Solver::analyze(InternalClause* conflict, LitVec& outLearnt, int& outBtLeve
   int pathCount = 0;
   Lit p = kUndefLit;
   int index = static_cast<int>(trail_.size()) - 1;
-  InternalClause* reasonClause = conflict;
+  ClauseRef reasonClause = conflict;
 
   do {
-    PRESAT_DCHECK(reasonClause != nullptr);
-    if (reasonClause->learnt) claBumpActivity(*reasonClause);
-    size_t start = (p == kUndefLit) ? 0 : 1;
-    for (size_t j = start; j < reasonClause->lits.size(); ++j) {
-      Lit q = reasonClause->lits[j];
+    PRESAT_DCHECK(reasonClause != kNullClauseRef);
+    if (arena_.learnt(reasonClause)) {
+      claBumpActivity(reasonClause);
+      // Used-recently bit: a learnt clause that participates in conflict
+      // analysis earns one round of immunity in the next reduceDB sweep.
+      arena_.setUsed(reasonClause, true);
+    }
+    const Lit* lits = arena_.lits(reasonClause);
+    const uint32_t size = arena_.size(reasonClause);
+    uint32_t start = (p == kUndefLit) ? 0 : 1;
+    for (uint32_t j = start; j < size; ++j) {
+      Lit q = lits[j];
       size_t v = static_cast<size_t>(q.var());
       if (!seen_[v] && level_[v] > 0) {
         varBumpActivity(q.var());
@@ -303,7 +383,7 @@ void Solver::analyze(InternalClause* conflict, LitVec& outLearnt, int& outBtLeve
   for (size_t i = 1; i < outLearnt.size(); ++i) levels |= abstractLevel(outLearnt[i].var());
   size_t i, j;
   for (i = j = 1; i < outLearnt.size(); ++i) {
-    if (reason_[static_cast<size_t>(outLearnt[i].var())] == nullptr ||
+    if (reason_[static_cast<size_t>(outLearnt[i].var())] == kNullClauseRef ||
         !litRedundant(outLearnt[i], levels)) {
       outLearnt[j++] = outLearnt[i];
     }
@@ -339,13 +419,15 @@ bool Solver::litRedundant(Lit p, uint32_t abstractLevels) {
   while (!analyzeStack_.empty()) {
     Lit q = analyzeStack_.back();
     analyzeStack_.pop_back();
-    InternalClause* c = reason_[static_cast<size_t>(q.var())];
-    PRESAT_DCHECK(c != nullptr);
-    for (size_t k = 1; k < c->lits.size(); ++k) {
-      Lit l = c->lits[k];
+    ClauseRef c = reason_[static_cast<size_t>(q.var())];
+    PRESAT_DCHECK(c != kNullClauseRef);
+    const Lit* lits = arena_.lits(c);
+    const uint32_t size = arena_.size(c);
+    for (uint32_t k = 1; k < size; ++k) {
+      Lit l = lits[k];
       size_t v = static_cast<size_t>(l.var());
       if (!seen_[v] && level_[v] > 0) {
-        if (reason_[v] != nullptr && (abstractLevel(l.var()) & abstractLevels) != 0) {
+        if (reason_[v] != kNullClauseRef && (abstractLevel(l.var()) & abstractLevels) != 0) {
           seen_[v] = 1;
           analyzeStack_.push_back(l);
           analyzeToClear_.push_back(l);
@@ -371,14 +453,16 @@ void Solver::analyzeFinal(Lit p, LitVec& outCore) {
     Var x = trail_[static_cast<size_t>(i)].var();
     size_t xv = static_cast<size_t>(x);
     if (!seen_[xv]) continue;
-    if (reason_[xv] == nullptr) {
+    if (reason_[xv] == kNullClauseRef) {
       PRESAT_DCHECK(level_[xv] > 0);
       outCore.push_back(~trail_[static_cast<size_t>(i)]);
     } else {
-      const InternalClause* c = reason_[xv];
-      for (size_t k = 1; k < c->lits.size(); ++k) {
-        if (level_[static_cast<size_t>(c->lits[k].var())] > 0)
-          seen_[static_cast<size_t>(c->lits[k].var())] = 1;
+      ClauseRef c = reason_[xv];
+      const Lit* lits = arena_.lits(c);
+      const uint32_t size = arena_.size(c);
+      for (uint32_t k = 1; k < size; ++k) {
+        if (level_[static_cast<size_t>(lits[k].var())] > 0)
+          seen_[static_cast<size_t>(lits[k].var())] = 1;
       }
     }
     seen_[xv] = 0;
@@ -400,11 +484,12 @@ void Solver::varBumpActivity(Var v) {
   if (heapContains(v)) heapPercolateUp(heapIndex_[idx]);
 }
 
-void Solver::claBumpActivity(InternalClause& c) {
-  c.activity += claInc_;
-  if (c.activity > 1e20) {
-    for (auto& cl : clauses_) {
-      if (cl->learnt) cl->activity *= 1e-20;
+void Solver::claBumpActivity(ClauseRef c) {
+  float bumped = arena_.activity(c) + static_cast<float>(claInc_);
+  arena_.setActivity(c, bumped);
+  if (bumped > 1e20f) {
+    for (ClauseRef cl : clauses_) {
+      if (arena_.learnt(cl)) arena_.setActivity(cl, arena_.activity(cl) * 1e-20f);
     }
     claInc_ *= 1e-20;
   }
@@ -494,7 +579,7 @@ Lit Solver::pickBranchLit() {
       if (!assigns_[idx].isUndef() || !decision_[idx]) continue;
       if (next == kNullVar || activity_[idx] > activity_[static_cast<size_t>(next)]) next = v;
     }
-    if (next != kNullVar) return mkLit(next, !polarity_[static_cast<size_t>(next)]);
+    if (next != kNullVar) return mkLit(next, !decisionPhase(next));
   }
   if (randomFreq_ > 0 && !heap_.empty() && randomReal() < randomFreq_) {
     Var cand = heap_[static_cast<size_t>(randState_ % heap_.size())];
@@ -506,48 +591,83 @@ Lit Solver::pickBranchLit() {
     if (heap_.empty()) return kUndefLit;
     next = heapRemoveMax();
   }
-  return mkLit(next, !polarity_[static_cast<size_t>(next)]);
+  return mkLit(next, !decisionPhase(next));
 }
 
 void Solver::reduceDB() {
-  // Collect learnt clauses, keep the most active half (always keep binaries
-  // and locked clauses).
+  // LBD-tiered retention: glue clauses (lbd <= 2) and binaries are immortal,
+  // locked clauses are pinned by the trail, and clauses used in conflict
+  // analysis since the last sweep die only after every unused candidate has
+  // (the used bit is cleared so they must earn that rank again). Candidates
+  // die worst-first — unused before used, then highest LBD, then lowest
+  // activity, then youngest — up to half of the learnt database. The target
+  // deliberately counts used clauses: an absolute one-round immunity lets
+  // the live set balloon under incremental enumeration, where nearly every
+  // learnt participates in some conflict between sweeps, and the longer
+  // watch lists show up directly as propagation time.
   ++stats_.reduceDBs;
-  std::vector<InternalClause*> learnts;
-  for (auto& c : clauses_) {
-    if (c->learnt) learnts.push_back(c.get());
+  nextReduceConflicts_ = stats_.conflicts + kReduceDBFirst + kReduceDBInc * stats_.reduceDBs;
+  struct Candidate {
+    ClauseRef ref;
+    uint32_t lbd;
+    float activity;
+    uint32_t index;  // position in clauses_ = insertion age (deterministic)
+    bool used;
+  };
+  std::vector<Candidate> candidates;
+  size_t learnts = 0;
+  for (uint32_t idx = 0; idx < clauses_.size(); ++idx) {
+    ClauseRef c = clauses_[idx];
+    if (!arena_.learnt(c)) continue;
+    ++learnts;
+    if (arena_.size(c) <= 2 || arena_.lbd(c) <= kGlueLbd || locked(c)) continue;
+    bool used = arena_.used(c);
+    if (used) arena_.setUsed(c, false);
+    candidates.push_back({c, arena_.lbd(c), arena_.activity(c), idx, used});
   }
-  std::sort(learnts.begin(), learnts.end(), [](const InternalClause* a, const InternalClause* b) {
-    if ((a->lits.size() > 2) != (b->lits.size() > 2)) return a->lits.size() > 2;
-    return a->activity < b->activity;
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.used != b.used) return !a.used;
+    if (a.lbd != b.lbd) return a.lbd > b.lbd;
+    if (a.activity != b.activity) return a.activity < b.activity;
+    return a.index > b.index;
   });
-  double extraLim = claInc_ / std::max<size_t>(learnts.size(), 1);
+  size_t target = learnts / 2;
   size_t removed = 0;
-  for (size_t k = 0; k < learnts.size(); ++k) {
-    InternalClause* c = learnts[k];
-    if (c->lits.size() <= 2 || locked(c)) continue;
-    bool inFirstHalf = k < learnts.size() / 2;
-    if (inFirstHalf || c->activity < extraLim) {
-      removeClause(c);
-      ++removed;
-      if (removed >= learnts.size() / 2) break;
-    }
+  for (const Candidate& cand : candidates) {
+    if (removed >= target) break;
+    removeClause(cand.ref);
+    ++removed;
   }
+  if (removed > 0) sweepDeadClauses();
+  maybeGarbageCollect();
 }
 
 void Solver::removeSatisfiedAtLevelZero() {
   PRESAT_DCHECK(decisionLevel() == 0);
-  std::vector<InternalClause*> toRemove;
-  for (auto& c : clauses_) {
-    if (!c->learnt) continue;  // keep originals for incremental correctness
-    for (Lit l : c->lits) {
-      if (value(l).isTrue()) {
-        toRemove.push_back(c.get());
+  bool any = false;
+  for (ClauseRef c : clauses_) {
+    if (!arena_.learnt(c)) continue;  // keep originals for incremental correctness
+    const Lit* lits = arena_.lits(c);
+    const uint32_t size = arena_.size(c);
+    for (uint32_t k = 0; k < size; ++k) {
+      if (value(lits[k]).isTrue()) {
+        removeClause(c);
+        any = true;
         break;
       }
     }
   }
-  for (InternalClause* c : toRemove) removeClause(c);
+  if (any) sweepDeadClauses();
+  maybeGarbageCollect();
+}
+
+ClauseRef Solver::learnClause(const LitVec& learnt) {
+  ClauseRef c = allocClause(learnt, /*learnt=*/true);
+  arena_.setLbd(c, computeLbd(learnt));
+  attachClause(c);
+  claBumpActivity(c);
+  uncheckedEnqueue(learnt[0], c);
+  return c;
 }
 
 lbool Solver::search(int64_t conflictsBeforeRestart) {
@@ -560,8 +680,8 @@ lbool Solver::search(int64_t conflictsBeforeRestart) {
       cancelUntil(0);
       return l_Undef;
     }
-    InternalClause* conflict = propagate();
-    if (conflict != nullptr) {
+    ClauseRef conflict = propagate();
+    if (conflict != kNullClauseRef) {
       ++stats_.conflicts;
       ++conflictCount;
       if (governor_ != nullptr) governor_->countConflicts(1);
@@ -573,12 +693,9 @@ lbool Solver::search(int64_t conflictsBeforeRestart) {
       analyze(conflict, learnt, btLevel);
       cancelUntil(btLevel);
       if (learnt.size() == 1) {
-        uncheckedEnqueue(learnt[0], nullptr);
+        uncheckedEnqueue(learnt[0], kNullClauseRef);
       } else {
-        InternalClause* c = allocClause(learnt, /*learnt=*/true);
-        attachClause(c);
-        claBumpActivity(*c);
-        uncheckedEnqueue(learnt[0], c);
+        learnClause(learnt);
       }
       varDecayActivity();
       claDecayActivity();
@@ -599,8 +716,9 @@ lbool Solver::search(int64_t conflictsBeforeRestart) {
       removeSatisfiedAtLevelZero();
       lastSimplifyTrail_ = static_cast<int>(trail_.size());
     }
-    if (maxLearnts_ > 0 &&
-        static_cast<double>(numLearnts_) - static_cast<double>(trail_.size()) >= maxLearnts_) {
+    if ((maxLearnts_ > 0 &&
+         static_cast<double>(numLearnts_) - static_cast<double>(trail_.size()) >= maxLearnts_) ||
+        stats_.conflicts >= nextReduceConflicts_) {
       reduceDB();
     }
 
@@ -625,7 +743,7 @@ lbool Solver::search(int64_t conflictsBeforeRestart) {
       ++stats_.decisions;
     }
     newDecisionLevel();
-    uncheckedEnqueue(next, nullptr);
+    uncheckedEnqueue(next, kNullClauseRef);
   }
 }
 
@@ -642,6 +760,7 @@ lbool Solver::solve(const LitVec& assumptions) {
   // makes would effectively disable reduceDB and let the learnt database
   // grow without bound.
   maxLearnts_ = std::max<double>(static_cast<double>(numOriginal_) / 3.0, 1000.0);
+  nextReduceConflicts_ = stats_.conflicts + kReduceDBFirst;
   budgetLimit_ = conflictBudget_ == 0 ? 0 : stats_.conflicts + conflictBudget_;
 
   lbool status = l_Undef;
@@ -688,6 +807,7 @@ void Solver::beginEnumeration(const std::vector<Var>& scope, bool projectedWitne
   // Same learnt-DB cap policy as solve(): the whole point of this mode is
   // that the clause database stays bounded across the enumeration.
   maxLearnts_ = std::max<double>(static_cast<double>(numOriginal_) / 3.0, 1000.0);
+  nextReduceConflicts_ = stats_.conflicts + kReduceDBFirst;
 }
 
 int Solver::scopePrefixLength() const {
@@ -719,7 +839,7 @@ bool Solver::flipToNextRegion(int maxLevel) {
   cancelUntil(f - 1);
   newDecisionLevel();
   levelFlipped_.back() = 1;
-  uncheckedEnqueue(~d, nullptr);
+  uncheckedEnqueue(~d, kNullClauseRef);
   ++stats_.flips;
   return true;
 }
@@ -737,8 +857,8 @@ lbool Solver::enumerateNextModel() {
     // Governed stop: keep the trail (the session stays resumable and
     // endEnumeration() cleans up), report budget exhaustion to the caller.
     if (governor_ != nullptr && governor_->poll() != Outcome::kComplete) return l_Undef;
-    InternalClause* conflict = propagate();
-    if (conflict != nullptr) {
+    ClauseRef conflict = propagate();
+    if (conflict != kNullClauseRef) {
       ++stats_.conflicts;
       if (governor_ != nullptr) governor_->countConflicts(1);
       if (decisionLevel() == 0) {
@@ -766,24 +886,21 @@ lbool Solver::enumerateNextModel() {
       cancelUntil(target);
       if (learnt.size() == 1) {
         if (target == 0) {
-          uncheckedEnqueue(learnt[0], nullptr);
+          uncheckedEnqueue(learnt[0], kNullClauseRef);
         } else {
           // Unit learnts normally live on the level-0 trail; here the clamp
           // keeps us above level 0, so give the literal a synthetic unit
           // reason (analyze() and the auditor both require non-decision
-          // literals above level 0 to carry one).
-          auto unit = std::make_unique<InternalClause>();
-          unit->lits.push_back(learnt[0]);
-          unit->learnt = true;
-          InternalClause* raw = unit.get();
-          enumUnitReasons_.push_back(std::move(unit));
-          uncheckedEnqueue(learnt[0], raw);
+          // literals above level 0 to carry one). The unit lives in the
+          // arena — it relocates with every compaction — but outside
+          // clauses_, and dies with the session.
+          ClauseRef unit = arena_.alloc(learnt.data(), 1, /*learnt=*/true);
+          if (governor_ != nullptr) arenaLedger_.charge(arena_.clauseBytes(unit));
+          enumUnitReasons_.push_back(unit);
+          uncheckedEnqueue(learnt[0], unit);
         }
       } else {
-        InternalClause* c = allocClause(learnt, /*learnt=*/true);
-        attachClause(c);
-        claBumpActivity(*c);
-        uncheckedEnqueue(learnt[0], c);
+        learnClause(learnt);
       }
       varDecayActivity();
       claDecayActivity();
@@ -802,8 +919,9 @@ lbool Solver::enumerateNextModel() {
       model_ = assigns_;
       return l_True;
     }
-    if (maxLearnts_ > 0 &&
-        static_cast<double>(numLearnts_) - static_cast<double>(trail_.size()) >= maxLearnts_) {
+    if ((maxLearnts_ > 0 &&
+         static_cast<double>(numLearnts_) - static_cast<double>(trail_.size()) >= maxLearnts_) ||
+        stats_.conflicts >= nextReduceConflicts_) {
       reduceDB();
     }
     Lit next = pickBranchLit();
@@ -815,7 +933,7 @@ lbool Solver::enumerateNextModel() {
     }
     ++stats_.decisions;
     newDecisionLevel();
-    uncheckedEnqueue(next, nullptr);
+    uncheckedEnqueue(next, kNullClauseRef);
   }
 }
 
@@ -830,11 +948,13 @@ bool Solver::projectedWitnessComplete() const {
   // Only original clauses matter: learnts are implied, and clauses dropped
   // or shrunk at add time are satisfied by level-0 assignments that are part
   // of every partial assignment.
-  for (const auto& c : clauses_) {
-    if (c->learnt) continue;
+  for (ClauseRef c : clauses_) {
+    if (arena_.learnt(c)) continue;
+    const Lit* lits = arena_.lits(c);
+    const uint32_t size = arena_.size(c);
     bool satisfied = false;
-    for (Lit l : c->lits) {
-      if (value(l).isTrue()) {
+    for (uint32_t k = 0; k < size; ++k) {
+      if (value(lits[k]).isTrue()) {
         satisfied = true;
         break;
       }
@@ -850,10 +970,15 @@ void Solver::endEnumeration() {
   enumerating_ = false;
   enumExhausted_ = false;
   enumProjected_ = false;
+  for (ClauseRef unit : enumUnitReasons_) {
+    if (governor_ != nullptr) arenaLedger_.release(arena_.clauseBytes(unit));
+    arena_.free(unit);
+  }
   enumUnitReasons_.clear();
   inScope_.clear();
   scopeVars_.clear();
   model_.clear();
+  maybeGarbageCollect();
 }
 
 }  // namespace presat

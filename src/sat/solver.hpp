@@ -1,22 +1,25 @@
 // MiniSat-style CDCL SAT solver.
 //
 // Architecture: two-watched-literal propagation, EVSIDS variable activities
-// with a heap-ordered decision queue, phase saving, first-UIP conflict
-// analysis with clause minimization, Luby restarts, and activity-based learnt
-// clause deletion. The solver is incremental: clauses can be added between
-// solve() calls, and solve() accepts assumption literals — both are load-
-// bearing for the blocking-clause all-SAT baselines, which add one clause per
-// enumerated solution and re-solve.
+// with a heap-ordered decision queue, phase saving with occurrence-derived
+// polarity priors, first-UIP conflict analysis with clause minimization,
+// Luby restarts, and LBD-tiered learnt clause retention (glue clauses are
+// immortal, high-LBD clauses age out unless recently used). Clauses live in a
+// compacting 32-bit-reference arena (sat/clause_arena.hpp) instead of
+// per-clause heap allocations. The solver is incremental: clauses can be
+// added between solve() calls, and solve() accepts assumption literals —
+// both are load-bearing for the blocking-clause all-SAT baselines, which add
+// one clause per enumerated solution and re-solve.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "base/check.hpp"
 #include "base/types.hpp"
 #include "cnf/cnf.hpp"
 #include "govern/governor.hpp"
+#include "sat/clause_arena.hpp"
 
 namespace presat {
 
@@ -32,6 +35,8 @@ struct SolverStats {
   uint64_t deletedClauses = 0;
   uint64_t reduceDBs = 0;
   uint64_t minimizedLits = 0;
+  // Stop-the-world arena compactions (reduceDB-triggered garbage collection).
+  uint64_t arenaCompactions = 0;
   // Chronological enumeration: pseudo-decision flips taken.
   uint64_t flips = 0;
   // High-water mark of the stored clause database (original + learnt). Under
@@ -143,8 +148,11 @@ class Solver {
   // solver (or be detached first).
   void setGovernor(Governor* governor);
   // Preferred phase when the variable is first decided (phase saving then
-  // takes over).
-  void setPolarity(Var v, bool phase) { polarity_[static_cast<size_t>(v)] = phase; }
+  // takes over). Overrides the occurrence-count polarity prior.
+  void setPolarity(Var v, bool phase) {
+    polarity_[static_cast<size_t>(v)] = phase;
+    polaritySeeded_[static_cast<size_t>(v)] = 1;
+  }
   // Excludes/includes a variable from decision making.
   void setDecisionVar(Var v, bool decidable);
   void setRandomSeed(uint64_t seed) { randState_ = seed | 1; }
@@ -161,9 +169,8 @@ class Solver {
   lbool value(Lit l) const { return assigns_[static_cast<size_t>(l.var())] ^ l.sign(); }
 
  private:
-  struct InternalClause;
   struct Watcher {
-    InternalClause* clause;
+    ClauseRef clause;
     Lit blocker;
   };
 
@@ -171,6 +178,7 @@ class Solver {
   // test-only corruption hooks need read/write access to the internals.
   friend AuditResult auditSolver(const Solver& solver);
   friend void corruptSolverForTest(Solver& solver, SolverCorruption kind);
+  friend void compactSolverForTest(Solver& solver);
 
   // -- trail / assignment
   void newDecisionLevel() {
@@ -178,41 +186,60 @@ class Solver {
     levelFlipped_.push_back(0);
   }
   int decisionLevel() const { return static_cast<int>(trailLim_.size()); }
-  void uncheckedEnqueue(Lit l, InternalClause* from);
-  InternalClause* propagate();
+  void uncheckedEnqueue(Lit l, ClauseRef from);
+  ClauseRef propagate();
   void cancelUntil(int level);
 
   // -- conflict analysis
-  void analyze(InternalClause* conflict, LitVec& outLearnt, int& outBtLevel);
+  void analyze(ClauseRef conflict, LitVec& outLearnt, int& outBtLevel);
   bool litRedundant(Lit l, uint32_t abstractLevels);
   void analyzeFinal(Lit p, LitVec& outCore);
+  // Literal block distance: number of distinct non-zero decision levels in
+  // the clause under the current assignment.
+  uint32_t computeLbd(const LitVec& lits);
 
   // -- search
   Lit pickBranchLit();
   lbool search(int64_t conflictsBeforeRestart);
   void reduceDB();
   void removeSatisfiedAtLevelZero();
+  // Phase to decide `v` with: saved phase once the search (or setPolarity)
+  // stamped one, else the polarity seen more often in the original clauses.
+  bool decisionPhase(Var v) const {
+    size_t idx = static_cast<size_t>(v);
+    if (polaritySeeded_[idx]) return polarity_[idx];
+    return occPos_[idx] > occNeg_[idx];
+  }
+  // Allocates + attaches a learnt clause, stamps its LBD, and enqueues its
+  // asserting literal. Shared by search() and enumerateNextModel().
+  ClauseRef learnClause(const LitVec& learnt);
 
   // -- activities
   void varBumpActivity(Var v);
   void varDecayActivity() { varInc_ /= varDecay_; }
-  void claBumpActivity(InternalClause& c);
+  void claBumpActivity(ClauseRef c);
   void claDecayActivity() { claInc_ /= claDecay_; }
   void insertVarOrder(Var v);
 
   // -- clause plumbing
-  // Approximate resident size of a stored clause, charged against the
-  // governor's tracked-byte pool (Budget::memLimitBytes).
-  static uint64_t clauseBytes(const InternalClause& c);
-  InternalClause* allocClause(const LitVec& lits, bool learnt);
-  void attachClause(InternalClause* c);
-  void detachClause(InternalClause* c);
-  void removeClause(InternalClause* c);
-  bool locked(const InternalClause* c) const;
+  ClauseRef allocClause(const LitVec& lits, bool learnt);
+  void attachClause(ClauseRef c);
+  void detachClause(ClauseRef c);
+  // Detaches, uncharges, and frees one clause in the arena. The caller is
+  // responsible for sweeping clauses_ afterwards (sweepDeadClauses) — the
+  // batch removal keeps reduceDB linear in the database size.
+  void removeClause(ClauseRef c);
+  // Drops freed refs from clauses_, preserving insertion order (the order is
+  // the deterministic tie-break of the LBD retention sort).
+  void sweepDeadClauses();
+  bool locked(ClauseRef c) const;
+  // Stop-the-world arena compaction once a quarter of the arena is waste.
+  // Every live ref (clauses_, watches, reasons, enumeration unit reasons) is
+  // relocated; only call from quiescent points with no ClauseRef locals held.
+  void maybeGarbageCollect();
+  void garbageCollect();
 
   // -- decision heap (binary max-heap on activity)
-  void heapDecrease(int pos);
-  void heapIncrease(int pos);
   void heapPercolateUp(int pos);
   void heapPercolateDown(int pos);
   bool heapContains(Var v) const { return heapIndex_[static_cast<size_t>(v)] >= 0; }
@@ -223,15 +250,19 @@ class Solver {
 
   // state
   bool ok_ = true;
-  std::vector<std::unique_ptr<InternalClause>> clauses_;  // original + learnt
+  ClauseArena arena_;               // clause storage (original + learnt)
+  std::vector<ClauseRef> clauses_;  // insertion-ordered refs into arena_
   size_t numOriginal_ = 0;
   size_t numLearnts_ = 0;
 
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit code
   std::vector<lbool> assigns_;                 // per var
   std::vector<bool> polarity_;                 // saved phase, per var
+  std::vector<uint8_t> polaritySeeded_;        // per var; saved phase valid
+  std::vector<uint32_t> occPos_;               // per var; positive occurrences
+  std::vector<uint32_t> occNeg_;               // per var; negative occurrences
   std::vector<bool> decision_;                 // decidable, per var
-  std::vector<InternalClause*> reason_;        // per var
+  std::vector<ClauseRef> reason_;              // per var; kNullClauseRef if none
   std::vector<int> level_;                     // per var
 
   std::vector<Lit> trail_;
@@ -254,9 +285,11 @@ class Solver {
   std::vector<uint8_t> levelFlipped_;
   // Reason clauses for unit learnts asserted above level 0: a clamped
   // backjump cannot reach level 0, so the unit is enqueued at the barrier
-  // level with a synthetic size-1 reason held here. These never enter
+  // level with a synthetic size-1 arena clause held here. These never enter
   // clauses_ (the clause DB stores only size >= 2) and die with the session.
-  std::vector<std::unique_ptr<InternalClause>> enumUnitReasons_;
+  // They are first-class compaction roots: garbageCollect() relocates them
+  // exactly like watch/reason refs.
+  std::vector<ClauseRef> enumUnitReasons_;
 
   // activities
   std::vector<double> activity_;
@@ -273,6 +306,8 @@ class Solver {
   std::vector<uint8_t> seen_;
   std::vector<Lit> analyzeToClear_;
   std::vector<Lit> analyzeStack_;
+  std::vector<uint64_t> lbdStamp_;  // per level; generation stamps
+  uint64_t lbdStampGen_ = 0;
 
   // solve state
   LitVec assumptions_;
@@ -282,6 +317,9 @@ class Solver {
   uint64_t budgetLimit_ = 0;
   double maxLearnts_ = 0;
   double learntGrowth_ = 1.1;
+  // Conflict count at which the next cadence-triggered reduceDB fires
+  // (re-armed by reduceDB itself; reset per solve()/enumeration call).
+  uint64_t nextReduceConflicts_ = 0;
   int lastSimplifyTrail_ = -1;
 
   uint64_t randState_ = 91648253;

@@ -41,6 +41,7 @@
 #include "circuit/netlist.hpp"
 #include "govern/budget.hpp"
 #include "govern/governor.hpp"
+#include "preimage/preimage.hpp"
 #include "preimage/transition_system.hpp"
 
 namespace presat::serve {
@@ -135,6 +136,13 @@ struct CircuitContext {
   Netlist netlist;
   uint64_t structuralHash = 0;
   std::optional<TransitionSystem> system;
+  // Shared per-circuit Tseitin encoding + preprocessed base formula
+  // (preimage/preimage.hpp): built once when the context enters the pool, so
+  // every pooled request skips encoding AND preprocessing. Immutable after
+  // construction, like the rest of the context. References `system`'s
+  // netlist internals — fields of the same immutable context, so the
+  // lifetime is tied correctly by construction.
+  std::optional<TransitionEncoding> encoding;
 };
 
 using CircuitContextPtr = std::shared_ptr<const CircuitContext>;

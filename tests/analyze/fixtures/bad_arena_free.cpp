@@ -1,0 +1,24 @@
+// Fixture: the arena free() pattern WITHOUT its waivers. The analyzer
+// cannot distinguish declaring a member named free from calling libc free,
+// so both the declaration and the out-of-line definition must fire
+// raw-alloc — pinning that good_arena_free.cpp stays clean because of its
+// per-line waivers, not because the rule went soft on declarations.
+// Expect: raw-alloc x2 from presat_analyze, clean under lint.py.
+#include <cstdint>
+
+namespace presat {
+
+class UnwaivedArena {
+ public:
+  uint32_t alloc(uint32_t words) { return top_ += words; }
+
+  void free(uint32_t ref);
+
+ private:
+  uint32_t top_ = 0;
+  uint32_t wasted_ = 0;
+};
+
+void UnwaivedArena::free(uint32_t ref) { wasted_ += ref; }
+
+}  // namespace presat

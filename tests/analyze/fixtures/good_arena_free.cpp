@@ -1,0 +1,33 @@
+// Fixture: the arena-allocator waiver pattern from src/sat/clause_arena —
+// a class whose OWN member is named free(). The declaration and the
+// out-of-line definition each carry a per-line raw-alloc waiver (the real
+// arena documents why: dead-bit marking inside a governor-charged buffer,
+// no libc call). Member-call sites (`arena.free(r)`) never fire the rule
+// because the identifier is preceded by `.`/`->`. Expect: clean under both
+// tools — pins down that the arena's waivers are per-line, not a blanket
+// exemption of the rule.
+#include <cstdint>
+
+namespace presat {
+
+class FixtureArena {
+ public:
+  uint32_t alloc(uint32_t words) { return top_ += words; }
+
+  // presat-analyze: raw-alloc(fixture mirror of ClauseArena::free — marks a
+  // span dead inside the charged word buffer, not a libc deallocation)
+  void free(uint32_t ref);
+
+ private:
+  uint32_t top_ = 0;
+  uint32_t wasted_ = 0;
+};
+
+// presat-analyze: raw-alloc(out-of-line definition of the member above)
+void FixtureArena::free(uint32_t ref) { wasted_ += ref; }
+
+void sweep(FixtureArena& arena, uint32_t ref) {
+  arena.free(ref);  // member call: `.` prefix, never a raw-alloc finding
+}
+
+}  // namespace presat

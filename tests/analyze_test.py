@@ -32,6 +32,11 @@ ANALYZE_EXPECT = {
     # it protects is reported unguarded as well
     "bad_raw_mutex.cpp": {"sync-raw-mutex", "sync-unguarded-member"},
     "bad_naked_new.cpp": {"raw-alloc"},
+    # declaring a member named free() is indistinguishable from calling libc
+    # free at token level — it must fire unless per-line waived, which is
+    # exactly how src/sat/clause_arena earns its pass
+    "bad_arena_free.cpp": {"raw-alloc"},
+    "good_arena_free.cpp": set(),
     "bad_duplicate_metrics_key.cpp": {"metrics-duplicate-key",
                                       "metrics-kind-collision"},
     "bad_metrics_grammar.cpp": {"metrics-key-grammar"},
@@ -48,6 +53,8 @@ LINT_EXPECT = {
     "bad_unwaived_atomic.cpp": set(),
     "bad_raw_mutex.cpp": set(),
     "bad_naked_new.cpp": set(),
+    "bad_arena_free.cpp": set(),
+    "good_arena_free.cpp": set(),
     "bad_duplicate_metrics_key.cpp": set(),
     "bad_metrics_grammar.cpp": set(),
     "bad_raw_thread.cpp": set(),
@@ -61,6 +68,7 @@ LINT_EXPECT = {
 # known number of sites.
 ANALYZE_COUNTS = {
     ("bad_naked_new.cpp", "raw-alloc"): 3,
+    ("bad_arena_free.cpp", "raw-alloc"): 2,
     ("bad_metrics_grammar.cpp", "metrics-key-grammar"): 3,
 }
 

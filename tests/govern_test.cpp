@@ -20,6 +20,8 @@
 #include "base/metrics.hpp"
 #include "base/rng.hpp"
 #include "bdd/bdd.hpp"
+#include "check/audit_solver.hpp"
+#include "cnf/preprocess.hpp"
 #include "gen/generators.hpp"
 #include "govern/budget.hpp"
 #include "govern/faults.hpp"
@@ -31,6 +33,7 @@
 #include "preimage/target.hpp"
 #include "preimage/transition_system.hpp"
 #include "sat/dpll.hpp"
+#include "sat/solver.hpp"
 #include "test_util.hpp"
 
 namespace presat {
@@ -631,6 +634,52 @@ TEST(FaultInjection, SolutionGraphFaultDegradesSuccessDriven) {
   EXPECT_EQ(r.outcome, Outcome::kMemory);
   EXPECT_TRUE(statesSubsetOf(r.states, oracle.states));
   EXPECT_LE(r.stateCount, oracle.stateCount);
+}
+
+TEST(FaultInjection, PreprocessFaultFallsBackToIdentityAndTripsGovernor) {
+  Cnf cnf(4);
+  cnf.addBinary(mkLit(0), mkLit(1));
+  cnf.addClause({mkLit(1), mkLit(2), mkLit(3)});
+  cnf.addClause({mkLit(2)});  // x2 also pure: reducible when the pass runs
+
+  FaultGuard guard("cnf.preprocess", 1);
+  Governor governor(Budget{});
+  PreprocessedCnf pre = preprocessCnf(cnf, {0, 1}, &governor);
+  EXPECT_TRUE(faults::faultFired());
+  EXPECT_EQ(governor.poll(), Outcome::kMemory);
+  // The degraded pass is the identity map: same formula, nothing eliminated,
+  // every variable mapped to itself — sound, just unreduced.
+  EXPECT_EQ(pre.stats.identityFallback, 1u);
+  EXPECT_EQ(pre.cnf.numVars(), cnf.numVars());
+  EXPECT_EQ(pre.cnf.numClauses(), cnf.numClauses());
+  EXPECT_TRUE(pre.forcedLits.empty());
+  for (Var v = 0; v < cnf.numVars(); ++v) {
+    EXPECT_EQ(pre.internalVar(v), v);
+  }
+}
+
+TEST(FaultInjection, ArenaCompactFaultTripsMemoryButArenaStaysConsistent) {
+  Solver s;
+  for (int i = 0; i < 6; ++i) s.newVar();
+  s.addClause({mkLit(0), mkLit(1)});
+  s.addClause({mkLit(1), mkLit(2), mkLit(3)});
+  s.addClause({~mkLit(0), mkLit(4), mkLit(5)});
+  Governor governor(Budget{});
+  s.setGovernor(&governor);
+
+  FaultGuard guard("sat.arena.compact", 1);
+  compactSolverForTest(s);
+  EXPECT_TRUE(faults::faultFired());
+  // The trip latches (the search would unwind at its next poll), but the
+  // compaction itself completed: the clause database is intact and the
+  // solver still answers.
+  EXPECT_EQ(governor.poll(), Outcome::kMemory);
+  AuditResult audit = auditSolver(s);
+  EXPECT_TRUE(audit.ok()) << audit.toString();
+  // Under the latched trip every solve unwinds to undef; detach to show the
+  // post-compaction clause database still solves.
+  s.setGovernor(nullptr);
+  EXPECT_TRUE(s.solve().isTrue());
 }
 
 TEST(FaultInjection, WorkerShardFaultCancelsPoolButKeepsFinishedShards) {

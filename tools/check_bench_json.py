@@ -25,7 +25,18 @@ seed and feeds the file through this checker, which validates:
 `--benchmark_format=json` report (bench_micro): non-empty `benchmarks`
 array, each entry named with a positive `real_time`.
 
+`--compare BASELINE` additionally diffs the trajectory against a checked-in
+baseline trajectory (bench/BENCH_baseline.json): per series — a
+(bench, case) pair — the median `time.seconds` of the current file is
+compared against the baseline's. A series whose median regressed by more
+than --max-regression (default 25%) fails the check; speedups are reported
+but never fail. Series faster than --noise-floor seconds in BOTH files are
+skipped (sub-50ms runs are scheduler noise, not signal), and every baseline
+series must still exist in the current file — silently dropping a slow case
+is not a speedup.
+
 Usage: check_bench_json.py BENCH_ci.json [--google-benchmark MICRO.json]
+                                         [--compare BENCH_baseline.json]
 Exit status: 0 when everything is well-shaped, 1 otherwise (reason on
 stderr).
 """
@@ -132,6 +143,84 @@ def check_table1(records: list) -> None:
         fail("table1 contains no par1/par8 pairs to compare")
 
 
+def load_trajectory(path: str) -> list:
+    records = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{path} line {lineno}: not valid JSON: {e}")
+                records.append(check_record(lineno, record))
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    if not records:
+        fail(f"{path} is empty")
+    return records
+
+
+def median(values: list) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def series_medians(records: list) -> dict:
+    """(bench, case) -> median time.seconds across that series' records."""
+    times: dict = {}
+    for r in records:
+        key = (r["labels"]["bench"], r["labels"]["case"])
+        times.setdefault(key, []).append(r["gauges"]["time.seconds"])
+    return {key: median(values) for key, values in times.items()}
+
+
+def check_compare(records: list, baseline_path: str, max_regression: float,
+                  noise_floor: float) -> None:
+    baseline = series_medians(load_trajectory(baseline_path))
+    current = series_medians(records)
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        fail(f"series present in baseline {baseline_path} but absent from "
+             f"the current trajectory: {[f'{b}/{c}' for b, c in missing]}")
+
+    regressions = []
+    speedups = []
+    skipped = 0
+    for key in sorted(baseline):
+        base, cur = baseline[key], current[key]
+        if base < noise_floor and cur < noise_floor:
+            skipped += 1
+            continue
+        ratio = cur / base
+        label = f"{key[0]}/{key[1]}"
+        if ratio > 1 + max_regression:
+            regressions.append(f"  {label}: {base:.3f}s -> {cur:.3f}s "
+                               f"({ratio:.2f}x slower)")
+        elif ratio < 1:
+            speedups.append(f"  {label}: {base:.3f}s -> {cur:.3f}s "
+                            f"({base / cur:.2f}x faster)")
+    if speedups:
+        print(f"check_bench_json.py: {len(speedups)} series faster than "
+              f"baseline {baseline_path}:")
+        for line in speedups:
+            print(line)
+    print(f"check_bench_json.py: compared {len(baseline)} series against "
+          f"{baseline_path} ({skipped} under the {noise_floor}s noise floor)")
+    if regressions:
+        print(f"check_bench_json.py: {len(regressions)} series regressed "
+              f"beyond {max_regression:.0%}:", file=sys.stderr)
+        for line in regressions:
+            print(line, file=sys.stderr)
+        fail(f"median regression beyond {max_regression:.0%} vs {baseline_path}")
+
+
 def check_google_benchmark(path: str) -> None:
     try:
         with open(path, encoding="utf-8") as f:
@@ -155,28 +244,24 @@ def main() -> None:
     parser.add_argument("jsonl", help="bench trajectory file (JSONL)")
     parser.add_argument("--google-benchmark", metavar="FILE",
                         help="also validate a --benchmark_format=json report")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="baseline trajectory to diff series medians against")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fail when a series median regresses beyond this "
+                             "fraction (default 0.25)")
+    parser.add_argument("--noise-floor", type=float, default=0.05,
+                        help="skip series faster than this many seconds in "
+                             "both files (default 0.05)")
     args = parser.parse_args()
 
-    records = []
-    try:
-        with open(args.jsonl, encoding="utf-8") as f:
-            for lineno, line in enumerate(f, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as e:
-                    fail(f"line {lineno}: not valid JSON: {e}")
-                records.append(check_record(lineno, record))
-    except OSError as e:
-        fail(f"cannot read {args.jsonl}: {e}")
-    if not records:
-        fail(f"{args.jsonl} is empty")
+    records = load_trajectory(args.jsonl)
 
     check_table1(records)
     if args.google_benchmark:
         check_google_benchmark(args.google_benchmark)
+    if args.compare:
+        check_compare(records, args.compare, args.max_regression,
+                      args.noise_floor)
 
     print(f"check_bench_json.py: OK: {len(records)} records "
           f"({args.jsonl}{' + ' + args.google_benchmark if args.google_benchmark else ''})")
