@@ -72,6 +72,15 @@ int main(int argc, char** argv) {
     PreimageResult chronoPar1 = computePreimage(system, c.target, PreimageMethod::kChrono, par1);
     PreimageResult chronoPar8 = computePreimage(system, c.target, PreimageMethod::kChrono, par8);
 
+    // Certificate-emitting chrono run: same query as `chrono` above but with
+    // proof logging + presat-cert-v1 assembly on. Its series quantifies the
+    // emission overhead; the plain chrono series above doubles as the
+    // proof-logging-off control the 25% regression gate pins down.
+    PreimageOptions certOpts = seeded;
+    certOpts.emitCertificate = true;
+    PreimageResult chronoCert =
+        computePreimage(system, c.target, PreimageMethod::kChrono, certOpts);
+
     // Projected-native chrono with wildcard compression: same state set as
     // every engine above, but enumerated scope-first with the projected
     // early stop and compressed into a (usually much smaller) cover.
@@ -97,7 +106,8 @@ int main(int argc, char** argv) {
         sdPar1.stateCount != sd.stateCount || sdPar8.stateCount != sd.stateCount ||
         sdPar1.states.cubes != sdPar8.states.cubes || chrono.stateCount != sd.stateCount ||
         chronoPar1.stateCount != sd.stateCount ||
-        chronoPar1.states.cubes != chronoPar8.states.cubes) {
+        chronoPar1.states.cubes != chronoPar8.states.cubes ||
+        chronoCert.states.cubes != chrono.states.cubes || chronoCert.certificate.empty()) {
       std::printf("ENGINE DISAGREEMENT on %s\n", c.name.c_str());
       return 1;
     }
@@ -136,6 +146,7 @@ int main(int argc, char** argv) {
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/cube-lifted", cube.metrics);
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/sd", sd.metrics);
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/chrono", chrono.metrics);
+      appendMetricsJsonl(jsonlPath, "table1", c.name + "/chrono-cert", chronoCert.metrics);
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/sd-par1", sdPar1.metrics);
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/sd-par8", sdPar8.metrics);
       appendMetricsJsonl(jsonlPath, "table1", c.name + "/chrono-par1", chronoPar1.metrics);

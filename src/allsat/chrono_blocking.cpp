@@ -26,6 +26,7 @@ AllSatResult chronoAllSat(const Cnf& cnf, const std::vector<Var>& projection,
   Solver solver;
   solver.setConflictBudget(options.conflictBudget);
   solver.setGovernor(governor);
+  solver.setProofLog(options.proofLog);
   if (options.randomSeed != 0) solver.setRandomSeed(options.randomSeed);
   bool consistent = solver.addCnf(cnf);
 

@@ -130,7 +130,8 @@ void exportCompressToMetrics(const CompressStats& stats, Metrics& m) {
   m.setCounter("compress.rounds", stats.rounds);
 }
 
-CompressStats compressCubes(std::vector<LitVec>& cubes, Governor* governor) {
+CompressStats compressCubes(std::vector<LitVec>& cubes, Governor* governor,
+                            std::vector<CompressMergeRecord>* trace) {
   CompressStats stats;
   stats.cubesIn = cubes.size();
   for (LitVec& c : cubes) canonicalizeCube(c);
@@ -181,6 +182,7 @@ CompressStats compressCubes(std::vector<LitVec>& cubes, Governor* governor) {
           if (r != p) wide.push_back(cubes[i][r]);
         }
         dead[i] = dead[j] = 1;
+        if (trace != nullptr) trace->push_back({cubes[i][p].var(), wide});
         merged.push_back(std::move(wide));
         ++roundMerges;
       }
@@ -248,7 +250,7 @@ void applyProjectionPostpass(AllSatResult& result, const AllSatOptions& options,
     total.subsumed += d.subsumed;
   }
   if (options.compress) {
-    CompressStats c = compressCubes(result.cubes, options.governor);
+    CompressStats c = compressCubes(result.cubes, options.governor, options.compressTrace);
     total.merges += c.merges;
     total.duplicates += c.duplicates;
     total.rounds += c.rounds;

@@ -20,6 +20,7 @@ class Governor;
 class Metrics;
 struct AllSatOptions;
 struct AllSatResult;
+struct CompressMergeRecord;
 
 struct CompressStats {
   uint64_t cubesIn = 0;
@@ -39,8 +40,10 @@ void exportCompressToMetrics(const CompressStats& stats, Metrics& m);
 // inputs. When `governor` is non-null the working tables are charged to its
 // tracked-byte pool and the pass stops early at a trip — sound, since every
 // intermediate state is an equivalent cover. Cubes must be well-formed (no
-// variable twice).
-CompressStats compressCubes(std::vector<LitVec>& cubes, Governor* governor = nullptr);
+// variable twice). When `trace` is non-null, one CompressMergeRecord is
+// appended per merge applied (certificate `w` witness lines).
+CompressStats compressCubes(std::vector<LitVec>& cubes, Governor* governor = nullptr,
+                            std::vector<CompressMergeRecord>* trace = nullptr);
 
 // Canonical cleanup for possibly-overlapping covers (the project-then-dedup
 // mode of the blocking and success-driven engines): sorts literals, drops

@@ -29,6 +29,7 @@ AllSatResult cubeBlockingAllSat(const Cnf& cnf, const std::vector<Var>& projecti
   Solver solver;
   solver.setConflictBudget(options.conflictBudget);
   solver.setGovernor(governor);
+  solver.setProofLog(options.proofLog);
   if (options.randomSeed != 0) solver.setRandomSeed(options.randomSeed);
   bool consistent = solver.addCnf(cnf);
   bool maybeOverlapping = false;

@@ -22,6 +22,7 @@ AllSatResult mintermBlockingAllSat(const Cnf& cnf, const std::vector<Var>& proje
   Solver solver;
   solver.setConflictBudget(options.conflictBudget);
   solver.setGovernor(governor);
+  solver.setProofLog(options.proofLog);
   if (options.randomSeed != 0) solver.setRandomSeed(options.randomSeed);
   bool consistent = solver.addCnf(cnf);
 

@@ -30,6 +30,10 @@ AllSatResult runWithPreprocess(const Cnf& cnf, const std::vector<Var>& projectio
 
   AllSatOptions inner = options;
   inner.preprocess = false;
+  // A proof logged against the preprocessed CNF would speak remapped clause
+  // numbering the caller's formula does not contain; certificate emitters
+  // run their own replay against the original CNF instead.
+  inner.proofLog = nullptr;
   AllSatResult result = run(pre.cnf, internalProjection, wrappedLifter, inner);
 
   exportPreprocessMetrics(pre.stats, result.metrics);

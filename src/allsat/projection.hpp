@@ -22,6 +22,16 @@ namespace presat {
 
 class BddManager;
 class Governor;
+class ProofLog;
+
+// One wildcard merge applied by compressCubes: parents (A & x) and (A & ~x)
+// collapsed into `merged` = A by eliminating `mergeVar`. The trace is the
+// certificate's compression witness — a checker can replay each record and
+// confirm the rewrite preserved the cover's union.
+struct CompressMergeRecord {
+  Var mergeVar = 0;
+  LitVec merged;  // projected index space, sorted by variable
+};
 
 struct AllSatStats {
   uint64_t satCalls = 0;          // top-level solver invocations
@@ -74,6 +84,11 @@ struct AllSatResult {
   std::vector<LitVec> cubes;
   // Exact number of projected minterms in the union of `cubes`.
   BigUint mintermCount;
+  // Parallel runs only: the disjoint guiding cubes (projected index space)
+  // the space was split into. Shard covers live inside their guide cube, so
+  // the guides are the certificate's cross-shard disjointness argument.
+  // Empty for serial runs.
+  std::vector<LitVec> guides;
   AllSatStats stats;
   // Uniform observability export (counters/gauges/histograms) — see
   // base/metrics.hpp for the JSON schema.
@@ -154,6 +169,18 @@ struct AllSatOptions {
   // null = ungoverned (the default — hot paths stay unchanged). Shared
   // across parallel shards: one trip stops every worker cooperatively.
   Governor* governor = nullptr;
+  // DRAT-style proof log for the CNF engines' solver runs (sat/proof.hpp).
+  // Not owned; null = off (the default — solver hot paths stay branch-only).
+  // Serial engines only: the parallel dispatcher and the preprocessing
+  // adapter clear it for their inner runs (a shard/remapped proof would
+  // speak the wrong clause set), and certificate emitters replay those runs
+  // post-hoc instead (cert/certificate.hpp).
+  ProofLog* proofLog = nullptr;
+  // When non-null, compressCubes appends one CompressMergeRecord per wildcard
+  // merge it applies (the certificate's `w` witness lines). Not owned; serial
+  // paths only — parallel shard compression never traces (shards would race
+  // on the shared vector).
+  std::vector<CompressMergeRecord>* compressTrace = nullptr;
 };
 
 // Sum of 2^(numProjectionVars - |cube|) over all cubes. Exact for disjoint

@@ -1,0 +1,87 @@
+// presat-cert-v1: independently verifiable disjoint-cover certificates.
+//
+// A certificate packages everything an external checker needs to verify a
+// preimage cover without trusting this library: the CNF the query solved
+// (`f` lines), the cover (`c` cubes over the projected scope), one model
+// witness per cube (`j` lines — proof each cube contains only genuine
+// solutions), the parallel split's guide cubes (`g` lines — the cross-shard
+// disjointness argument), the wildcard-compression merge witnesses (`w`
+// lines — one (x & A) | (~x & A) = A record per merge), and a DRAT-style
+// completeness proof (`a`/`e` lines) whose final empty clause shows that
+// F AND the blocking clauses of every cube is UNSAT — i.e. no solution
+// escapes the cover. Partial (governor-degraded) covers carry no
+// completeness proof; the checker then verifies soundness only and that the
+// claimed outcome is an honest degradation reason.
+//
+// Line grammar (integers are signed DIMACS, 1-based; '0' terminates lists):
+//   p presat-cert 1
+//   h engine <name>
+//   h circuit <16 hex digits>        structural hash of the source netlist
+//   h vars <n>                       CNF variable count
+//   h scope <k> <v_1> ... <v_k>      CNF variable of projected index i
+//   h flags project=<0|1> compress=<0|1> disjoint=<0|1> jobs=<n>
+//   h outcome <complete|deadline|memory|conflicts|cancelled|cube-cap>
+//   h cnfhash <16 hex digits>        FNV-1a over the `f` integer stream
+//   f <lits> 0                       one per CNF clause
+//   c <lits> 0                       one per cube (projected index space)
+//   j <lits> 0                       one per cube, same order (CNF space)
+//   g <lits> 0                       guide cubes (projected index space)
+//   w <var> <lits> 0                 merge witness: var eliminated, merged A
+//   a <lits> 0 | e <lits> 0          proof: RUP addition / deletion
+//   h end                            required trailer (truncation tripwire)
+//
+// The checker (src/checktool/presat_check.cpp) shares NO code with this
+// library by design: it has its own parser and propagation loop, so a bug in
+// the solver, arena, or merge logic cannot silently blind the verifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "allsat/projection.hpp"
+#include "cnf/cnf.hpp"
+#include "govern/budget.hpp"
+
+namespace presat {
+
+class ProofLog;
+
+struct CertificateSpec {
+  const Cnf* cnf = nullptr;                    // formula the cover speaks about
+  const std::vector<Var>* scope = nullptr;     // CNF var of projected index i
+  const std::vector<LitVec>* cubes = nullptr;  // cover, projected index space
+  // Optional sections (null/empty = omitted).
+  const std::vector<LitVec>* guides = nullptr;
+  const std::vector<CompressMergeRecord>* merges = nullptr;
+  // Proof of the run that produced the cover, when one was logged natively
+  // (serial CNF engines). When null and the cover is complete, the builder
+  // replays the cover post-hoc: a fresh ungoverned solver proves
+  // F AND blocking(cubes) UNSAT and that replay's log becomes the proof.
+  const ProofLog* nativeProof = nullptr;
+  Outcome outcome = Outcome::kComplete;
+  bool disjoint = true;  // engine guarantees pairwise-disjoint cubes
+  const char* engine = "";
+  uint64_t circuitHash = 0;
+  int jobs = 0;  // 0 = serial
+  bool project = false;
+  bool compress = false;
+};
+
+struct CertificateResult {
+  std::string cert;        // presat-cert-v1 text
+  std::string dratText;    // text DRAT of the proof embedded in the cert
+  std::string dratBinary;  // binary DRAT of the same proof
+};
+
+// Builds the certificate. Witness models are completed with a fresh
+// ungoverned solver (one assumption solve per cube) — every engine's cubes
+// contain only genuine solutions, including governor-degraded partials, so
+// the solves are SAT by the soundness invariant (check-failure otherwise).
+CertificateResult buildCertificate(const CertificateSpec& spec);
+
+// FNV-1a over the clause integer stream (each clause's DIMACS literals
+// followed by a 0). The checker recomputes this over its parsed `f` lines.
+uint64_t certCnfHash(const Cnf& cnf);
+
+}  // namespace presat

@@ -34,6 +34,12 @@ AllSatOptions shardOptions(const AllSatOptions& options, size_t shard) {
   AllSatOptions inner = options;
   inner.parallel = ParallelOptions{};
   inner.randomSeed = shardSeed(options.randomSeed, shard);
+  // Certificate plumbing is for the merged result, not the shards: a shard
+  // proof would speak the guide-constrained formula, and concurrent shards
+  // would race on a shared compression trace. Certificate emitters replay
+  // the merged cover post-hoc instead (cert/certificate.hpp).
+  inner.proofLog = nullptr;
+  inner.compressTrace = nullptr;
   return inner;
 }
 
@@ -129,6 +135,7 @@ SuccessDrivenResult parallelSuccessDrivenAllSat(const CircuitAllSatProblem& prob
 
   SuccessDrivenResult result;
   result.graph = mergeSolutionGraphs(shards, plan.splitVars);
+  result.summary.guides = plan.cubes;
 
   double cpuSeconds = 0.0;
   for (ShardOutcome& shard : shards) cpuSeconds += shard.result.stats.seconds;
@@ -255,6 +262,12 @@ AllSatResult parallelCnfAllSat(const Cnf& cnf, const std::vector<Var>& projectio
   double cpuSeconds = 0.0;
   for (ShardOutcome& shard : shards) cpuSeconds += shard.result.stats.seconds;
   AllSatResult result = mergeShardSummaries(shards);
+  // The split plan is the certificate's cross-shard disjointness argument:
+  // every shard enumerated inside its guide cube, and the guides partition
+  // the projected space. (Post-merge compression may still merge across a
+  // guide boundary; the checker verifies cube disjointness directly and
+  // treats the guides as documentation of the split.)
+  result.guides = plan.cubes;
 
   // maxCubes is a GLOBAL cap but each shard enforced it locally, so the
   // concatenation can exceed it. Trim to the cap (shard order keeps this

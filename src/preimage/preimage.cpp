@@ -11,7 +11,10 @@
 #include "base/log.hpp"
 #include "base/timer.hpp"
 #include "bdd/bdd.hpp"
+#include "cert/certificate.hpp"
+#include "circuit/netlist.hpp"
 #include "circuit/simulator.hpp"
+#include "sat/proof.hpp"
 #include "circuit/strash.hpp"
 #include "circuit/tseitin.hpp"
 #include "govern/governor.hpp"
@@ -143,6 +146,7 @@ PreimageResult fromAllSat(AllSatResult&& r, int numStateBits) {
   PreimageResult result;
   result.states.numStateBits = numStateBits;
   result.states.cubes = std::move(r.cubes);
+  result.guides = std::move(r.guides);
   result.stateCount = std::move(r.mintermCount);
   result.complete = r.complete;
   result.outcome = r.outcome;
@@ -161,6 +165,26 @@ void finishPreimage(PreimageResult& result, const Governor* governor) {
   result.complete = (result.outcome == Outcome::kComplete);
   result.metrics.setLabel("outcome", outcomeName(result.outcome));
   if (governor != nullptr) governor->exportMetrics(result.metrics);
+}
+
+// Disjointness guarantee backing the certificate's disjoint flag: minterm,
+// unlifted-cube, and chrono covers are disjoint by construction, BDD covers
+// are distinct root-to-true paths, and wildcard compression preserves all of
+// that. Lifted-cube and success-driven covers may overlap (their union is
+// still exact).
+bool methodCoverDisjoint(PreimageMethod method) {
+  switch (method) {
+    case PreimageMethod::kMintermBlocking:
+    case PreimageMethod::kCubeBlocking:
+    case PreimageMethod::kChrono:
+    case PreimageMethod::kBdd:
+    case PreimageMethod::kBddRelational:
+      return true;
+    case PreimageMethod::kCubeBlockingLifted:
+    case PreimageMethod::kSuccessDriven:
+      return false;
+  }
+  return false;
 }
 
 }  // namespace
@@ -216,11 +240,31 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
     }
     satOpts.preprocess = false;
   }
+
+  // Certificate plumbing: serial CNF runs log their proof natively (the
+  // parallel dispatcher clears the log per shard and the cover is replayed
+  // post-hoc instead); compression traces its merge witnesses on every
+  // serial path. The non-CNF engines still need the encoding — the
+  // certificate embeds the CNF their cover is checked against.
+  ProofLog nativeLog;
+  std::vector<CompressMergeRecord> mergeTrace;
+  if (options.emitCertificate) {
+    if (te == nullptr) {
+      localEncoding = buildTransitionEncoding(system, options.allsat.governor);
+      te = &*localEncoding;
+    }
+    if (preimageMethodUsesCnf(method) && !satOpts.parallel.enabled()) {
+      satOpts.proofLog = &nativeLog;
+    }
+    satOpts.compressTrace = &mergeTrace;
+  }
+
   auto withPreprocessMetrics = [&te](PreimageResult&& r) {
     exportPreprocessMetrics(te->base.stats, r.metrics);
     return std::move(r);
   };
 
+  PreimageResult result = [&]() -> PreimageResult {
   switch (method) {
     case PreimageMethod::kMintermBlocking: {
       SatProblem problem = buildSatProblem(*te, system, target);
@@ -278,9 +322,9 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
         problem.netlist = &system.netlist();
         problem.projectionSources = system.stateNodes();
         for (Lit l : cube) problem.objectives.emplace_back(system.nextStateRoot(l.var()), !l.sign());
-        SuccessDrivenResult sub = options.allsat.parallel.enabled()
-                                      ? parallelSuccessDrivenAllSat(problem, options.allsat)
-                                      : successDrivenAllSat(problem, options.allsat);
+        SuccessDrivenResult sub = satOpts.parallel.enabled()
+                                      ? parallelSuccessDrivenAllSat(problem, satOpts)
+                                      : successDrivenAllSat(problem, satOpts);
         result.states.cubes.insert(result.states.cubes.end(), sub.summary.cubes.begin(),
                                    sub.summary.cubes.end());
         result.complete = result.complete && sub.summary.complete;
@@ -304,9 +348,11 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
       // own cover, but the concatenation across target cubes can repeat or
       // overlap cubes between sub-runs. The union — and the graph-side
       // count below — is unchanged.
-      if (options.allsat.project) dedupCubes(result.states.cubes);
-      if (options.allsat.compress) compressCubes(result.states.cubes, options.allsat.governor);
-      if (options.allsat.project) {
+      if (satOpts.project) dedupCubes(result.states.cubes);
+      if (satOpts.compress) {
+        compressCubes(result.states.cubes, satOpts.governor, satOpts.compressTrace);
+      }
+      if (satOpts.project) {
         result.metrics.setCounter("proj.cubes", result.states.cubes.size());
       }
       // Exact union count straight from the graphs (never enumerates paths).
@@ -379,6 +425,37 @@ PreimageResult computePreimage(const TransitionSystem& system, const StateSet& t
   }
   PRESAT_CHECK(false) << "unknown preimage method";
   return {};
+  }();
+
+  if (options.emitCertificate) {
+    // The certificate embeds the same CNF instantiation the CNF engines
+    // solved (buildSatProblem is deterministic in (encoding, target), so
+    // rebuilding it here matches the engine's formula bit for bit); the
+    // circuit-level engines' covers are checked against it too — the state
+    // projection is shared, so their cubes speak the same scope.
+    SatProblem problem = buildSatProblem(*te, system, target);
+    CertificateSpec spec;
+    spec.cnf = &problem.cnf;
+    spec.scope = &problem.projection;
+    spec.cubes = &result.states.cubes;
+    if (!result.guides.empty()) spec.guides = &result.guides;
+    if (!mergeTrace.empty()) spec.merges = &mergeTrace;
+    if (satOpts.proofLog != nullptr) spec.nativeProof = satOpts.proofLog;
+    spec.outcome = result.outcome;
+    spec.disjoint = methodCoverDisjoint(method);
+    spec.engine = preimageMethodName(method);
+    spec.circuitHash = netlistStructuralHash(system.netlist());
+    spec.jobs = satOpts.parallel.jobs;
+    spec.project = satOpts.project;
+    spec.compress = satOpts.compress;
+    CertificateResult cert = buildCertificate(spec);
+    result.certificate = std::move(cert.cert);
+    result.dratText = std::move(cert.dratText);
+    result.dratBinary = std::move(cert.dratBinary);
+    result.metrics.setCounter("cert.bytes", result.certificate.size());
+    result.metrics.setCounter("cert.proof_steps", nativeLog.numSteps());
+  }
+  return result;
 }
 
 }  // namespace presat

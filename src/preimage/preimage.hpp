@@ -80,6 +80,12 @@ struct PreimageOptions {
   // locally per query. Not owned; must outlive the call. Ignored by the
   // success-driven and BDD engines (they work on the netlist directly).
   const TransitionEncoding* encoding = nullptr;
+  // Emit a presat-cert-v1 certificate (cert/certificate.hpp) into
+  // PreimageResult::certificate, verifiable by the standalone presat_check
+  // tool. Serial CNF engines log their proof natively during the run; every
+  // other path (parallel, success-driven, BDD, partial covers) is replayed
+  // post-hoc. Off by default — the zero-cost path adds no work anywhere.
+  bool emitCertificate = false;
 };
 
 struct PreimageResult {
@@ -100,6 +106,14 @@ struct PreimageResult {
   size_t bddNodes = 0;  // BDD engine only: manager size after the query
   // Success-driven engine only: one solution graph per target cube.
   std::vector<SolutionGraph> graphs;
+  // Parallel runs: the disjoint guide cubes of the shard split (projected
+  // index space) — the certificate's cross-shard disjointness argument.
+  std::vector<LitVec> guides;
+  // Only with PreimageOptions::emitCertificate: the presat-cert-v1 text and
+  // the DRAT serializations of the proof it embeds.
+  std::string certificate;
+  std::string dratText;
+  std::string dratBinary;
 };
 
 PreimageResult computePreimage(const TransitionSystem& system, const StateSet& target,

@@ -1,0 +1,64 @@
+// DRAT-style proof logging for the CDCL solver and the enumeration engines.
+//
+// A ProofLog records the clause additions and deletions a solver run derives:
+// learnt clauses, unit learnts, the reason-less flip clauses that close each
+// chronological-enumeration region (logged as RAT additions — they are RUP
+// once the blocking clauses of the emitted cubes are premises), and the empty
+// clause ending an UNSAT run. The log is an in-memory event buffer with three
+// serializations: text DRAT, binary DRAT, and the `a`/`e` proof section of a
+// presat-cert-v1 certificate (src/cert/certificate.hpp).
+//
+// The log observes the search; it never influences it. A null ProofLog* on
+// the Solver keeps every hot path branch-only, which is what the bench lane's
+// proof-logging-off regression gate pins down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace presat {
+
+class ProofLog {
+ public:
+  // Clause addition (DRAT "a"): the clause must be redundant (RUP/RAT) with
+  // respect to the working formula the eventual checker maintains.
+  void addClause(const Lit* lits, size_t n);
+  void addClause(const LitVec& lits) { addClause(lits.data(), lits.size()); }
+  void addUnit(Lit l) { addClause(&l, 1); }
+  void addEmpty() { addClause(nullptr, 0); }
+
+  // Clause deletion (DRAT "d").
+  void deleteClause(const Lit* lits, size_t n);
+  void deleteClause(const LitVec& lits) { deleteClause(lits.data(), lits.size()); }
+
+  size_t numSteps() const { return steps_; }
+  bool empty() const { return steps_ == 0; }
+  // True when the last recorded step is an empty-clause addition (the UNSAT
+  // terminator a complete-cover certificate requires).
+  bool endsWithEmptyClause() const { return endsWithEmpty_; }
+  void clear();
+
+  // Text DRAT: one step per line, "d " prefix for deletions, literals as
+  // signed DIMACS integers, "0" terminator.
+  std::string toTextDrat() const;
+  // Binary DRAT: 'a'/'d' step bytes, literals as 7-bit variable-length
+  // unsigned integers of the MiniSat mapping (2*var + sign), 0 terminator.
+  std::string toBinaryDrat() const;
+  // presat-cert-v1 proof section: "a <lits> 0" / "e <lits> 0" lines.
+  void appendCertLines(std::string& out) const;
+
+ private:
+  // Flattened event stream: per step, a tag (+n for an addition of n
+  // literals, encoded as n; deletions store ~n) followed by the DIMACS
+  // literals. Variable v (0-based) maps to v+1; negative = sign bit set.
+  void record(bool deletion, const Lit* lits, size_t n);
+
+  std::vector<int32_t> data_;
+  size_t steps_ = 0;
+  bool endsWithEmpty_ = false;
+};
+
+}  // namespace presat

@@ -5,6 +5,7 @@
 
 #include "base/check.hpp"
 #include "govern/faults.hpp"
+#include "sat/proof.hpp"
 
 namespace presat {
 
@@ -100,11 +101,14 @@ bool Solver::addClause(const LitVec& lits) {
 
   if (cleaned.empty()) {
     ok_ = false;
+    // RUP: every literal of the added clause is already false at level 0.
+    if (proofLog_ != nullptr) proofLog_->addEmpty();
     return false;
   }
   if (cleaned.size() == 1) {
     uncheckedEnqueue(cleaned[0], kNullClauseRef);
     ok_ = (propagate() == kNullClauseRef);
+    if (!ok_ && proofLog_ != nullptr) proofLog_->addEmpty();
     return ok_;
   }
   ClauseRef clause = allocClause(cleaned, /*learnt=*/false);
@@ -180,6 +184,7 @@ void Solver::removeClause(ClauseRef c) {
   detachClause(c);
   if (locked(c)) reason_[static_cast<size_t>(arena_.lit(c, 0).var())] = kNullClauseRef;
   if (arena_.learnt(c)) {
+    if (proofLog_ != nullptr) proofLog_->deleteClause(arena_.lits(c), arena_.size(c));
     --numLearnts_;
     ++stats_.deletedClauses;
   } else {
@@ -662,6 +667,7 @@ void Solver::removeSatisfiedAtLevelZero() {
 }
 
 ClauseRef Solver::learnClause(const LitVec& learnt) {
+  if (proofLog_ != nullptr) proofLog_->addClause(learnt);
   ClauseRef c = allocClause(learnt, /*learnt=*/true);
   arena_.setLbd(c, computeLbd(learnt));
   attachClause(c);
@@ -687,12 +693,14 @@ lbool Solver::search(int64_t conflictsBeforeRestart) {
       if (governor_ != nullptr) governor_->countConflicts(1);
       if (decisionLevel() == 0) {
         ok_ = false;
+        if (proofLog_ != nullptr) proofLog_->addEmpty();
         return l_False;
       }
       int btLevel = 0;
       analyze(conflict, learnt, btLevel);
       cancelUntil(btLevel);
       if (learnt.size() == 1) {
+        if (proofLog_ != nullptr) proofLog_->addUnit(learnt[0]);
         uncheckedEnqueue(learnt[0], kNullClauseRef);
       } else {
         learnClause(learnt);
@@ -833,9 +841,28 @@ bool Solver::flipToNextRegion(int maxLevel) {
   while (f >= 1 && levelFlipped_[static_cast<size_t>(f - 1)]) --f;
   if (f < 1) {
     enumExhausted_ = true;
+    // Every level is flipped: the chained flip clauses below, together with
+    // the blocking clauses of the emitted cubes (premises in the certificate
+    // model), propagate to a conflict — the closing empty clause is RUP.
+    if (proofLog_ != nullptr) proofLog_->addEmpty();
     return false;
   }
   Lit d = trail_[static_cast<size_t>(trailLim_[static_cast<size_t>(f - 1)])];
+  if (proofLog_ != nullptr) {
+    // Log the reason-less flip as the clause NOT(d_1 & ... & d_f) over the
+    // decisions currently at levels 1..f (read before cancelUntil drops
+    // them). It is RUP against the emitted cubes' blocking clauses: earlier
+    // flip clauses unit-derive each already-flipped decision, propagation
+    // rederives the implied literals, and the deepest region's cube premise
+    // closes the conflict. This stands in for the blocking clause the
+    // chronological engine never materializes.
+    LitVec flip;
+    flip.reserve(static_cast<size_t>(f));
+    for (int lvl = 1; lvl <= f; ++lvl) {
+      flip.push_back(~trail_[static_cast<size_t>(trailLim_[static_cast<size_t>(lvl - 1)])]);
+    }
+    proofLog_->addClause(flip);
+  }
   cancelUntil(f - 1);
   newDecisionLevel();
   levelFlipped_.back() = 1;
@@ -864,6 +891,7 @@ lbool Solver::enumerateNextModel() {
       if (decisionLevel() == 0) {
         ok_ = false;
         enumExhausted_ = true;
+        if (proofLog_ != nullptr) proofLog_->addEmpty();
         return l_False;
       }
       int flipBarrier = deepestFlippedLevel();
@@ -885,6 +913,11 @@ lbool Solver::enumerateNextModel() {
       int target = std::max(btLevel, flipBarrier);
       cancelUntil(target);
       if (learnt.size() == 1) {
+        // Unit learnts are logged whether they land on the level-0 trail or
+        // behind the barrier with a synthetic reason: either way the literal
+        // is a consequence of the formula plus the emitted cubes' blocking
+        // clauses, i.e. a RAT/RUP addition in the certificate model.
+        if (proofLog_ != nullptr) proofLog_->addUnit(learnt[0]);
         if (target == 0) {
           uncheckedEnqueue(learnt[0], kNullClauseRef);
         } else {

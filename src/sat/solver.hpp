@@ -24,6 +24,7 @@
 namespace presat {
 
 class AuditResult;
+class ProofLog;
 enum class SolverCorruption : int;
 
 struct SolverStats {
@@ -158,6 +159,12 @@ class Solver {
   void setRandomSeed(uint64_t seed) { randState_ = seed | 1; }
   // Fraction [0,1) of decisions taken randomly (diversification in benches).
   void setRandomDecisionFreq(double f) { randomFreq_ = f; }
+  // Attaches a DRAT-style proof log (may be null to detach; must outlive the
+  // solver or be detached first). The log records learnt/deleted clauses,
+  // the flip clauses closing each enumeration region, and the empty clause
+  // on UNSAT, so an external checker can replay the run's terminations. A
+  // null log keeps every search hot path branch-only.
+  void setProofLog(ProofLog* log) { proofLog_ = log; }
 
   const SolverStats& stats() const { return stats_; }
   size_t numLearnts() const { return numLearnts_; }
@@ -328,6 +335,9 @@ class Solver {
   // Resource governance (null = ungoverned; the hot paths stay branch-only).
   Governor* governor_ = nullptr;
   MemoryLedger arenaLedger_;  // clause-arena bytes charged to the governor
+
+  // DRAT-style proof logging (null = off; the hot paths stay branch-only).
+  ProofLog* proofLog_ = nullptr;
 
   SolverStats stats_;
 };

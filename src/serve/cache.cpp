@@ -56,6 +56,7 @@ uint64_t ServeCache::entryBytes(const CacheKey& key, const CachedCover& payload)
   b += key.target.size() + key.method.size();
   b += payload.cubes.size() * (sizeof(LitVec) + 8);
   for (const LitVec& cube : payload.cubes) b += cube.size() * sizeof(Lit);
+  b += payload.cert.size();
   return b;
 }
 
@@ -128,6 +129,25 @@ void ServeCache::abandon(const CacheKey& key, const CachedCover& partial) {
     }
   }
   ready_.notifyAll();
+}
+
+void ServeCache::refresh(const CacheKey& key, const CachedCover& payload) {
+  if (payload.outcome != Outcome::kComplete) return;  // partials are never retained
+  {
+    MutexLock lock(mu_);
+    if (!enabled()) return;
+    auto it = table_.find(key);
+    if (it == table_.end() || !it->second->ready) return;
+    Entry& e = *it->second;
+    bytes_ -= e.bytes;
+    ledger_.release(e.bytes);
+    e.payload = payload;
+    e.bytes = entryBytes(key, payload);
+    e.lastTouch = ++clock_;
+    bytes_ += e.bytes;
+    ledger_.charge(e.bytes);
+  }
+  if (bytes() > maxBytes_) shed(maxBytes_ / 2);
 }
 
 void ServeCache::evictLocked(const CacheKey& key) {

@@ -68,6 +68,10 @@ struct CachedCover {
   BigUint count;
   Outcome outcome = Outcome::kComplete;
   int width = 0;
+  // presat-cert-v1 text when the producing request asked for one; cached
+  // alongside the cover so a later cert-requesting hit replays it verbatim.
+  // Empty when the leader ran without certification (zero-cost default).
+  std::string cert;
 };
 
 enum class CacheLookup {
@@ -95,6 +99,12 @@ class ServeCache {
   // Leader epilogue for failed/partial runs: wake followers with the partial
   // payload (sound for any budget), drop the entry.
   void abandon(const CacheKey& key, const CachedCover& partial);
+
+  // Replaces a READY entry's payload in place (byte accounting adjusted) —
+  // the cert-upgrade path: a cert-requesting request that hit a certless
+  // entry recomputes with certification and upgrades the entry so the next
+  // hit replays the certificate. No-op when the entry is gone or in flight.
+  void refresh(const CacheKey& key, const CachedCover& payload);
 
   // Generational shed toward `targetBytes` tracked bytes. Returns the number
   // of entries evicted. In-flight entries are never evicted.

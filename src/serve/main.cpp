@@ -17,6 +17,8 @@
 // presat_cli — the soak lane drives the daemon through the same fault sweep
 // as the batch tools and asserts every response is complete or a sound
 // partial.
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,7 +43,20 @@ class StdioTransport : public LineTransport {
     int c;
     bool any = false;
     bool dropping = false;
-    while ((c = std::fgetc(stdin)) != EOF) {
+    for (;;) {
+      c = std::fgetc(stdin);
+      if (c == EOF) {
+        // The drain signal handlers install without SA_RESTART precisely so
+        // this blocking read unblocks with EINTR; hand control back to the
+        // serve loop, which observes the drain flag. Any other interrupted
+        // read (no drain pending) just resumes.
+        if (std::ferror(stdin) != 0 && errno == EINTR) {
+          std::clearerr(stdin);
+          if (Server::drainRequested()) return false;
+          continue;
+        }
+        break;
+      }
       any = true;
       if (c == '\n') return true;
       if (dropping) continue;
@@ -109,6 +124,19 @@ int runServe(int argc, char** argv) {
   }
   config.cacheBytes = cacheMb << 20;
   faults::armFaultsFromEnv();
+
+  // SIGTERM/SIGINT take the graceful-drain path: in-flight and queued
+  // requests finish and flush their responses, then the process exits 0 —
+  // an orchestrator's `kill` loses no answers. No SA_RESTART, so the
+  // blocking stdin read wakes with EINTR and the loop sees the flag.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = [](int) { Server::requestDrain(); };
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
   Server server(config);
   StdioTransport transport;
   return server.serve(transport);

@@ -403,6 +403,7 @@ bool parseRequest(const std::string& line, int lineNo, ServeRequest& out, ServeE
     else if (k == "project") good = takeBool(v, k, out.project, error, lineNo);
     else if (k == "compress") good = takeBool(v, k, out.compress, error, lineNo);
     else if (k == "cache") good = takeBool(v, k, out.cache, error, lineNo);
+    else if (k == "cert") good = takeBool(v, k, out.cert, error, lineNo);
     else if (k == "jobs") {
       good = takeU64(v, k, u, error, lineNo);
       if (good) out.jobs = static_cast<int>(u > 64 ? 64 : u);

@@ -1,11 +1,25 @@
 #include "serve/server.hpp"
 
+#include <atomic>
 #include <utility>
 
 #include "base/timer.hpp"
 #include "serve/version.hpp"
 
 namespace presat::serve {
+
+namespace {
+
+// Process-wide because signal handlers have no instance pointer; lock-free
+// so requestDrain() is async-signal-safe.
+// presat-analyze: lockfree(lock-free atomic flag; signal-handler writable)
+std::atomic<bool> g_drainRequested{false};
+
+}  // namespace
+
+void Server::requestDrain() { g_drainRequested.store(true, std::memory_order_relaxed); }
+bool Server::drainRequested() { return g_drainRequested.load(std::memory_order_relaxed); }
+void Server::resetDrainForTest() { g_drainRequested.store(false, std::memory_order_relaxed); }
 
 Server::Server(const ServerConfig& config)
     : config_(config),
@@ -174,7 +188,7 @@ int Server::serve(LineTransport& transport) {
   std::string shutdownId;
   bool shutdown = false;
   int lineNo = 0;
-  while (!shutdown && transport.readLine(&line)) {
+  while (!shutdown && !drainRequested() && transport.readLine(&line)) {
     ++lineNo;
     ServeRequest req;
     ServeError error;
@@ -227,15 +241,16 @@ int Server::serve(LineTransport& transport) {
     }
   }
 
-  if (shutdown) {
-    // Graceful drain: queued and running requests finish and flush before
-    // the shutdown ack — the ack being the LAST line is the client's flush
-    // barrier.
+  if (shutdown || drainRequested()) {
+    // Graceful drain — the shutdown op and the SIGTERM/SIGINT path: queued
+    // and running requests finish and flush before the final ack — the ack
+    // being the LAST line is the client's flush barrier. The signal path has
+    // no request to echo, so its ack carries op "drain" and no id.
     pool_.quiesce();
     JsonObjectWriter w;
-    w.field("id", shutdownId);
+    if (!shutdownId.empty()) w.field("id", shutdownId);
     w.field("status", "ok");
-    w.field("op", "shutdown");
+    w.field("op", shutdown ? "shutdown" : "drain");
     sendLine(w.str());
   } else {
     // Disconnect: nobody reads further responses; cancel in-flight work so

@@ -86,6 +86,18 @@ class Server {
   // Snapshot of the serve.* metrics block (also the `stats` op payload).
   void exportMetrics(Metrics& m) const;
 
+  // Asynchronous graceful-drain request — the SIGTERM/SIGINT path. Sets a
+  // process-wide lock-free flag (async-signal-safe, callable from a signal
+  // handler); the serve loop observes it between lines (the transport's
+  // readLine returns early on EINTR) and takes the same drain path as a
+  // shutdown op: queued and running requests finish and flush, THEN the
+  // loop exits — unlike EOF/disconnect, which cancels in-flight work.
+  static void requestDrain();
+  static bool drainRequested();
+  // Test hook: clears the process-wide flag so one test's drain does not
+  // poison the next server instance in the same process.
+  static void resetDrainForTest();
+
   const ServeCache& cache() const { return cache_; }
   const ContextPool& contexts() const { return contexts_; }
 

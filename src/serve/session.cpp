@@ -356,6 +356,7 @@ namespace {
 uint64_t coverPayloadBytes(const CachedCover& cover) {
   uint64_t b = 0;
   for (const LitVec& cube : cover.cubes) b += cube.size() * sizeof(Lit) + sizeof(LitVec);
+  b += cover.cert.size();
   return b;
 }
 
@@ -377,6 +378,7 @@ CachedCover runEngine(const ServeRequest& req, const CircuitContext& ctx, Preima
   options.allsat.parallel.jobs = std::clamp(req.jobs, 1, limits.maxJobs);
   options.allsat.governor = &governor;
   options.encoding = ctx.encoding ? &*ctx.encoding : nullptr;
+  options.emitCertificate = req.cert;
 
   const int width = ctx.system->numStateBits();
   StateSet target = StateSet::fromCube(width, targetCube);
@@ -387,6 +389,7 @@ CachedCover runEngine(const ServeRequest& req, const CircuitContext& ctx, Preima
   cover.count = std::move(result.stateCount);
   cover.outcome = result.outcome;
   cover.width = width;
+  cover.cert = std::move(result.certificate);
   *seconds = result.seconds;
   return cover;
 }
@@ -417,12 +420,18 @@ ServeError runPreimage(const ServeRequest& req, const CircuitContextPtr& context
 
   if (useCache) {
     CacheLookup lookup = cache.acquire(key, out->cover);
-    if (lookup == CacheLookup::kHit) {
-      out->cacheDisposition = "hit";
-      return {};
-    }
-    if (lookup == CacheLookup::kDedup) {
-      out->cacheDisposition = "dedup";
+    if (lookup == CacheLookup::kHit || lookup == CacheLookup::kDedup) {
+      // Cert-upgrade path: the cached cover came from a request that did not
+      // ask for certification, but this one does. Recompute with the emitter
+      // on and upgrade the entry so the NEXT cert-requesting hit replays the
+      // stored certificate instead of paying the engine again.
+      if (req.cert && out->cover.cert.empty()) {
+        out->cover = runEngine(req, *context, method, targetCube, cancel, limits, &out->seconds);
+        if (coverPayloadBytes(out->cover) <= limits.maxCacheablePayload) {
+          cache.refresh(key, out->cover);
+        }
+      }
+      out->cacheDisposition = lookup == CacheLookup::kHit ? "hit" : "dedup";
       return {};
     }
     // Leader: run the engine, then publish (or abandon) no matter what —
@@ -459,6 +468,7 @@ std::string resultResponse(const ServeRequest& req, const ExecResult& result) {
   }
   cubes += ']';
   w.fieldRaw("cubes", cubes);
+  if (req.cert) w.field("cert", result.cover.cert);
   w.field("cache", result.cacheDisposition);
   w.field("seconds", result.seconds);
   return w.str();

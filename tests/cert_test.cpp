@@ -1,0 +1,407 @@
+// Certificate pipeline tests: every engine's presat-cert-v1 output must be
+// accepted by the standalone checker (src/checktool/presat_check.cpp), a
+// governor-degraded partial must verify sound (checker exit 2), and a suite
+// of deliberately corrupted certificates must each be REJECTED with the
+// expected dotted diagnostic code — the checker's whole value is that it
+// does not believe broken covers.
+//
+// The checker binary is located through the PRESAT_CHECK_BIN compile
+// definition (tests/CMakeLists.txt points it at the presat_check target) and
+// exercised exactly the way CI does: as a separate process over a file.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cert/certificate.hpp"
+#include "circuit/netlist.hpp"
+#include "gen/generators.hpp"
+#include "govern/budget.hpp"
+#include "govern/faults.hpp"
+#include "govern/governor.hpp"
+#include "preimage/preimage.hpp"
+#include "preimage/transition_system.hpp"
+#include "sat/proof.hpp"
+
+namespace presat {
+namespace {
+
+struct CheckRun {
+  int exitCode = -1;    // presat_check's exit status (0 ok, 2 partial, 1 fail)
+  std::string output;   // combined stdout+stderr
+};
+
+// Writes `cert` to a temp file and runs the standalone checker on it.
+CheckRun runChecker(const std::string& cert, const std::string& extraArgs = "") {
+  static int serial = 0;
+  std::string base = ::testing::TempDir() + "presat_cert_" + std::to_string(serial++);
+  std::string certPath = base + ".cert";
+  std::string outPath = base + ".out";
+  std::FILE* f = std::fopen(certPath.c_str(), "wb");
+  EXPECT_NE(f, nullptr) << certPath;
+  if (f == nullptr) return {};
+  std::fwrite(cert.data(), 1, cert.size(), f);
+  std::fclose(f);
+
+  std::string cmd = std::string(PRESAT_CHECK_BIN) + " " + extraArgs +
+                    (extraArgs.empty() ? "" : " ") + certPath + " >" + outPath + " 2>&1";
+  int raw = std::system(cmd.c_str());
+  CheckRun run;
+  run.exitCode = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  f = std::fopen(outPath.c_str(), "rb");
+  if (f != nullptr) {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) run.output.append(buf, n);
+    std::fclose(f);
+  }
+  std::remove(certPath.c_str());
+  std::remove(outPath.c_str());
+  return run;
+}
+
+// Computes a preimage with certificate emission on and returns the result.
+PreimageResult certifiedPreimage(const Netlist& nl, const LitVec& targetCube,
+                                 PreimageMethod method, PreimageOptions options = {}) {
+  TransitionSystem ts(nl);
+  StateSet target = StateSet::fromCube(ts.numStateBits(), targetCube);
+  options.emitCertificate = true;
+  return computePreimage(ts, target, method, options);
+}
+
+// --- acceptance: every engine, every mode ----------------------------------
+
+TEST(CertAccept, AllEnginesSerial) {
+  Netlist nl = makeLfsr(5);
+  for (PreimageMethod method : kAllPreimageMethods) {
+    PreimageResult r = certifiedPreimage(nl, {mkLit(0), ~mkLit(2)}, method);
+    ASSERT_TRUE(r.complete) << preimageMethodName(method);
+    ASSERT_FALSE(r.certificate.empty()) << preimageMethodName(method);
+    EXPECT_NE(r.certificate.find(std::string("h engine ") + preimageMethodName(method)),
+              std::string::npos);
+    CheckRun run = runChecker(r.certificate);
+    EXPECT_EQ(run.exitCode, 0) << preimageMethodName(method) << "\n" << run.output;
+    EXPECT_NE(run.output.find("complete cover verified"), std::string::npos)
+        << preimageMethodName(method) << "\n" << run.output;
+    // A complete cover's embedded proof ends with the empty clause, and the
+    // DRAT serializations of that proof ride along with the result.
+    EXPECT_NE(r.dratText.find("0\n"), std::string::npos) << preimageMethodName(method);
+    EXPECT_FALSE(r.dratBinary.empty()) << preimageMethodName(method);
+  }
+}
+
+TEST(CertAccept, ParallelJobsOneAndEight) {
+  Netlist nl = makeLfsr(5);
+  const PreimageMethod cnfMethods[] = {PreimageMethod::kMintermBlocking,
+                                       PreimageMethod::kCubeBlocking,
+                                       PreimageMethod::kChrono};
+  for (int jobs : {1, 8}) {
+    for (PreimageMethod method : cnfMethods) {
+      PreimageOptions options;
+      options.allsat.parallel.jobs = jobs;
+      PreimageResult r = certifiedPreimage(nl, {mkLit(0), ~mkLit(2)}, method, options);
+      ASSERT_TRUE(r.complete) << preimageMethodName(method) << " jobs=" << jobs;
+      EXPECT_NE(r.certificate.find("jobs=" + std::to_string(jobs)), std::string::npos);
+      CheckRun run = runChecker(r.certificate);
+      EXPECT_EQ(run.exitCode, 0)
+          << preimageMethodName(method) << " jobs=" << jobs << "\n" << run.output;
+    }
+  }
+}
+
+TEST(CertAccept, ProjectedAndCompressedCovers) {
+  Netlist nl = makeLfsr(5);
+  const PreimageMethod methods[] = {PreimageMethod::kMintermBlocking,
+                                    PreimageMethod::kCubeBlocking, PreimageMethod::kChrono,
+                                    PreimageMethod::kSuccessDriven};
+  for (PreimageMethod method : methods) {
+    PreimageOptions options;
+    options.allsat.project = true;
+    options.allsat.compress = true;
+    PreimageResult r = certifiedPreimage(nl, {mkLit(0), ~mkLit(2)}, method, options);
+    ASSERT_TRUE(r.complete) << preimageMethodName(method);
+    EXPECT_NE(r.certificate.find("project=1 compress=1"), std::string::npos);
+    CheckRun run = runChecker(r.certificate);
+    EXPECT_EQ(run.exitCode, 0) << preimageMethodName(method) << "\n" << run.output;
+  }
+}
+
+TEST(CertAccept, MatchingCircuitHashFlag) {
+  Netlist nl = makeCounter(4);
+  PreimageResult r = certifiedPreimage(nl, {mkLit(0), ~mkLit(2)},
+                                       PreimageMethod::kMintermBlocking);
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(netlistStructuralHash(nl)));
+  CheckRun run = runChecker(r.certificate, std::string("--circuit-hash ") + hash);
+  EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+// --- honesty: governor-degraded partials ------------------------------------
+
+TEST(CertPartial, ConflictLimitedPartialVerifiesSound) {
+  Netlist nl = makeAccumulator(8);
+  Budget budget;
+  budget.conflictLimit = 3;
+  Governor governor(budget);
+  PreimageOptions options;
+  options.allsat.governor = &governor;
+  PreimageResult r = certifiedPreimage(nl, {mkLit(0)}, PreimageMethod::kMintermBlocking,
+                                       options);
+  ASSERT_FALSE(r.complete);
+  EXPECT_EQ(r.outcome, Outcome::kConflicts);
+  EXPECT_NE(r.certificate.find("h outcome conflicts"), std::string::npos);
+  CheckRun run = runChecker(r.certificate);
+  EXPECT_EQ(run.exitCode, 2) << run.output;
+  EXPECT_NE(run.output.find("partial cover verified sound"), std::string::npos)
+      << run.output;
+}
+
+// --- zero-cost default ------------------------------------------------------
+
+TEST(CertZeroCost, NoCertificateUnlessAsked) {
+  Netlist nl = makeCounter(4);
+  TransitionSystem ts(nl);
+  StateSet target = StateSet::fromMinterm(4, 6);
+  PreimageResult r = computePreimage(ts, target, PreimageMethod::kChrono);
+  EXPECT_TRUE(r.certificate.empty());
+  EXPECT_TRUE(r.dratText.empty());
+  EXPECT_TRUE(r.dratBinary.empty());
+}
+
+// --- rejection: corrupted certificates --------------------------------------
+
+// Fixture: a real complete minterm cover whose preimage is a large slab of
+// the state space, so widening a cube is guaranteed to collide with a
+// sibling minterm.
+class CertCorruption : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Netlist nl = makeCounter(4);
+    PreimageResult r = certifiedPreimage(nl, {mkLit(3), ~mkLit(1)},
+                                         PreimageMethod::kMintermBlocking);
+    ASSERT_TRUE(r.complete);
+    cert_ = new std::string(r.certificate);
+    ASSERT_EQ(runChecker(*cert_).exitCode, 0);
+  }
+  static void TearDownTestSuite() {
+    delete cert_;
+    cert_ = nullptr;
+  }
+
+  // The pristine certificate accepted in SetUpTestSuite.
+  static const std::string& cert() { return *cert_; }
+
+  // Returns the first line starting with `prefix` (without the newline).
+  static std::string firstLine(const std::string& text, const std::string& prefix) {
+    size_t pos = text.find("\n" + prefix);
+    EXPECT_NE(pos, std::string::npos) << prefix;
+    size_t begin = pos + 1;
+    size_t end = text.find('\n', begin);
+    return text.substr(begin, end - begin);
+  }
+
+  // Replaces the first occurrence of `from` with `to`; fails if absent.
+  static std::string replaced(const std::string& text, const std::string& from,
+                              const std::string& to) {
+    size_t pos = text.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    std::string out = text;
+    out.replace(pos, from.size(), to);
+    return out;
+  }
+
+  static void expectReject(const std::string& corrupted, const std::string& code) {
+    CheckRun run = runChecker(corrupted);
+    EXPECT_EQ(run.exitCode, 1) << code << "\n" << run.output;
+    EXPECT_NE(run.output.find(code), std::string::npos) << code << "\n" << run.output;
+  }
+
+ private:
+  static const std::string* cert_;
+};
+
+const std::string* CertCorruption::cert_ = nullptr;
+
+TEST_F(CertCorruption, TruncatedCertificateRejected) {
+  std::string corrupted = replaced(cert(), "h end\n", "");
+  expectReject(corrupted, "cert.parse.truncated");
+}
+
+TEST_F(CertCorruption, DuplicateCubeRejected) {
+  // Duplicate the first cube AND its witness so the section counts still
+  // match — only the exact-duplicate check may fire.
+  std::string cLine = firstLine(cert(), "c ");
+  std::string jLine = firstLine(cert(), "j ");
+  std::string corrupted = replaced(cert(), cLine + "\n", cLine + "\n" + cLine + "\n");
+  corrupted = replaced(corrupted, jLine + "\n", jLine + "\n" + jLine + "\n");
+  expectReject(corrupted, "cert.cube.dup");
+}
+
+TEST_F(CertCorruption, FlippedCubeLiteralRejected) {
+  // Negating a cube literal makes its own witness disagree with it.
+  std::string cLine = firstLine(cert(), "c ");
+  ASSERT_GE(cLine.size(), 3u);
+  std::string flipped = cLine[2] == '-' ? "c " + cLine.substr(3)
+                                        : "c -" + cLine.substr(2);
+  expectReject(replaced(cert(), cLine + "\n", flipped + "\n"), "cert.witness.");
+}
+
+TEST_F(CertCorruption, WidenedCubeOverlapRejected) {
+  // Dropping a literal widens the minterm into a 2-cube; the fixture target
+  // was chosen so the twin minterm is also in the cover, so the widened cube
+  // now overlaps a sibling. The witness stays consistent (the cube is still
+  // a subset of it), so only the disjointness check can catch this.
+  std::string cLine = firstLine(cert(), "c ");
+  size_t space = cLine.find(' ', 2);
+  ASSERT_NE(space, std::string::npos);
+  std::string widened = "c " + cLine.substr(space + 1);
+  expectReject(replaced(cert(), cLine + "\n", widened + "\n"), "cert.cover.overlap");
+}
+
+TEST_F(CertCorruption, StaleCnfHashRejected) {
+  std::string hashLine = firstLine(cert(), "h cnfhash ");
+  std::string corrupted =
+      replaced(cert(), hashLine + "\n", "h cnfhash 0000000000000000\n");
+  expectReject(corrupted, "cert.hash.cnf");
+}
+
+TEST_F(CertCorruption, StaleCircuitHashRejected) {
+  CheckRun run = runChecker(cert(), "--circuit-hash 0123456789abcdef");
+  EXPECT_EQ(run.exitCode, 1) << run.output;
+  EXPECT_NE(run.output.find("cert.hash.circuit"), std::string::npos) << run.output;
+}
+
+TEST_F(CertCorruption, MissingEmptyClauseRejected) {
+  // Strip the proof terminator: a "complete" cover without a final empty
+  // clause has not proved completeness.
+  size_t pos = cert().rfind("\na 0\n");
+  ASSERT_NE(pos, std::string::npos);
+  std::string corrupted = cert();
+  corrupted.erase(pos, 4);
+  expectReject(corrupted, "cert.proof.missing-empty");
+}
+
+TEST_F(CertCorruption, UnknownOutcomeRejected) {
+  std::string corrupted = replaced(cert(), "h outcome complete", "h outcome wedged");
+  expectReject(corrupted, "cert.flags.outcome");
+}
+
+TEST_F(CertCorruption, GarbageLiteralRejected) {
+  std::string cLine = firstLine(cert(), "c ");
+  std::string corrupted = replaced(cert(), cLine + "\n", "c banana 0\n");
+  expectReject(corrupted, "cert.parse.");
+}
+
+TEST(CertReject, NonRupProofRejected) {
+  // Handwritten certificate whose cover misses a solution: F = (x1 OR x2),
+  // cover = {x1}. F AND NOT x1 is satisfied by x2, so the empty-clause step
+  // has no RUP derivation and the checker must refuse the "complete" claim.
+  Cnf cnf(2);
+  cnf.addBinary(mkLit(0), mkLit(1));
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(certCnfHash(cnf)));
+  std::string cert =
+      "p presat-cert 1\n"
+      "h engine minterm-blocking\n"
+      "h circuit 0000000000000000\n"
+      "h vars 2\n"
+      "h scope 2 1 2\n"
+      "h flags project=0 compress=0 disjoint=1 jobs=0\n"
+      "h outcome complete\n"
+      "h cnfhash " + std::string(hash) + "\n"
+      "f 1 2 0\n"
+      "c 1 0\n"
+      "j 1 -2 0\n"
+      "a 0\n"
+      "h end\n";
+  CheckRun run = runChecker(cert);
+  EXPECT_EQ(run.exitCode, 1) << run.output;
+  EXPECT_NE(run.output.find("cert.proof.rup"), std::string::npos) << run.output;
+}
+
+// --- the proof log itself ---------------------------------------------------
+
+TEST(ProofLogTest, SerializationsAgree) {
+  ProofLog log;
+  log.addClause(LitVec{mkLit(0), ~mkLit(1)});
+  log.deleteClause(LitVec{mkLit(0), ~mkLit(1)});
+  log.addEmpty();
+  EXPECT_EQ(log.numSteps(), 3u);
+  EXPECT_TRUE(log.endsWithEmptyClause());
+  EXPECT_EQ(log.toTextDrat(), "1 -2 0\nd 1 -2 0\n0\n");
+  // Binary DRAT: 'a'/'d' tag, literals as varints of 2*|l| + (l<0), NUL
+  // terminator. 1 -> 2, -2 -> 5.
+  const char expected[] = {'a', 2, 5, 0, 'd', 2, 5, 0, 'a', 0};
+  EXPECT_EQ(log.toBinaryDrat(), std::string(expected, sizeof(expected)));
+  std::string lines;
+  log.appendCertLines(lines);
+  EXPECT_EQ(lines, "a 1 -2 0\ne 1 -2 0\na 0\n");
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_FALSE(log.endsWithEmptyClause());
+}
+
+TEST(ProofLogTest, EndsWithEmptyTracksLastStep) {
+  ProofLog log;
+  log.addEmpty();
+  EXPECT_TRUE(log.endsWithEmptyClause());
+  log.addUnit(mkLit(0));
+  EXPECT_FALSE(log.endsWithEmptyClause());
+}
+
+TEST(CertHash, SensitiveToAnyLiteral) {
+  Cnf a(3);
+  a.addBinary(mkLit(0), mkLit(1));
+  Cnf b(3);
+  b.addBinary(mkLit(0), ~mkLit(1));
+  EXPECT_NE(certCnfHash(a), certCnfHash(b));
+  Cnf c(3);
+  c.addBinary(mkLit(0), mkLit(1));
+  EXPECT_EQ(certCnfHash(a), certCnfHash(c));
+}
+
+// --- degradation under fault injection --------------------------------------
+
+#if defined(PRESAT_FAULTS)
+
+struct FaultGuard {
+  FaultGuard(const char* site, uint64_t after) { faults::armFault(site, after); }
+  ~FaultGuard() { faults::disarmFaults(); }
+};
+
+// Every injectable fault site must still yield a certificate the checker
+// accepts: complete (exit 0) when the fault missed the run, a sound honest
+// partial (exit 2) when it tripped. Certificates must never become garbage
+// under degradation — that is the whole robustness claim.
+TEST(CertFaults, EverySiteYieldsVerifiableCert) {
+  Netlist nl = makeLfsr(5);
+  for (const char* site : faults::kSites) {
+    PreimageMethod method = PreimageMethod::kChrono;
+    if (std::string(site) == "bdd.alloc") method = PreimageMethod::kBdd;
+    if (std::string(site) == "sd.node") method = PreimageMethod::kSuccessDriven;
+    PreimageOptions options;
+    if (std::string(site) == "parallel.shard") options.allsat.parallel.jobs = 2;
+    Budget budget;
+    Governor governor(budget);
+    options.allsat.governor = &governor;
+    FaultGuard guard(site, 2);
+    PreimageResult r = certifiedPreimage(nl, {mkLit(0), ~mkLit(2)}, method, options);
+    ASSERT_FALSE(r.certificate.empty()) << site;
+    CheckRun run = runChecker(r.certificate);
+    EXPECT_TRUE(run.exitCode == 0 || run.exitCode == 2)
+        << site << " exit=" << run.exitCode << "\n" << run.output;
+    if (!r.complete) {
+      EXPECT_EQ(run.exitCode, 2) << site << "\n" << run.output;
+    }
+  }
+}
+
+#endif  // PRESAT_FAULTS
+
+}  // namespace
+}  // namespace presat

@@ -573,5 +573,102 @@ TEST(ServeServerTest, OverloadAnswersStructuredError) {
   EXPECT_GT(overloaded, 0);
 }
 
+// --- graceful drain (SIGTERM/SIGINT path) -----------------------------------
+
+// Delivers `lines`, then raises the drain flag exactly the way the signal
+// handler does and reports end-of-input — the in-process stand-in for
+// "SIGTERM arrived while requests were queued".
+class DrainingTransport : public StringTransport {
+ public:
+  explicit DrainingTransport(std::vector<std::string> lines)
+      : StringTransport(std::move(lines)) {}
+
+  bool readLine(std::string* line) override {
+    if (StringTransport::readLine(line)) return true;
+    Server::requestDrain();
+    return false;
+  }
+};
+
+class ServeDrainTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Server::resetDrainForTest(); }
+  void TearDown() override { Server::resetDrainForTest(); }
+};
+
+TEST_F(ServeDrainTest, DrainFinishesInFlightAndAcksLast) {
+  ServerConfig config;
+  config.workers = 2;
+  Server server(config);
+  // No shutdown op in the script: the drain flag is the only stop signal.
+  DrainingTransport transport({
+      R"({"id":"w1","op":"preimage","gen":"counter:6","target":"1xxxxx"})",
+      R"({"id":"w2","op":"preimage","gen":"lfsr:6","target":"x1xxx0"})",
+  });
+  EXPECT_EQ(server.serve(transport), 0);
+
+  // Both answers were flushed complete — a drain loses no work...
+  for (const char* id : {"w1", "w2"}) {
+    JsonValue r = findResponse(transport.out, id);
+    EXPECT_EQ(r.find("status")->text, "ok") << id;
+    EXPECT_EQ(r.find("outcome")->text, "complete") << id;
+  }
+  // ...and the final line is the id-less drain ack, the client's barrier
+  // that no further responses follow.
+  JsonValue last;
+  std::string err;
+  ASSERT_TRUE(parseJson(transport.out.back(), last, err));
+  EXPECT_EQ(last.find("op")->text, "drain");
+  EXPECT_EQ(last.find("status")->text, "ok");
+  EXPECT_EQ(last.find("id"), nullptr);
+}
+
+TEST_F(ServeDrainTest, EofWithoutDrainCancelsInsteadOfAcking) {
+  // Plain EOF (client died): no drain ack may be emitted; the server just
+  // stops. Contrast with the drain test above.
+  ServerConfig config;
+  config.workers = 1;
+  Server server(config);
+  StringTransport transport({
+      R"({"id":"w","op":"preimage","gen":"counter:4","target":"1xxx"})",
+  });
+  EXPECT_EQ(server.serve(transport), 0);
+  for (const std::string& line : transport.out) {
+    EXPECT_EQ(line.find("\"op\":\"drain\""), std::string::npos) << line;
+  }
+}
+
+// --- certificate emission over the wire -------------------------------------
+
+TEST(ServeServerTest, CertRequestReturnsVerifiableFieldAndCachesIt) {
+  ServerConfig config;
+  config.workers = 1;
+  Server server(config);
+  StringTransport transport({
+      // Cold miss without a cert, then a hit that upgrades the cached entry,
+      // then a repeat that replays the upgraded payload.
+      R"({"id":"plain","op":"preimage","gen":"counter:4","target":"1x0x"})",
+      R"({"id":"c1","op":"preimage","gen":"counter:4","target":"1x0x","cert":true})",
+      R"({"id":"c2","op":"preimage","gen":"counter:4","target":"1x0x","cert":true})",
+      R"({"id":"q","op":"shutdown"})",
+  });
+  EXPECT_EQ(server.serve(transport), 0);
+
+  EXPECT_EQ(findResponse(transport.out, "plain").find("cert"), nullptr);
+  JsonValue c1 = findResponse(transport.out, "c1");
+  JsonValue c2 = findResponse(transport.out, "c2");
+  for (const JsonValue* r : {&c1, &c2}) {
+    EXPECT_EQ(r->find("status")->text, "ok");
+    ASSERT_NE(r->find("cert"), nullptr);
+    const std::string& cert = r->find("cert")->text;
+    EXPECT_NE(cert.find("p presat-cert 1"), std::string::npos);
+    EXPECT_NE(cert.find("h outcome complete"), std::string::npos);
+    EXPECT_NE(cert.find("h end"), std::string::npos);
+  }
+  // The upgrade recomputed once; the second cert request replayed from cache.
+  EXPECT_EQ(c1.find("cert")->text, c2.find("cert")->text);
+  EXPECT_EQ(c2.find("cache")->text, "hit");
+}
+
 }  // namespace
 }  // namespace presat::serve

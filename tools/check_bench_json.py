@@ -20,6 +20,13 @@ seed and feeds the file through this checker, which validates:
     projected series whose record carries a `proj.cubes` counter equal to
     its `pre.cubes`, with `pre.cubes` no larger than the uncompressed
     chrono enumeration's — wildcard compression must never grow the cover
+  * every `table1` `<circuit>/chrono` case has a `<circuit>/chrono-cert`
+    certificate-emitting sibling with an IDENTICAL `pre.cubes` count and a
+    positive `cert.bytes` counter; the per-circuit emission overhead
+    (cert median / plain median) is reported as its own series line. The
+    plain `chrono` series is the proof-logging-OFF control, so the
+    `--compare` regression gate below failing on it means logging stopped
+    being zero-cost when disabled.
 
 `--google-benchmark FILE` additionally validates a google-benchmark
 `--benchmark_format=json` report (bench_micro): non-empty `benchmarks`
@@ -128,6 +135,25 @@ def check_table1(records: list) -> None:
     if proj_cases == 0:
         fail("table1 contains no chrono/chrono-proj pairs to compare")
 
+    # Certificate series: the cover must be unchanged by emission (emitting
+    # a certificate is observation, not search), and the record must carry
+    # the cert.* counters the emitter stamps.
+    cert_cases = 0
+    for case, cubes in sorted(cubes_by_case.items()):
+        if not case.endswith("/chrono"):
+            continue
+        cert = case + "-cert"
+        if cert not in cubes_by_case:
+            fail(f"table1 case {case!r} has no certificate series {cert!r}")
+        if cubes_by_case[cert] != cubes:
+            fail(f"certificate emission changed the cover: {cert!r} produced "
+                 f"{cubes_by_case[cert]} cubes but {case!r} produced {cubes}")
+        if counters_by_case[cert].get("cert.bytes", 0) <= 0:
+            fail(f"table1 case {cert!r} has no positive cert.bytes counter")
+        cert_cases += 1
+    if cert_cases == 0:
+        fail("table1 contains no chrono/chrono-cert pairs to compare")
+
     par_pairs = 0
     for case, cubes in sorted(cubes_by_case.items()):
         if not case.endswith("-par1"):
@@ -221,6 +247,25 @@ def check_compare(records: list, baseline_path: str, max_regression: float,
         fail(f"median regression beyond {max_regression:.0%} vs {baseline_path}")
 
 
+def report_cert_overhead(records: list) -> None:
+    """Prints the certificate-emission overhead of every chrono/chrono-cert
+    series pair (median cert time / median plain time). Informational: the
+    plain series stays under the --compare regression gate, which is what
+    enforces zero-cost-when-disabled; this line makes the cost-when-ENABLED
+    visible in the same log."""
+    medians = series_medians(records)
+    for (bench, case) in sorted(medians):
+        if not case.endswith("/chrono-cert"):
+            continue
+        plain = (bench, case[:-len("-cert")])
+        if plain not in medians or medians[plain] <= 0:
+            continue
+        ratio = medians[(bench, case)] / medians[plain]
+        print(f"check_bench_json.py: cert-overhead {bench}/{case}: "
+              f"{medians[plain]:.4f}s -> {medians[(bench, case)]:.4f}s "
+              f"({ratio:.2f}x)")
+
+
 def check_google_benchmark(path: str) -> None:
     try:
         with open(path, encoding="utf-8") as f:
@@ -257,6 +302,7 @@ def main() -> None:
     records = load_trajectory(args.jsonl)
 
     check_table1(records)
+    report_cert_overhead(records)
     if args.google_benchmark:
         check_google_benchmark(args.google_benchmark)
     if args.compare:

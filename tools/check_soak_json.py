@@ -57,10 +57,21 @@ def main() -> None:
         fail(f"unknown schema {report.get('schema')!r}")
 
     for key in ("requests", "clients", "unique_pairs", "protocol_errors",
-                "unsound", "overload_retries"):
+                "unsound", "overload_retries", "retries"):
         v = report.get(key)
         if not isinstance(v, int) or isinstance(v, bool) or v < 0:
             fail(f"{key} must be a non-negative integer, got {v!r}")
+
+    # `retries` counts backoff-and-retry attempts after "overloaded"
+    # rejections (presat_client.py's capped-exponential-with-jitter loop).
+    # Each request retries at most 4 times, and today every retry is an
+    # overload retry, so the two counters must agree.
+    if report["retries"] != report["overload_retries"]:
+        fail(f"retries {report['retries']} != overload_retries "
+             f"{report['overload_retries']}")
+    if report["retries"] > report["requests"] * 4:
+        fail(f"retries {report['retries']} exceeds the retry cap "
+             f"(4 per request x {report['requests']} requests)")
 
     if report["requests"] < args.min_requests:
         fail(f"only {report['requests']} requests (need >= {args.min_requests})")

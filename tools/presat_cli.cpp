@@ -95,7 +95,8 @@ namespace {
                "  presat_cli allsat   <file.cnf>   [--method minterm|cube|sd|chrono] [--max N]\n"
                "                                   [--stats json]\n"
                "  presat_cli preimage <file.bench>|--gen SPEC --target CUBE [--method NAME]\n"
-               "                                   [--stats json]\n"
+               "                                   [--stats json] [--cert FILE] [--drat FILE]\n"
+               "                                   [--drat-binary FILE]\n"
                "  presat_cli image    <file.bench> --from CUBE [--method minterm|bdd]\n"
                "  presat_cli reach    <file.bench>|--gen SPEC --target CUBE [--depth N]\n"
                "                                   [--method NAME] [--stats json]\n"
@@ -168,6 +169,16 @@ int finishOutcome(Outcome outcome) {
   std::fprintf(stderr, "partial result: stopped on %s (sound under-approximation)\n",
                outcomeName(outcome));
   return 2;
+}
+
+void writeFileOrDie(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) usage(("cannot write " + path).c_str());
+  if (!content.empty() && std::fwrite(content.data(), 1, content.size(), f) != content.size()) {
+    std::fclose(f);
+    usage(("short write to " + path).c_str());
+  }
+  std::fclose(f);
 }
 
 Args parseArgs(int argc, char** argv, int start) {
@@ -344,7 +355,14 @@ int cmdPreimage(const Args& args) {
   applyEngineFlags(args, options.allsat);
   std::unique_ptr<Governor> governor = makeGovernor(args);
   options.allsat.governor = governor.get();
+  std::string certPath = args.flag("cert");
+  std::string dratPath = args.flag("drat");
+  std::string dratBinaryPath = args.flag("drat-binary");
+  options.emitCertificate = !certPath.empty() || !dratPath.empty() || !dratBinaryPath.empty();
   PreimageResult r = computePreimage(system, target, method, options);
+  if (!certPath.empty()) writeFileOrDie(certPath, r.certificate);
+  if (!dratPath.empty()) writeFileOrDie(dratPath, r.dratText);
+  if (!dratBinaryPath.empty()) writeFileOrDie(dratBinaryPath, r.dratBinary);
   std::printf("preimage: %s states in %zu cubes (%s, %.3f ms)\n",
               r.stateCount.toDecimal().c_str(), r.states.cubes.size(), preimageMethodName(method),
               r.seconds * 1e3);

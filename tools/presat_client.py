@@ -275,16 +275,31 @@ class SoakState:
         self.overload_retries = 0
 
 
+# Overload backoff: capped exponential with full jitter. "overloaded" means
+# the daemon's admission queue (or memory gate) is full RIGHT NOW — a fixed
+# linear pause makes every rejected client retry in lockstep and re-collide;
+# doubling the window and sampling uniformly inside it spreads the retry wave.
+RETRY_BASE_S = 0.05
+RETRY_CAP_S = 1.0
+RETRY_LIMIT = 5
+
+
+def backoff_delay(retry, rng=random):
+    """Uniform sample from (0, min(cap, base * 2^retry)]."""
+    window = min(RETRY_CAP_S, RETRY_BASE_S * (1 << retry))
+    return rng.uniform(window * 0.1, window)
+
+
 def run_one(client, oracle, req, index, state):
     attempt = dict(req)
-    for retry in range(5):
+    for retry in range(RETRY_LIMIT):
         start = time.monotonic()
         resp = client.request(attempt)
         ms = (time.monotonic() - start) * 1e3
         if resp.get("status") == "error" and resp["error"].get("code") == "overloaded":
             with state.lock:
                 state.overload_retries += 1
-            time.sleep(0.05 * (retry + 1))
+            time.sleep(backoff_delay(retry))
             attempt = dict(attempt, id=attempt["id"] + ".r%d" % retry)
             continue
         break
@@ -398,6 +413,7 @@ def main():
         "protocol_errors": len(state.protocol_errors) + len(sut.bad_lines),
         "unsound": len(state.unsound),
         "overload_retries": state.overload_retries,
+        "retries": state.overload_retries,
         "outcomes": state.outcomes,
         "cache": state.cache,
         "latency_ms": {
